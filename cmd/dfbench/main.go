@@ -1,0 +1,54 @@
+// dfbench regenerates the tables and figures of "Distributed Filaments:
+// Efficient Fine-Grain Parallelism on a Cluster of Workstations" (OSDI '94)
+// on the simulated cluster.
+//
+// Usage:
+//
+//	dfbench -list
+//	dfbench                      # all experiments at paper scale
+//	dfbench -experiment fig5     # one experiment
+//	dfbench -quick               # reduced problem sizes (shape only)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"filaments/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("experiment", "", "experiment ID to run (default: all)")
+		quick = flag.Bool("quick", false, "reduced problem sizes for fast runs")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	opts := bench.Options{Quick: *quick}
+	run := func(e bench.Experiment) {
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		t0 := time.Now()
+		e.Run(os.Stdout, opts)
+		fmt.Printf("    [%.1fs wall clock]\n\n", time.Since(t0).Seconds())
+	}
+	if *exp != "" {
+		e, ok := bench.Find(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dfbench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(1)
+		}
+		run(e)
+		return
+	}
+	for _, e := range bench.All() {
+		run(e)
+	}
+}

@@ -1,0 +1,136 @@
+// dfrun executes one application/variant combination on the simulated
+// cluster and prints its timing and per-node counters.
+//
+// Usage:
+//
+//	dfrun -app jacobi -variant df -nodes 8
+//	dfrun -app matmul -variant cg -nodes 4 -n 256
+//	dfrun -app quadrature -variant bag -nodes 8
+//	dfrun -app exprtree -variant df -nodes 8 -protocol migratory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"filaments"
+	"filaments/internal/apps/exprtree"
+	"filaments/internal/apps/jacobi"
+	"filaments/internal/apps/matmul"
+	"filaments/internal/apps/quadrature"
+	"filaments/internal/threads"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "jacobi", "application: matmul | jacobi | quadrature | exprtree")
+		variant = flag.String("variant", "df", "variant: seq | cg | df | bag (quadrature only)")
+		nodes   = flag.Int("nodes", 8, "cluster size")
+		n       = flag.Int("n", 0, "problem dimension (0 = paper default)")
+		iters   = flag.Int("iters", 0, "jacobi iterations (0 = paper default)")
+		height  = flag.Int("height", 0, "exprtree height (0 = paper default)")
+		tol     = flag.Float64("tol", 0, "quadrature tolerance (0 = paper default)")
+		proto   = flag.String("protocol", "", "DSM protocol override: migratory | wi | ii")
+		verbose = flag.Bool("v", false, "per-node counters")
+	)
+	flag.Parse()
+
+	protocol := filaments.Migratory // zero value: app defaults apply
+	switch *proto {
+	case "":
+	case "migratory":
+		protocol = filaments.Migratory
+	case "wi":
+		protocol = filaments.WriteInvalidate
+	case "ii":
+		protocol = filaments.ImplicitInvalidate
+	default:
+		fail("unknown -protocol %q", *proto)
+	}
+
+	var rep *filaments.Report
+	switch *app {
+	case "matmul":
+		cfg := matmul.Config{N: *n, Nodes: *nodes, Protocol: protocol}
+		switch *variant {
+		case "seq":
+			rep, _ = matmul.Sequential(cfg)
+		case "cg":
+			rep, _ = matmul.CoarseGrain(cfg)
+		case "df":
+			rep, _, _ = matmul.DF(cfg)
+		default:
+			fail("matmul has variants seq|cg|df")
+		}
+	case "jacobi":
+		cfg := jacobi.Config{N: *n, Iters: *iters, Nodes: *nodes, Protocol: protocol}
+		switch *variant {
+		case "seq":
+			rep, _ = jacobi.Sequential(cfg)
+		case "cg":
+			rep, _ = jacobi.CoarseGrain(cfg)
+		case "df":
+			rep, _, _ = jacobi.DF(cfg)
+		default:
+			fail("jacobi has variants seq|cg|df")
+		}
+	case "quadrature":
+		cfg := quadrature.Config{Tol: *tol, Nodes: *nodes}
+		switch *variant {
+		case "seq":
+			rep, _ = quadrature.Sequential(cfg)
+		case "cg":
+			rep, _ = quadrature.CoarseGrain(cfg)
+		case "bag":
+			rep, _ = quadrature.BagOfTasks(cfg, 0)
+		case "df":
+			rep, _, _ = quadrature.DF(cfg)
+		default:
+			fail("quadrature has variants seq|cg|df|bag")
+		}
+	case "exprtree":
+		cfg := exprtree.Config{Height: *height, N: *n, Nodes: *nodes}
+		switch *variant {
+		case "seq":
+			rep, _ = exprtree.Sequential(cfg)
+		case "cg":
+			rep, _ = exprtree.CoarseGrain(cfg)
+		case "df":
+			rep, _, _ = exprtree.DF(cfg)
+		default:
+			fail("exprtree has variants seq|cg|df")
+		}
+	default:
+		fail("unknown -app %q", *app)
+	}
+
+	fmt.Printf("%s/%s on %d nodes: %.2f simulated seconds\n",
+		*app, *variant, *nodes, rep.Seconds())
+	fmt.Printf("network: %d frames, %.1f MB, medium busy %.1f s (utilization %.0f%%)\n",
+		rep.Net.FramesSent, float64(rep.Net.BytesSent)/(1<<20), rep.Net.Busy.Seconds(),
+		100*rep.Net.Utilization(rep.Elapsed))
+	if !*verbose {
+		return
+	}
+	fmt.Printf("%-5s %8s %9s %8s %8s %10s %8s %8s %8s\n",
+		"node", "work(s)", "fil(s)", "data(s)", "sync(s)", "syncdly(s)", "idle(s)", "faults", "served")
+	for i, nr := range rep.PerNode {
+		a := nr.CPU
+		fmt.Printf("%-5d %8.2f %9.3f %8.2f %8.2f %10.2f %8.2f %8d %8d\n",
+			i,
+			a[threads.CatWork].Seconds(),
+			a[threads.CatFilament].Seconds(),
+			a[threads.CatData].Seconds(),
+			a[threads.CatSync].Seconds(),
+			a[threads.CatSyncDelay].Seconds(),
+			a[threads.CatIdle].Seconds(),
+			nr.DSM.ReadFaults+nr.DSM.WriteFaults,
+			nr.DSM.Served)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dfrun: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+// Binary expression tree evaluation over the DSM with the migratory
+// protocol (§4.4): fork/join filaments traverse a balanced tree whose
+// leaves are matrices and whose interior operators multiply them.
+//
+// Each matrix lives in shared memory as one page group, so it migrates to
+// whichever node needs it in a single Packet exchange. The example prints
+// the speedup against the tail-end cap the paper derives (work doubles
+// with each level down the tree, so nodes go idle near the root).
+//
+// Run with:
+//
+//	go run ./examples/exprtree [-height 6] [-n 32] [-nodes 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"filaments"
+)
+
+const fnEval = 1
+
+func main() {
+	var (
+		height = flag.Int("height", 6, "tree height (2^height leaves)")
+		n      = flag.Int("n", 32, "matrix dimension")
+		nodes  = flag.Int("nodes", 8, "cluster size")
+	)
+	flag.Parse()
+
+	seq := run(*height, *n, 1)
+	par := run(*height, *n, *nodes)
+	mults := 1<<*height - 1
+	// Tail-end cap: sum over levels of ceil(2^level / p).
+	capUnits := 0
+	for l := 0; l < *height; l++ {
+		m := 1 << l
+		capUnits += (m + *nodes - 1) / *nodes
+	}
+	fmt.Printf("expression tree: height %d (%d multiplies of %d×%d)\n",
+		*height, mults, *n, *n)
+	fmt.Printf("  sequential : %8.2f s\n", seq.Seconds())
+	fmt.Printf("  %d nodes    : %8.2f s  (speedup %.2f)\n",
+		*nodes, par.Seconds(), seq.Seconds()/par.Seconds())
+	fmt.Printf("  tail-end speedup cap: %.2f\n", float64(mults)/float64(capUnits))
+}
+
+func run(height, n, nodes int) *filaments.Report {
+	cluster := filaments.New(filaments.Config{
+		Nodes:     nodes,
+		Protocol:  filaments.Migratory,
+		WakeFront: true,
+	})
+	// One shared matrix slot per tree node (heap numbering, slot 1 = root).
+	slots := make([]filaments.Matrix, 1<<(height+1))
+	for k := 1; k < len(slots); k++ {
+		slots[k] = cluster.AllocMatrix(n, n)
+	}
+	mulCost := filaments.Duration(n) * filaments.Duration(n) * filaments.Duration(n) * 2 * filaments.Microsecond
+
+	report, err := cluster.Run(func(rt *filaments.Runtime, e *filaments.Exec) {
+		if rt.ID() == 0 {
+			for k := 1 << height; k < 1<<(height+1); k++ {
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						e.WriteF64(slots[k].Addr(i, j), float64((i+j+k)%5)-2)
+					}
+				}
+			}
+		}
+		eval := func(e *filaments.Exec, a filaments.Args) float64 {
+			k, h := int(a[0]), int(a[1])
+			rtl := e.Runtime()
+			if h > 1 {
+				j := rtl.NewJoin()
+				rtl.Fork(e, j, fnEval, filaments.Args{int64(2 * k), int64(h - 1)})
+				rtl.Fork(e, j, fnEval, filaments.Args{int64(2*k + 1), int64(h - 1)})
+				j.Wait(e)
+			}
+			l, r, dst := slots[2*k], slots[2*k+1], slots[k]
+			for i := 0; i < n; i++ {
+				for jj := 0; jj < n; jj++ {
+					var s float64
+					for kk := 0; kk < n; kk++ {
+						s += e.ReadF64(l.Addr(i, kk)) * e.ReadF64(r.Addr(kk, jj))
+					}
+					e.WriteF64(dst.Addr(i, jj), s)
+				}
+			}
+			e.Compute(mulCost)
+			return 1
+		}
+		rt.RegisterFJ(fnEval, eval)
+		e.Barrier()
+		rt.RunForkJoin(e, fnEval, filaments.Args{1, int64(height)})
+	})
+	if err != nil {
+		panic(err)
+	}
+	return report
+}

@@ -1,0 +1,92 @@
+// packetnet demonstrates the Packet reliable datagram protocol on real UDP
+// sockets (package udptrans): a miniature page server and a client that
+// fetches pages, with injected packet loss to show the retransmission and
+// reply-replay machinery from the paper's Figure 3.
+//
+// Run with:
+//
+//	go run ./examples/packetnet [-loss 0.3] [-pages 64]
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"filaments/internal/udptrans"
+)
+
+const (
+	svcPage  = 1
+	pageSize = 4096
+)
+
+func main() {
+	var (
+		loss  = flag.Float64("loss", 0.3, "probability of dropping each datagram")
+		pages = flag.Int("pages", 64, "pages to fetch")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(1))
+	var dropped atomic.Int64
+
+	drop := func(b []byte) bool {
+		if rng.Float64() < *loss {
+			dropped.Add(1)
+			return true
+		}
+		return false
+	}
+
+	server, err := udptrans.Listen("127.0.0.1:0", udptrans.Options{DropSend: drop})
+	if err != nil {
+		panic(err)
+	}
+	defer server.Close()
+	var served atomic.Int64
+	server.Register(svcPage, udptrans.Service{
+		Idempotent: true, // replies are regenerated from current contents
+		Handler: func(_ *net.UDPAddr, req []byte) ([]byte, bool) {
+			id := binary.BigEndian.Uint32(req)
+			served.Add(1)
+			page := make([]byte, pageSize)
+			for i := range page {
+				page[i] = byte(id)
+			}
+			return page, false
+		},
+	})
+
+	client, err := udptrans.Listen("127.0.0.1:0", udptrans.Options{
+		DropSend:          drop,
+		RetransmitTimeout: 30 * time.Millisecond,
+		MaxRetries:        20,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer client.Close()
+
+	start := time.Now()
+	for id := 0; id < *pages; id++ {
+		req := make([]byte, 4)
+		binary.BigEndian.PutUint32(req, uint32(id))
+		page, err := client.Call(server.Addr(), svcPage, req)
+		if err != nil {
+			panic(fmt.Sprintf("page %d: %v", id, err))
+		}
+		if len(page) != pageSize || page[0] != byte(id) || page[pageSize-1] != byte(id) {
+			panic(fmt.Sprintf("page %d corrupted", id))
+		}
+	}
+	fmt.Printf("fetched %d pages of %d bytes over real UDP with %.0f%% loss\n",
+		*pages, pageSize, *loss*100)
+	fmt.Printf("  wall time     : %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  datagrams lost: %d (recovered by retransmission)\n", dropped.Load())
+	fmt.Printf("  server served : %d requests (duplicates re-served from current contents)\n",
+		served.Load())
+}

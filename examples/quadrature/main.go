@@ -1,0 +1,90 @@
+// Adaptive quadrature with fork/join filaments: the paper's recursive
+// parallelism showcase (§2.3, §4.3).
+//
+// The integrand has a sharp needle near one end of the interval, so a
+// static split across nodes is badly imbalanced. The fork/join program
+// just writes the natural recursion; the runtime distributes the initial
+// forks down the binomial tree and receiver-initiated stealing balances
+// the rest. The example prints the dynamic-balancing win over the static
+// split.
+//
+// Run with:
+//
+//	go run ./examples/quadrature [-nodes 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+
+	"filaments"
+)
+
+const (
+	evalCost = 150 * filaments.Microsecond
+	fnQuad   = 1
+)
+
+// f has most of its quadrature work concentrated near x = 9.7.
+func f(x float64) float64 {
+	return math.Cos(x) + 2 + 0.01/((x-9.7)*(x-9.7)+1e-5)
+}
+
+func main() {
+	nodes := flag.Int("nodes", 8, "cluster size")
+	flag.Parse()
+
+	area, dyn := integrate(*nodes, true)
+	_, stat := integrate(*nodes, false)
+	fmt.Printf("∫f over [0,10] ≈ %.6f on %d nodes\n", area, *nodes)
+	fmt.Printf("  with stealing   : %8.2f s\n", dyn.Seconds())
+	fmt.Printf("  without stealing: %8.2f s\n", stat.Seconds())
+	fmt.Printf("  dynamic load balancing won %.1f%%\n",
+		100*(stat.Seconds()-dyn.Seconds())/stat.Seconds())
+}
+
+func integrate(nodes int, stealing bool) (float64, *filaments.Report) {
+	cluster := filaments.New(filaments.Config{
+		Nodes:     nodes,
+		Stealing:  stealing,
+		WakeFront: true, // fork/join scheduling policy
+	})
+	bits := func(x float64) int64 { return int64(math.Float64bits(x)) }
+	val := func(b int64) float64 { return math.Float64frombits(uint64(b)) }
+
+	var area float64
+	report, err := cluster.Run(func(rt *filaments.Runtime, e *filaments.Exec) {
+		quad := func(e *filaments.Exec, a filaments.Args) float64 {
+			lo, hi := val(a[0]), val(a[1])
+			fa, fb, fm := val(a[2]), val(a[3]), val(a[4])
+			depth := a[5]
+			m := (lo + hi) / 2
+			e.Compute(2 * evalCost)
+			lm, rm := f((lo+m)/2), f((m+hi)/2)
+			trap := (hi - lo) * (fa + fb) / 2
+			simp := (hi - lo) * (fa + 4*lm + 2*fm + 4*rm + fb) / 12
+			if depth <= 0 || math.Abs(simp-trap) < 1e-6*(hi-lo) {
+				return simp
+			}
+			j := rt.NewJoin()
+			rt.Fork(e, j, fnQuad, filaments.Args{a[0], bits(m), a[2], bits(fm), bits(lm), depth - 1})
+			rt.Fork(e, j, fnQuad, filaments.Args{bits(m), a[1], bits(fm), a[3], bits(rm), depth - 1})
+			return j.Wait(e)
+		}
+		rt.RegisterFJ(fnQuad, quad)
+		var root filaments.Args
+		if rt.ID() == 0 {
+			e.Compute(3 * evalCost)
+			root = filaments.Args{bits(0), bits(10), bits(f(0)), bits(f(10)), bits(f(5)), 30}
+		}
+		v := rt.RunForkJoin(e, fnQuad, root)
+		if rt.ID() == 0 {
+			area = v
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	return area, report
+}

@@ -1,0 +1,79 @@
+// Quickstart: a minimal Distributed Filaments program.
+//
+// Four simulated workstations share a vector in distributed shared memory.
+// Each node runs one run-to-completion filament per element of its strip,
+// squaring the values the master initialized, and a reduction sums the
+// results. The program prints the timing the simulated 1994-era cluster
+// would have shown.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"filaments"
+)
+
+func main() {
+	const (
+		nodes = 4
+		size  = 4096
+	)
+	cluster := filaments.New(filaments.Config{
+		Nodes:    nodes,
+		Protocol: filaments.WriteInvalidate,
+	})
+
+	// Shared data is allocated during setup; the master (node 0) owns it
+	// initially and the other nodes page it in on demand.
+	vec := cluster.Alloc(size * 8)
+
+	var total float64
+	report, err := cluster.Run(func(rt *filaments.Runtime, e *filaments.Exec) {
+		// This function runs on every node (SPMD).
+		if rt.ID() == 0 {
+			for i := 0; i < size; i++ {
+				e.WriteF64(vec+filaments.Addr(i*8), float64(i%100))
+			}
+		}
+		e.Barrier() // data initialized before anyone computes
+
+		// One filament per element of this node's strip.
+		per := size / rt.Nodes()
+		lo := rt.ID() * per
+		pool := rt.NewPool("squares")
+		var localSum float64
+		square := func(e *filaments.Exec, a filaments.Args) {
+			i := int(a[0])
+			v := e.ReadF64(vec + filaments.Addr(i*8))
+			localSum += v * v
+			e.Compute(5 * filaments.Microsecond) // the work this stands for
+		}
+		for i := lo; i < lo+per; i++ {
+			pool.Add(e, square, filaments.Args{int64(i)})
+		}
+		rt.RunPools(e)
+
+		// A reduction both sums the per-node values and acts as a barrier.
+		sum := e.Reduce(localSum, filaments.Sum)
+		if rt.ID() == 0 {
+			total = sum
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("sum of squares      : %.0f\n", total)
+	fmt.Printf("virtual running time: %.2f ms on %d nodes\n",
+		report.Elapsed.Milliseconds(), nodes)
+	fmt.Printf("network             : %d frames, %d bytes\n",
+		report.Net.FramesSent, report.Net.BytesSent)
+	for i, nr := range report.PerNode {
+		fmt.Printf("node %d              : %d filaments run, %d page faults\n",
+			i, nr.Runtime.FilamentsRun, nr.DSM.ReadFaults+nr.DSM.WriteFaults)
+	}
+}

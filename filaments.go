@@ -1,0 +1,330 @@
+// Package filaments is the public API of the Distributed Filaments (DF)
+// reproduction: a software kernel for efficient fine-grain parallelism on a
+// cluster of workstations (Freeh, Lowenthal, Andrews — OSDI '94).
+//
+// A Cluster is a deterministic simulation of the paper's testbed: nodes
+// with one virtual CPU each, a shared 10 Mbps Ethernet, a paged distributed
+// shared memory, the Packet reliable datagram protocol, tournament-barrier
+// reductions, and the Filaments runtime (run-to-completion, iterative, and
+// fork/join filaments). Real data moves through the real protocols —
+// results are exact — while time is virtual and calibrated to the paper's
+// hardware, so performance experiments reproduce the paper's shape.
+//
+// Quick start:
+//
+//	cfg := filaments.Config{Nodes: 4, Protocol: filaments.WriteInvalidate}
+//	c := filaments.New(cfg)
+//	grid := c.AllocMatrix(256, 256)           // shared, owned by node 0
+//	report, err := c.Run(func(rt *filaments.Runtime, e *filaments.Exec) {
+//	    // SPMD: this function runs on every node's main server thread.
+//	    pool := rt.NewPool("points")
+//	    ...
+//	    rt.RunPools(e)
+//	    e.Barrier()
+//	})
+package filaments
+
+import (
+	"fmt"
+
+	"filaments/internal/cost"
+	"filaments/internal/dsm"
+	"filaments/internal/filament"
+	"filaments/internal/packet"
+	"filaments/internal/reduce"
+	"filaments/internal/sim"
+	"filaments/internal/simnet"
+	"filaments/internal/threads"
+)
+
+// Re-exported core types, so applications only import this package.
+type (
+	// Runtime is a node's Filaments runtime instance (see
+	// internal/filament).
+	Runtime = filament.Runtime
+	// Exec is a filament execution context.
+	Exec = filament.Exec
+	// Args is a filament argument record.
+	Args = filament.Args
+	// Pool is a collection of RTC/iterative filaments.
+	Pool = filament.Pool
+	// Join accumulates fork/join results.
+	Join = filament.Join
+	// FJFunc is the body of a fork/join filament.
+	FJFunc = filament.FJFunc
+	// Addr is a shared-memory address.
+	Addr = dsm.Addr
+	// Matrix is a shared row-major float64 matrix.
+	Matrix = dsm.Matrix
+	// Protocol is a page consistency protocol.
+	Protocol = dsm.Protocol
+	// Duration is virtual time.
+	Duration = sim.Duration
+	// CostModel is the calibrated machine model.
+	CostModel = cost.Model
+)
+
+// Page consistency protocols.
+const (
+	Migratory          = dsm.Migratory
+	WriteInvalidate    = dsm.WriteInvalidate
+	ImplicitInvalidate = dsm.ImplicitInvalidate
+)
+
+// Virtual-time units for Exec.Compute costs.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// PageSize is the DSM protection granularity (4 KB, as on the paper's
+// SunOS testbed).
+const PageSize = dsm.PageSize
+
+// Reduction operators.
+var (
+	Sum = reduce.Sum
+	Max = reduce.Max
+	Min = reduce.Min
+)
+
+// Config describes a simulated cluster.
+type Config struct {
+	// Nodes is the cluster size (>= 1).
+	Nodes int
+	// Protocol is the page consistency protocol (default Migratory, the
+	// zero value).
+	Protocol Protocol
+	// SharedBytes is the size of the shared address space (default 64 MB).
+	SharedBytes int64
+	// Seed makes runs reproducible (default 1).
+	Seed int64
+	// Model overrides the calibrated cost model; nil uses cost.Default.
+	Model *CostModel
+	// LossRate injects network frame loss (0 on the paper's quiet LAN).
+	LossRate float64
+	// Stealing enables receiver-initiated fork/join load balancing.
+	Stealing bool
+	// MaxWorkers caps per-node fork/join server threads (default 16).
+	MaxWorkers int
+	// CentralBarrier replaces the tournament barrier with the centralized
+	// baseline (ablation).
+	CentralBarrier bool
+	// DisseminationBarrier replaces the tournament barrier with the
+	// butterfly allreduce (log2(p) fully parallel rounds; power-of-two
+	// clusters only, otherwise the tournament is used).
+	DisseminationBarrier bool
+	// WakeFront schedules threads woken by a page arrival at the front of
+	// the ready queue (the fork/join setting; iterative programs use the
+	// back for fault frontloading).
+	WakeFront bool
+}
+
+// NodeReport is one node's accounting after a run.
+type NodeReport struct {
+	CPU      threads.Account
+	DSM      dsm.Stats
+	Packet   packet.Stats
+	Runtime  filament.Stats
+	Switches int64
+	Finished Duration // when this node's main thread completed
+}
+
+// Report summarizes a run.
+type Report struct {
+	// Elapsed is the virtual time from start until the last node's main
+	// thread finished — the program's running time.
+	Elapsed Duration
+	// PerNode holds each node's counters.
+	PerNode []NodeReport
+	// Net holds network totals.
+	Net simnet.Stats
+}
+
+// Seconds returns the elapsed virtual time in seconds.
+func (r *Report) Seconds() float64 { return r.Elapsed.Seconds() }
+
+// Cluster is a simulated workstation cluster running Distributed
+// Filaments. Create with New, set up shared data with the Alloc methods,
+// then call Run once.
+type Cluster struct {
+	cfg   Config
+	model cost.Model
+	eng   *sim.Engine
+	nw    *simnet.Network
+	space *dsm.Space
+	nodes []*threads.Node
+	eps   []*packet.Endpoint
+	dsms  []*dsm.DSM
+	reds  []*reduce.Reducer
+	rts   []*filament.Runtime
+	ran   bool
+}
+
+// New builds a cluster from cfg.
+func New(cfg Config) *Cluster {
+	if cfg.Nodes <= 0 {
+		panic("filaments: Config.Nodes must be >= 1")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.SharedBytes == 0 {
+		cfg.SharedBytes = 64 << 20
+	}
+	if cfg.MaxWorkers == 0 {
+		cfg.MaxWorkers = 16
+	}
+	c := &Cluster{cfg: cfg}
+	if cfg.Model != nil {
+		c.model = *cfg.Model
+	} else {
+		c.model = cost.Default()
+	}
+	c.eng = sim.New(cfg.Seed)
+	c.nw = simnet.New(c.eng, &c.model, cfg.Nodes)
+	c.nw.LossRate = cfg.LossRate
+	c.space = dsm.NewSpace(cfg.SharedBytes)
+	for i := 0; i < cfg.Nodes; i++ {
+		node := threads.NewNode(c.nw, simnet.NodeID(i))
+		ep := packet.New(node)
+		d := dsm.New(node, ep, c.space, cfg.Protocol)
+		d.WakeFront = cfg.WakeFront
+		red := reduce.New(node, ep, d, cfg.Nodes)
+		if cfg.CentralBarrier {
+			red.Style = reduce.Central
+		}
+		if cfg.DisseminationBarrier {
+			red.Style = reduce.Dissemination
+		}
+		rt := filament.New(node, ep, d, red, cfg.Nodes)
+		rt.Stealing = cfg.Stealing
+		rt.MaxWorkers = cfg.MaxWorkers
+		c.nodes = append(c.nodes, node)
+		c.eps = append(c.eps, ep)
+		c.dsms = append(c.dsms, d)
+		c.reds = append(c.reds, red)
+		c.rts = append(c.rts, rt)
+	}
+	return c
+}
+
+// Nodes returns the cluster size.
+func (c *Cluster) Nodes() int { return c.cfg.Nodes }
+
+// Space returns the shared address space for allocation during setup.
+func (c *Cluster) Space() *dsm.Space { return c.space }
+
+// Network returns the simulated Ethernet (for fault injection in tests).
+func (c *Cluster) Network() *simnet.Network { return c.nw }
+
+// Engine returns the simulation engine (for scheduling test probes).
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Model returns the cluster's cost model.
+func (c *Cluster) Model() *CostModel { return &c.model }
+
+// Runtime returns node i's runtime (valid after New; useful for
+// inspecting stats after Run).
+func (c *Cluster) Runtime(i int) *Runtime { return c.rts[i] }
+
+// Alloc reserves shared memory owned initially by node 0.
+func (c *Cluster) Alloc(size int64) Addr {
+	return c.space.Alloc(size, dsm.AllocOpts{})
+}
+
+// AllocOwned reserves shared memory owned initially by the given node.
+func (c *Cluster) AllocOwned(size int64, owner int) Addr {
+	return c.space.Alloc(size, dsm.AllocOpts{Owner: simnet.NodeID(owner)})
+}
+
+// AllocMatrix allocates a rows×cols shared matrix owned by node 0.
+func (c *Cluster) AllocMatrix(rows, cols int) Matrix {
+	return dsm.AllocMatrix(c.space, rows, cols, dsm.AllocOpts{})
+}
+
+// AllocMatrixOwned allocates a shared matrix initially owned by one node.
+func (c *Cluster) AllocMatrixOwned(rows, cols, owner int) Matrix {
+	return dsm.AllocMatrix(c.space, rows, cols, dsm.AllocOpts{Owner: simnet.NodeID(owner)})
+}
+
+// AllocMatrixStriped allocates a matrix owned in one horizontal strip per
+// node.
+func (c *Cluster) AllocMatrixStriped(rows, cols int) Matrix {
+	return dsm.AllocMatrixStriped(c.space, rows, cols, c.cfg.Nodes)
+}
+
+// PeekF64 reads a shared float64 from whichever node owns it. It performs
+// no protocol action and is meant for result verification after Run.
+func (c *Cluster) PeekF64(a Addr) float64 {
+	for _, d := range c.dsms {
+		if v, ok := d.Peek(a); ok {
+			return v
+		}
+	}
+	panic(fmt.Sprintf("filaments: no owner holds address %d", a))
+}
+
+// PeekMatrix copies a shared matrix out of the cluster for verification
+// after Run.
+func (c *Cluster) PeekMatrix(m Matrix) [][]float64 {
+	out := make([][]float64, m.Rows)
+	for i := range out {
+		row := make([]float64, m.Cols)
+		for j := range row {
+			row[j] = c.PeekF64(m.Addr(i, j))
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// Program is the SPMD node program: it runs on every node's main server
+// thread.
+type Program func(rt *Runtime, e *Exec)
+
+// Run executes program on every node and returns the run report. It may be
+// called once per Cluster.
+func (c *Cluster) Run(program Program) (*Report, error) {
+	if c.ran {
+		return nil, fmt.Errorf("filaments: cluster already ran")
+	}
+	c.ran = true
+	rep := &Report{PerNode: make([]NodeReport, c.cfg.Nodes)}
+	remaining := c.cfg.Nodes
+	for _, n := range c.nodes {
+		n.Start()
+	}
+	c.eng.Schedule(0, func() {
+		for i, rt := range c.rts {
+			i, rt := i, rt
+			c.nodes[i].Spawn("main", func(t *threads.Thread) {
+				e := rt.NewExec(t)
+				program(rt, e)
+				e.Flush()
+				rep.PerNode[i].Finished = Duration(c.eng.Now())
+				remaining--
+				if remaining == 0 {
+					rep.Elapsed = Duration(c.eng.Now())
+					for _, n := range c.nodes {
+						n.Stop()
+					}
+				}
+			})
+		}
+	})
+	if err := c.eng.Run(); err != nil {
+		return nil, err
+	}
+	for i := range rep.PerNode {
+		rep.PerNode[i].CPU = c.nodes[i].Account()
+		rep.PerNode[i].DSM = c.dsms[i].Stats()
+		rep.PerNode[i].Packet = c.eps[i].Stats()
+		rep.PerNode[i].Runtime = c.rts[i].Stats()
+		rep.PerNode[i].Switches = c.nodes[i].Switches()
+	}
+	rep.Net = c.nw.Stats()
+	return rep, nil
+}

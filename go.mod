@@ -1,0 +1,3 @@
+module filaments
+
+go 1.22

@@ -1,0 +1,77 @@
+package mergesort
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func equal(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSequentialMatchesReference(t *testing.T) {
+	cfg := Config{N: 4096, Leaf: 256}
+	_, got := Sequential(cfg)
+	if !equal(got, Reference(cfg)) {
+		t.Fatal("sequential sort wrong")
+	}
+}
+
+func TestDFCorrect(t *testing.T) {
+	cfg := Config{N: 4096, Leaf: 256}
+	want := Reference(cfg)
+	for _, p := range []int{1, 2, 4} {
+		cfg.Nodes = p
+		_, got, _ := DF(cfg)
+		if !equal(got, want) {
+			t.Fatalf("p=%d: sort wrong", p)
+		}
+	}
+}
+
+func TestDFWithStealing(t *testing.T) {
+	cfg := Config{N: 4096, Leaf: 256, Nodes: 4, Stealing: true}
+	if _, got, _ := DF(cfg); !equal(got, Reference(cfg)) {
+		t.Fatal("sort wrong with stealing")
+	}
+}
+
+// Property: any (size, leaf, seed) combination sorts correctly on 2 nodes.
+func TestDFSortProperty(t *testing.T) {
+	f := func(n uint16, leafShift uint8, seed int64) bool {
+		size := 512 + int(n)%3584
+		leaf := 64 << (leafShift % 3)
+		cfg := Config{N: size, Leaf: leaf, Nodes: 2, Seed: seed%1000 + 1}
+		_, got, _ := DF(cfg)
+		if !sort.Float64sAreSorted(got) {
+			return false
+		}
+		return equal(got, Reference(cfg))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	cfg := Config{}
+	seq, _ := Sequential(cfg)
+	cfg.Nodes = 4
+	df, _, _ := DF(cfg)
+	s := seq.Seconds() / df.Seconds()
+	if s < 1.5 {
+		t.Fatalf("speedup on 4 nodes = %.2f", s)
+	}
+}

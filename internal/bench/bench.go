@@ -1,0 +1,78 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§4). Each experiment runs the same programs as the paper —
+// sequential, coarse-grain, and Distributed Filaments — on the simulated
+// cluster and prints a table in the paper's format next to the paper's
+// published numbers, so divergence is visible at a glance.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Options controls experiment scale.
+type Options struct {
+	// Quick shrinks problem sizes for fast smoke runs; tables keep their
+	// shape but absolute numbers no longer match the paper.
+	Quick bool
+	// Nodes overrides the cluster sizes swept (default 1, 2, 4, 8).
+	Nodes []int
+}
+
+func (o *Options) nodes() []int {
+	if len(o.Nodes) > 0 {
+		return o.Nodes
+	}
+	return []int{1, 2, 4, 8}
+}
+
+// Experiment is one regenerable table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer, o Options)
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(w io.Writer, o Options)) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns the registered experiments sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// table prints a Nodes / CG / DF table in the paper's style.
+type table struct {
+	w        io.Writer
+	seq      float64
+	paperSeq string
+}
+
+func newTable(w io.Writer, title string, seq float64, paperSeq string) *table {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "  Sequential program: %.1f sec (paper: %s)\n", seq, paperSeq)
+	fmt.Fprintf(w, "  %-6s %12s %12s %12s %12s %18s\n",
+		"Nodes", "CG Time(s)", "CG Speedup", "DF Time(s)", "DF Speedup", "paper CG/DF (s)")
+	return &table{w: w, seq: seq}
+}
+
+func (t *table) row(nodes int, cg, df float64, paperCG, paperDF string) {
+	fmt.Fprintf(t.w, "  %-6d %12.1f %12.2f %12.1f %12.2f %11s/%s\n",
+		nodes, cg, t.seq/cg, df, t.seq/df, paperCG, paperDF)
+}

@@ -1,0 +1,95 @@
+package cost
+
+import (
+	"testing"
+	"testing/quick"
+
+	"filaments/internal/sim"
+)
+
+func TestTransmitTimeAnchors(t *testing.T) {
+	m := Default()
+	// A 4 KB page with 70 bytes of framing at 10 Mbps: (4096+70)*8 bits at
+	// 100 ns/bit.
+	if got, want := m.TransmitTime(4096), sim.Duration((4096+70)*8*100); got != want {
+		t.Fatalf("TransmitTime(4096) = %v, want %v", got, want)
+	}
+	// The paper's 20-byte request.
+	if got, want := m.TransmitTime(20), sim.Duration((20+70)*8*100); got != want {
+		t.Fatalf("TransmitTime(20) = %v, want %v", got, want)
+	}
+}
+
+func TestPageFaultBudget(t *testing.T) {
+	// The constants must keep the end-to-end 4 KB fault near the paper's
+	// 4120 µs (Figure 9). Recompute the analytic path here so a future
+	// recalibration that breaks the anchor fails loudly.
+	m := Default()
+	fault := m.FaultHandle +
+		m.SendCost(16) + m.TransmitTime(16) + m.WireLatency +
+		m.RecvCost(16) + m.PageServe +
+		m.SendCost(4096+16) + m.TransmitTime(4096+16) + m.WireLatency +
+		m.RecvCost(4096+16) + m.PageInstall +
+		m.ThreadSwitch
+	us := fault.Microseconds()
+	if us < 3700 || us > 4900 {
+		t.Fatalf("analytic page fault = %.0f µs, outside the 4120 µs ± 20%% anchor", us)
+	}
+}
+
+func TestFigure9Constants(t *testing.T) {
+	m := Default()
+	cases := []struct {
+		name string
+		got  sim.Duration
+		want sim.Duration
+	}{
+		{"creation", m.FilamentCreate, 2100},
+		{"switch", m.FilamentSwitch, 643},
+		{"inlined", m.FilamentSwitchInlined, 126},
+		{"thread", m.ThreadSwitch, 48800},
+	}
+	for _, c := range cases {
+		if c.got != c.want*sim.Nanosecond {
+			t.Errorf("%s = %v, want %v ns", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestCostMonotonicity(t *testing.T) {
+	m := Default()
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return m.TransmitTime(x) <= m.TransmitTime(y) &&
+			m.SendCost(x) <= m.SendCost(y) &&
+			m.RecvCost(x) <= m.RecvCost(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialAnchors(t *testing.T) {
+	// The per-operation costs must reproduce the paper's sequential times.
+	cases := []struct {
+		name string
+		ops  int64
+		per  sim.Duration
+		want float64 // seconds
+		tol  float64
+	}{
+		{"matmul", 512 * 512 * 512, MatmulMACost, 205, 1},
+		{"jacobi", 254 * 254 * 360, JacobiPointCost, 215, 1},
+		{"exprtree", 127 * 70 * 70 * 70, ExprTreeMACost, 92.1, 1},
+		{"quadrature", 538305, QuadEvalCost, 203, 2},
+	}
+	for _, c := range cases {
+		got := (sim.Duration(c.ops) * c.per).Seconds()
+		if got < c.want-c.tol || got > c.want+c.tol {
+			t.Errorf("%s: %d ops × %v = %.1f s, want %.1f ± %.0f", c.name, c.ops, c.per, got, c.want, c.tol)
+		}
+	}
+}

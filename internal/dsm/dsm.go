@@ -1,0 +1,564 @@
+package dsm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"filaments/internal/packet"
+	"filaments/internal/sim"
+	"filaments/internal/simnet"
+	"filaments/internal/threads"
+)
+
+// Service IDs used by the DSM on each node's Packet endpoint.
+const (
+	// SvcPage requests a block (read or write/ownership, per the request's
+	// Write flag). Non-idempotent: ownership transfers must not be
+	// re-executed for a duplicate request, so replies are replayed from
+	// the Packet reply cache.
+	SvcPage packet.ServiceID = 10 + iota
+	// SvcInval invalidates a read-only copy (write-invalidate protocol).
+	SvcInval
+)
+
+type access uint8
+
+const (
+	accNone access = iota
+	accRO
+	accRW
+)
+
+// wire messages.
+type pageReq struct {
+	Block int32
+	Write bool
+}
+
+type pageData struct {
+	Block      int32
+	Data       []byte
+	GrantOwner bool
+	Copyset    []simnet.NodeID // WI ownership transfer: copies to invalidate
+}
+
+type redirect struct {
+	Block int32
+	Owner simnet.NodeID
+}
+
+type invalReq struct{ Block int32 }
+
+const reqSize = 16 // bytes on the wire for a small DSM request
+
+// Stats counts DSM events on one node.
+type Stats struct {
+	ReadFaults   int64
+	WriteFaults  int64
+	Requests     int64 // page requests sent (including redirect retries)
+	Served       int64 // page requests served with data
+	Redirected   int64 // requests answered with a redirect
+	InvalsSent   int64
+	InvalsRecved int64
+	MirageDrops  int64        // requests dropped by the time window
+	BusyDrops    int64        // requests dropped mid-transition
+	FaultWait    sim.Duration // total time threads spent suspended in faults
+	BytesIn      int64        // page data received
+	BytesOut     int64        // page data sent
+}
+
+type waiter struct {
+	t     *threads.Thread
+	write bool
+}
+
+type blockState struct {
+	access access
+	owner  bool
+	// touched is false while the block has never been written anywhere: a
+	// "virgin" block's content is all zeros, so serving it transfers
+	// ownership without shipping a frame of zeros across the wire. The
+	// original owner keeps the block read-only until its first local
+	// write so the write is observed.
+	touched   bool
+	probOwner simnet.NodeID // best guess at the owner (starts at home)
+	copyset   []simnet.NodeID
+	frame     []byte
+	waiting   []waiter
+	fetching  bool
+	invals    int // outstanding invalidation acks before RW install
+	acquired  sim.Time
+}
+
+// DSM is one node's view of the shared address space.
+type DSM struct {
+	node  *threads.Node
+	ep    *packet.Endpoint
+	space *Space
+	proto Protocol
+
+	blocks []blockState
+	// roCopies lists blocks holding a non-owned read-only copy, for O(copies)
+	// implicit invalidation at barriers.
+	roCopies []int32
+
+	// WakeFront controls where threads woken by a page arrival go in the
+	// ready queue: the front for fork/join programs (the page is used
+	// while still resident — the paper's second anti-thrashing mechanism)
+	// or the back for iterative programs (fault frontloading).
+	WakeFront bool
+
+	outstanding int // fetches + invalidation rounds in flight
+	quiescers   []*threads.Thread
+
+	stats Stats
+}
+
+// New creates the DSM instance for one node and registers its services on
+// the node's Packet endpoint. All nodes must be created before the first
+// allocation.
+func New(node *threads.Node, ep *packet.Endpoint, space *Space, proto Protocol) *DSM {
+	d := &DSM{node: node, ep: ep, space: space, proto: proto}
+	if len(space.blockStart) != 0 {
+		panic("dsm: all DSMs must be created before the first Alloc")
+	}
+	space.dsms = append(space.dsms, d)
+	ep.Register(SvcPage, packet.Service{
+		Name:       "dsm-page",
+		Idempotent: false,
+		Category:   threads.CatData,
+		Handler:    d.servePage,
+	})
+	ep.Register(SvcInval, packet.Service{
+		Name:       "dsm-inval",
+		Idempotent: true,
+		Category:   threads.CatData,
+		Handler:    d.serveInval,
+	})
+	return d
+}
+
+// Node returns the node this DSM belongs to.
+func (d *DSM) Node() *threads.Node { return d.node }
+
+// Space returns the shared space descriptor.
+func (d *DSM) Space() *Space { return d.space }
+
+// Protocol returns the page consistency protocol in use.
+func (d *DSM) Protocol() Protocol { return d.proto }
+
+// Stats returns a snapshot of this node's DSM counters.
+func (d *DSM) Stats() Stats { return d.stats }
+
+// addBlock is called by Space.Alloc for every new block.
+func (d *DSM) addBlock(b int32, owner simnet.NodeID) {
+	if int(b) != len(d.blocks) {
+		panic("dsm: block sequence out of order")
+	}
+	st := blockState{probOwner: owner}
+	if owner == d.node.ID {
+		st.owner = true
+		st.access = accRO // upgraded (and marked touched) on first write
+		st.frame = make([]byte, d.space.blockSize(int(b)))
+	}
+	d.blocks = append(d.blocks, st)
+}
+
+// --- Typed accessors (the mprotect-fault substitution). ---
+//
+// Each accessor checks the containing block's protection; on a miss it
+// takes the fault path, which suspends the calling server thread and lets
+// the node run other work while the page is fetched — the multithreaded
+// overlap at the heart of the paper.
+
+// ReadF64 reads the float64 at address a.
+func (d *DSM) ReadF64(t *threads.Thread, a Addr) float64 {
+	b := d.space.pageBlock[a>>pageShift]
+	st := &d.blocks[b]
+	if st.access == accNone {
+		d.fault(t, int(b), false)
+	}
+	off := a - Addr(d.space.blockStart[b])<<pageShift
+	return math.Float64frombits(binary.LittleEndian.Uint64(st.frame[off:]))
+}
+
+// WriteF64 writes the float64 v at address a.
+func (d *DSM) WriteF64(t *threads.Thread, a Addr, v float64) {
+	b := d.space.pageBlock[a>>pageShift]
+	st := &d.blocks[b]
+	if st.access != accRW {
+		d.fault(t, int(b), true)
+	}
+	off := a - Addr(d.space.blockStart[b])<<pageShift
+	binary.LittleEndian.PutUint64(st.frame[off:], math.Float64bits(v))
+}
+
+// ReadI64 reads the int64 at address a.
+func (d *DSM) ReadI64(t *threads.Thread, a Addr) int64 {
+	b := d.space.pageBlock[a>>pageShift]
+	st := &d.blocks[b]
+	if st.access == accNone {
+		d.fault(t, int(b), false)
+	}
+	off := a - Addr(d.space.blockStart[b])<<pageShift
+	return int64(binary.LittleEndian.Uint64(st.frame[off:]))
+}
+
+// WriteI64 writes the int64 v at address a.
+func (d *DSM) WriteI64(t *threads.Thread, a Addr, v int64) {
+	b := d.space.pageBlock[a>>pageShift]
+	st := &d.blocks[b]
+	if st.access != accRW {
+		d.fault(t, int(b), true)
+	}
+	off := a - Addr(d.space.blockStart[b])<<pageShift
+	binary.LittleEndian.PutUint64(st.frame[off:], uint64(v))
+}
+
+// Readable reports whether address a can currently be read without
+// faulting (used by tests and the pool placement heuristics).
+func (d *DSM) Readable(a Addr) bool {
+	return d.blocks[d.space.pageBlock[a>>pageShift]].access != accNone
+}
+
+// Writable reports whether address a can currently be written without
+// faulting.
+func (d *DSM) Writable(a Addr) bool {
+	return d.blocks[d.space.pageBlock[a>>pageShift]].access == accRW
+}
+
+// --- Fault path. ---
+
+func sufficient(a access, write bool) bool {
+	if write {
+		return a == accRW
+	}
+	return a != accNone
+}
+
+// FaultTrace, when non-nil, observes every fault (diagnostics hook).
+var FaultTrace func(node simnet.NodeID, block int, write bool)
+
+// fault suspends t until the block is accessible at the needed level.
+func (d *DSM) fault(t *threads.Thread, b int, write bool) {
+	if FaultTrace != nil {
+		FaultTrace(d.node.ID, b, write)
+	}
+	if write {
+		d.stats.WriteFaults++
+	} else {
+		d.stats.ReadFaults++
+	}
+	d.node.Charge(threads.CatData, d.node.Model().FaultHandle)
+	st := &d.blocks[b]
+	t0 := d.node.Engine().Now()
+	for !sufficient(st.access, write) {
+		d.ensure(b, write)
+		if sufficient(st.access, write) {
+			// ensure completed synchronously (owner write-upgrade with an
+			// empty copyset); do not park, nobody would wake us.
+			break
+		}
+		st.waiting = append(st.waiting, waiter{t: t, write: write})
+		t.Block()
+	}
+	d.stats.FaultWait += d.node.Engine().Now().Sub(t0)
+}
+
+// ensure starts whatever protocol action is needed to raise this block's
+// access, unless one is already in flight.
+func (d *DSM) ensure(b int, write bool) {
+	st := &d.blocks[b]
+	if st.fetching || st.invals > 0 {
+		return // something already in flight; waiters recheck on install
+	}
+	if st.owner && write && st.access == accRO {
+		// Write upgrade by the owner (first write to a virgin block, or
+		// write-invalidate downgraded us while serving readers):
+		// invalidate the copyset, no data transfer.
+		st.touched = true
+		d.startInvalidation(b)
+		return
+	}
+	if st.owner {
+		panic(fmt.Sprintf("dsm: node %d owner of block %d with access %d cannot ensure", d.node.ID, b, st.access))
+	}
+	st.fetching = true
+	d.outstanding++
+	d.sendRequest(b, write, st.probOwner)
+}
+
+func (d *DSM) sendRequest(b int, write bool, dst simnet.NodeID) {
+	if dst == d.node.ID {
+		panic(fmt.Sprintf("dsm: node %d would request block %d from itself", d.node.ID, b))
+	}
+	d.stats.Requests++
+	req := pageReq{Block: int32(b), Write: write}
+	d.ep.RequestSized(dst, SvcPage, req, reqSize, d.space.blockSize(b), threads.CatData, func(r any) {
+		d.onPageReply(b, write, r)
+	})
+}
+
+// onPageReply handles the reply to one of our page requests. It runs in
+// node context (kernel or a preempting thread).
+func (d *DSM) onPageReply(b int, write bool, r any) {
+	st := &d.blocks[b]
+	switch m := r.(type) {
+	case redirect:
+		// Follow the probable-owner chain (path compression on the hint).
+		st.probOwner = m.Owner
+		d.stats.Redirected++
+		d.sendRequest(b, write, m.Owner)
+	case pageData:
+		d.install(b, write, m)
+	default:
+		panic(fmt.Sprintf("dsm: unexpected page reply %T", r))
+	}
+}
+
+// install places received page data, completing or continuing the fetch.
+func (d *DSM) install(b int, write bool, m pageData) {
+	st := &d.blocks[b]
+	d.node.Charge(threads.CatData, d.node.Model().PageInstall)
+	d.stats.BytesIn += int64(len(m.Data))
+	if st.frame == nil {
+		st.frame = make([]byte, d.space.blockSize(b))
+	}
+	if m.Data != nil {
+		copy(st.frame, m.Data)
+	} else {
+		clear(st.frame) // virgin transfer: content is zeros
+	}
+	st.fetching = false
+	st.acquired = d.node.Engine().Now()
+	if m.GrantOwner {
+		st.owner = true
+		st.touched = true // conservative: we may write without faulting
+		st.probOwner = d.node.ID
+		st.copyset = append(st.copyset[:0], m.Copyset...)
+	}
+	switch {
+	case m.GrantOwner && write && d.proto == WriteInvalidate && len(st.copyset) > 0:
+		// We own the block but read-only copies are out there; they must
+		// be invalidated before we may write (IVY-style requester-driven
+		// invalidation). Access stays None until all acks arrive.
+		d.outstanding--
+		d.startInvalidation(b)
+	case m.GrantOwner:
+		st.access = accRW
+		st.copyset = st.copyset[:0]
+		d.outstanding--
+		d.wake(b)
+	default:
+		st.access = accRO
+		d.roCopies = append(d.roCopies, int32(b))
+		d.outstanding--
+		d.wake(b)
+	}
+	d.checkQuiescent()
+}
+
+// startInvalidation sends invalidations to every copyset member and defers
+// the RW grant until all acks arrive.
+func (d *DSM) startInvalidation(b int) {
+	st := &d.blocks[b]
+	targets := make([]simnet.NodeID, 0, len(st.copyset))
+	for _, n := range st.copyset {
+		if n != d.node.ID {
+			targets = append(targets, n)
+		}
+	}
+	st.copyset = st.copyset[:0]
+	if len(targets) == 0 {
+		st.access = accRW
+		d.wake(b)
+		return
+	}
+	st.invals = len(targets)
+	d.outstanding++
+	for _, n := range targets {
+		d.stats.InvalsSent++
+		d.ep.RequestAsync(n, SvcInval, invalReq{Block: int32(b)}, reqSize, threads.CatData, func(any) {
+			// Re-lookup: d.blocks may have grown since the request went out.
+			bs := &d.blocks[b]
+			bs.invals--
+			if bs.invals == 0 {
+				bs.access = accRW
+				bs.acquired = d.node.Engine().Now()
+				d.outstanding--
+				d.wake(b)
+				d.checkQuiescent()
+			}
+		})
+	}
+}
+
+// wake makes every satisfied waiter runnable; unsatisfied waiters (writers
+// woken by a read-only install) recheck in the fault loop and re-arm.
+func (d *DSM) wake(b int) {
+	st := &d.blocks[b]
+	ws := st.waiting
+	st.waiting = nil
+	for _, w := range ws {
+		d.node.Ready(w.t, d.WakeFront)
+	}
+}
+
+// --- Serving. ---
+
+// servePage handles a page request from another node.
+func (d *DSM) servePage(from simnet.NodeID, req any) (any, int, packet.Verdict) {
+	m := req.(pageReq)
+	b := int(m.Block)
+	st := &d.blocks[b]
+	if !st.owner {
+		return redirect{Block: m.Block, Owner: st.probOwner}, reqSize, packet.Reply
+	}
+	if st.fetching || st.invals > 0 {
+		// Mid-transition (e.g. we just got ownership and are still
+		// invalidating); the requester retries.
+		d.stats.BusyDrops++
+		return nil, 0, packet.Drop
+	}
+	takesAway := d.proto == Migratory || m.Write
+	model := d.node.Model()
+	if takesAway && model.MirageWindow > 0 {
+		if held := d.node.Engine().Now().Sub(st.acquired); held < model.MirageWindow {
+			d.stats.MirageDrops++
+			return nil, 0, packet.Drop
+		}
+	}
+	d.node.Charge(threads.CatData, model.PageServe)
+	if st.frame == nil {
+		st.frame = make([]byte, d.space.blockSize(b))
+	}
+	var data []byte
+	size := reqSize
+	if st.touched {
+		data = make([]byte, len(st.frame))
+		copy(data, st.frame)
+		size = len(data) + reqSize
+	}
+	d.stats.Served++
+	d.stats.BytesOut += int64(len(data))
+
+	switch {
+	case takesAway:
+		// Ownership moves to the requester (migratory always; write fault
+		// under write-invalidate or implicit-invalidate).
+		cs := st.copyset
+		st.copyset = nil
+		reply := pageData{Block: m.Block, Data: data, GrantOwner: true}
+		if d.proto == WriteInvalidate {
+			reply.Copyset = cs
+		}
+		st.owner = false
+		st.access = accNone
+		st.probOwner = from
+		st.frame = nil
+		return reply, size, packet.Reply
+	case d.proto == WriteInvalidate:
+		// Read copy under write-invalidate: remember the copy and
+		// downgrade ourselves so a future local write faults and
+		// invalidates.
+		st.copyset = appendUnique(st.copyset, from)
+		if st.access == accRW {
+			st.access = accRO
+		}
+		return pageData{Block: m.Block, Data: data}, size, packet.Reply
+	default:
+		// Read copy under implicit-invalidate: the copy dies at the
+		// requester's next synchronization point, so we track nothing and
+		// keep our write access (the protocol's whole point).
+		return pageData{Block: m.Block, Data: data}, size, packet.Reply
+	}
+}
+
+func appendUnique(s []simnet.NodeID, n simnet.NodeID) []simnet.NodeID {
+	for _, x := range s {
+		if x == n {
+			return s
+		}
+	}
+	return append(s, n)
+}
+
+// serveInval drops our read-only copy.
+func (d *DSM) serveInval(from simnet.NodeID, req any) (any, int, packet.Verdict) {
+	m := req.(invalReq)
+	st := &d.blocks[m.Block]
+	d.stats.InvalsRecved++
+	if !st.owner && st.access == accRO {
+		st.access = accNone
+		st.frame = nil
+	}
+	return struct{}{}, 8, packet.Reply
+}
+
+// --- Synchronization hooks. ---
+
+// AtBarrier implements the implicit-invalidate rule: every non-owned
+// read-only copy is discarded, with no messages, whenever the node reaches
+// a synchronization point. A no-op under the other protocols.
+func (d *DSM) AtBarrier() {
+	if d.proto != ImplicitInvalidate {
+		d.roCopies = d.roCopies[:0]
+		return
+	}
+	for _, b := range d.roCopies {
+		st := &d.blocks[b]
+		if !st.owner && st.access == accRO {
+			st.access = accNone
+			st.frame = nil
+		}
+	}
+	d.roCopies = d.roCopies[:0]
+}
+
+// Quiesce blocks t until the node has no outstanding page operations, the
+// paper's rule that "nodes delay at synchronization points until all
+// outstanding page requests have been satisfied".
+func (d *DSM) Quiesce(t *threads.Thread) {
+	for d.outstanding > 0 {
+		d.quiescers = append(d.quiescers, t)
+		t.Block()
+	}
+}
+
+func (d *DSM) checkQuiescent() {
+	if d.outstanding != 0 {
+		return
+	}
+	qs := d.quiescers
+	d.quiescers = nil
+	for _, t := range qs {
+		d.node.Ready(t, true)
+	}
+}
+
+// Outstanding reports in-flight page operations (fetches and invalidation
+// rounds).
+func (d *DSM) Outstanding() int { return d.outstanding }
+
+// DebugBlock formats the protocol state of the block containing a, for
+// diagnostics.
+func (d *DSM) DebugBlock(a Addr) string {
+	b := d.space.pageBlock[a>>pageShift]
+	st := &d.blocks[b]
+	return fmt.Sprintf("blk%d{acc=%d own=%v prob=%d cs=%v fetch=%v invals=%d wait=%d}",
+		b, st.access, st.owner, st.probOwner, st.copyset, st.fetching, st.invals, len(st.waiting))
+}
+
+// Peek returns the float64 at address a if this node owns the containing
+// block. It is a debugging/verification accessor (no protocol action, no
+// cost) intended for use after a run completes.
+func (d *DSM) Peek(a Addr) (float64, bool) {
+	b := d.space.pageBlock[a>>pageShift]
+	st := &d.blocks[b]
+	if !st.owner || st.frame == nil {
+		return 0, false
+	}
+	off := a - Addr(d.space.blockStart[b])<<pageShift
+	return math.Float64frombits(binary.LittleEndian.Uint64(st.frame[off:])), true
+}

@@ -1,0 +1,183 @@
+package msg
+
+import (
+	"testing"
+
+	"filaments/internal/cost"
+	"filaments/internal/packet"
+	"filaments/internal/sim"
+	"filaments/internal/simnet"
+	"filaments/internal/threads"
+)
+
+type fixture struct {
+	eng   *sim.Engine
+	nodes []*threads.Node
+	ports []*Endpoint
+}
+
+func newFixture(t *testing.T, n int) *fixture {
+	t.Helper()
+	eng := sim.New(1)
+	m := cost.Default()
+	nw := simnet.New(eng, &m, n)
+	fx := &fixture{eng: eng}
+	for i := 0; i < n; i++ {
+		node := threads.NewNode(nw, simnet.NodeID(i))
+		ep := packet.New(node)
+		fx.nodes = append(fx.nodes, node)
+		fx.ports = append(fx.ports, New(node, ep))
+		node.Start()
+	}
+	return fx
+}
+
+func (fx *fixture) run(t *testing.T, bodies map[int]func(th *threads.Thread)) {
+	t.Helper()
+	remaining := len(bodies)
+	fx.eng.Schedule(0, func() {
+		for id, body := range bodies {
+			id, body := id, body
+			fx.nodes[id].Spawn("main", func(th *threads.Thread) {
+				body(th)
+				remaining--
+				if remaining == 0 {
+					for _, n := range fx.nodes {
+						n.Stop()
+					}
+				}
+			})
+		}
+	})
+	if err := fx.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	fx := newFixture(t, 2)
+	var got any
+	fx.run(t, map[int]func(*threads.Thread){
+		0: func(th *threads.Thread) { fx.ports[0].Send(1, 7, "hello", 20) },
+		1: func(th *threads.Thread) { got = fx.ports[1].Recv(th, 0, 7) },
+	})
+	if got != "hello" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRecvBlocksUntilArrival(t *testing.T) {
+	fx := newFixture(t, 2)
+	var recvAt, sendAt sim.Time
+	fx.run(t, map[int]func(*threads.Thread){
+		0: func(th *threads.Thread) {
+			fx.nodes[0].Charge(threads.CatWork, 50*sim.Millisecond)
+			sendAt = fx.eng.Now()
+			fx.ports[0].Send(1, 1, 42, 20)
+		},
+		1: func(th *threads.Thread) {
+			_ = fx.ports[1].Recv(th, 0, 1)
+			recvAt = fx.eng.Now()
+		},
+	})
+	if recvAt < sendAt {
+		t.Fatalf("received at %v before send at %v", recvAt, sendAt)
+	}
+}
+
+func TestTagsAreIndependentStreams(t *testing.T) {
+	fx := newFixture(t, 2)
+	var a, b any
+	fx.run(t, map[int]func(*threads.Thread){
+		0: func(th *threads.Thread) {
+			fx.ports[0].Send(1, 2, "second", 20)
+			fx.ports[0].Send(1, 1, "first", 20)
+		},
+		1: func(th *threads.Thread) {
+			// Receive in the opposite order of tags.
+			a = fx.ports[1].Recv(th, 0, 1)
+			b = fx.ports[1].Recv(th, 0, 2)
+		},
+	})
+	if a != "first" || b != "second" {
+		t.Fatalf("got %v, %v", a, b)
+	}
+}
+
+func TestFIFOWithinTag(t *testing.T) {
+	fx := newFixture(t, 2)
+	var got []int
+	fx.run(t, map[int]func(*threads.Thread){
+		0: func(th *threads.Thread) {
+			for i := 0; i < 10; i++ {
+				fx.ports[0].Send(1, 1, i, 20)
+			}
+		},
+		1: func(th *threads.Thread) {
+			for i := 0; i < 10; i++ {
+				got = append(got, fx.ports[1].Recv(th, 0, 1).(int))
+			}
+		},
+	})
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	fx := newFixture(t, 4)
+	got := make([]any, 4)
+	bodies := map[int]func(*threads.Thread){
+		0: func(th *threads.Thread) { fx.ports[0].Broadcast(3, "all", 64) },
+	}
+	for i := 1; i < 4; i++ {
+		i := i
+		bodies[i] = func(th *threads.Thread) { got[i] = fx.ports[i].Recv(th, 0, 3) }
+	}
+	fx.run(t, bodies)
+	for i := 1; i < 4; i++ {
+		if got[i] != "all" {
+			t.Fatalf("node %d got %v", i, got[i])
+		}
+	}
+}
+
+func TestRecvAnyArrivalOrder(t *testing.T) {
+	fx := newFixture(t, 3)
+	var order []simnet.NodeID
+	fx.run(t, map[int]func(*threads.Thread){
+		0: func(th *threads.Thread) {
+			for i := 0; i < 2; i++ {
+				src, _ := fx.ports[0].RecvAny(th, 9)
+				order = append(order, src)
+			}
+		},
+		1: func(th *threads.Thread) {
+			fx.nodes[1].Charge(threads.CatWork, 20*sim.Millisecond)
+			fx.ports[1].Send(0, 9, "late", 20)
+		},
+		2: func(th *threads.Thread) { fx.ports[2].Send(0, 9, "early", 20) },
+	})
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Fatalf("arrival order = %v, want [2 1]", order)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	fx := newFixture(t, 2)
+	fx.run(t, map[int]func(*threads.Thread){
+		0: func(th *threads.Thread) {
+			fx.ports[0].Send(1, 1, "x", 20)
+			fx.ports[0].Send(1, 1, "y", 20)
+		},
+		1: func(th *threads.Thread) {
+			fx.ports[1].Recv(th, 0, 1)
+			fx.ports[1].Recv(th, 0, 1)
+		},
+	})
+	if fx.ports[0].Sent() != 2 || fx.ports[1].Received() != 2 {
+		t.Fatalf("sent=%d received=%d", fx.ports[0].Sent(), fx.ports[1].Received())
+	}
+}

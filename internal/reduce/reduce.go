@@ -1,0 +1,377 @@
+// Package reduce implements the paper's reductions: a primitive that
+// accumulates a value from every node, disseminates the result to all
+// nodes, and doubles as a barrier (§3). A "pure" barrier is a reduction
+// that computes no value.
+//
+// The implementation is the paper's tournament barrier with broadcast
+// dissemination [HFM88]: O(p) messages and O(log p) latency. Losers send
+// their partial value up a binomial tournament; the champion broadcasts the
+// release. Reliability comes from Packet's retransmission: a lost release
+// is recovered because the loser keeps retransmitting its arrive request
+// until some node that has seen the release replies with the result.
+//
+// Reductions are integrated with the page consistency protocol: before
+// arriving, a node waits for its outstanding page operations and, under
+// implicit-invalidate, discards all read-only copies — which is what lets
+// that protocol omit invalidation messages entirely.
+package reduce
+
+import (
+	"math"
+
+	"filaments/internal/dsm"
+	"filaments/internal/packet"
+	"filaments/internal/simnet"
+	"filaments/internal/threads"
+)
+
+// SvcArrive is the Packet service ID for tournament arrive messages.
+const SvcArrive packet.ServiceID = 20
+
+// Op combines two reduction values. It must be commutative and
+// associative, and identical on every node for a given reduction.
+type Op func(a, b float64) float64
+
+// Predefined operators.
+var (
+	Sum = func(a, b float64) float64 { return a + b }
+	Max = math.Max
+	Min = math.Min
+)
+
+// Style selects the barrier algorithm.
+type Style int
+
+const (
+	// Tournament is the paper's algorithm: binomial combining tree plus a
+	// broadcast release.
+	Tournament Style = iota
+	// Central is the ablation baseline: every node reports to node 0,
+	// which broadcasts the release. O(p) messages but all serialized at
+	// the coordinator.
+	Central
+	// Dissemination is the butterfly allreduce the paper lists as future
+	// work ("experiments with different types of barriers for large
+	// numbers of processors"): log2(p) fully parallel rounds, in round k
+	// node i sending its partial to (i+2^k) mod p. O(p·log p) messages
+	// but the lowest latency at scale. Value reductions require a
+	// power-of-two cluster (otherwise contributions would double-count);
+	// the constructor falls back to Tournament then.
+	Dissemination
+)
+
+type arriveMsg struct {
+	Epoch int64
+	Round int32 // dissemination round; 0 for tournament/central arrivals
+	Value float64
+	Has   bool
+}
+
+type releaseMsg struct {
+	Epoch  int64
+	Result float64
+}
+
+const msgSize = 20 // the paper's bound on request size
+
+type epochState struct {
+	vals     []float64 // child values plus own, folded at completion
+	arrived  map[simnet.NodeID]bool
+	own      bool
+	released bool
+	result   float64
+	waiter   *threads.Thread // local thread parked on this epoch
+	handle   *packet.Handle  // outstanding arrive request, if a loser
+
+	// Dissemination state: the value received for each round, keyed by
+	// round number.
+	roundVal map[int32]float64
+}
+
+// Reducer is one node's reduction/barrier instance.
+type Reducer struct {
+	node  *threads.Node
+	ep    *packet.Endpoint
+	d     *dsm.DSM // optional; nil for programs without DSM
+	id    int
+	n     int
+	Style Style
+
+	epoch  int64
+	op     Op
+	states map[int64]*epochState
+	// results retains recently released results so that a node lagging by
+	// several epochs (repeated losses) still gets the right value when its
+	// retransmitted arrive reaches us.
+	results map[int64]float64
+
+	barriers int64
+}
+
+const resultHistory = 8
+
+// New creates the reducer for one node of an n-node cluster. d may be nil
+// when the program does not use the DSM.
+func New(node *threads.Node, ep *packet.Endpoint, d *dsm.DSM, n int) *Reducer {
+	r := &Reducer{
+		node:    node,
+		ep:      ep,
+		d:       d,
+		id:      int(node.ID),
+		n:       n,
+		states:  make(map[int64]*epochState),
+		results: make(map[int64]float64),
+	}
+	ep.Register(SvcArrive, packet.Service{
+		Name:       "reduce-arrive",
+		Idempotent: true, // duplicates are filtered by the arrived set
+		Category:   threads.CatSync,
+		Handler:    r.serveArrive,
+	})
+	ep.HandleRaw(r.handleRelease)
+	return r
+}
+
+// Count returns how many reductions/barriers completed on this node.
+func (r *Reducer) Count() int64 { return r.barriers }
+
+func (r *Reducer) state(e int64) *epochState {
+	st, ok := r.states[e]
+	if !ok {
+		st = &epochState{
+			arrived:  make(map[simnet.NodeID]bool),
+			roundVal: make(map[int32]float64),
+		}
+		r.states[e] = st
+	}
+	return st
+}
+
+// Barrier blocks t until every node has arrived at the same barrier.
+func (r *Reducer) Barrier(t *threads.Thread) {
+	r.Reduce(t, 0, Sum)
+}
+
+// Reduce contributes x, blocks until all nodes have contributed, and
+// returns the combined value (identical on every node).
+func (r *Reducer) Reduce(t *threads.Thread, x float64, op Op) float64 {
+	model := r.node.Model()
+	// Synchronization-point duties (paper §3): drain outstanding page
+	// operations, then implicitly invalidate read-only copies.
+	if r.d != nil {
+		r.d.Quiesce(t)
+		r.d.AtBarrier()
+	}
+	r.node.Charge(threads.CatSync, model.BarrierProcess)
+
+	e := r.epoch
+	r.op = op
+	st := r.state(e)
+	st.own = true
+	st.vals = append(st.vals, x)
+
+	switch {
+	case r.n == 1:
+		st.released = true
+		st.result = x
+	case r.Style == Dissemination && r.n&(r.n-1) == 0:
+		r.disseminate(t, e, st, x)
+	case r.id == 0:
+		r.championWait(t, e, st)
+	default:
+		r.loserPath(t, e, st)
+	}
+
+	result := st.result
+	delete(r.states, e)
+	r.results[e] = result
+	delete(r.results, e-resultHistory)
+	r.epoch++
+	r.barriers++
+	return result
+}
+
+// children returns this node's tournament children in arrival-round order
+// (node id receives from id+1, id+2, id+4, ... until the next set bit of
+// id or the cluster size cuts it off). Under the Central style node 0's
+// children are everyone.
+func (r *Reducer) children() []simnet.NodeID {
+	var cs []simnet.NodeID
+	if r.Style == Central {
+		if r.id == 0 {
+			for i := 1; i < r.n; i++ {
+				cs = append(cs, simnet.NodeID(i))
+			}
+		}
+		return cs
+	}
+	for bit := 1; ; bit <<= 1 {
+		if r.id != 0 && r.id&bit != 0 {
+			break // we lose at this round
+		}
+		c := r.id + bit
+		if c >= r.n {
+			break
+		}
+		cs = append(cs, simnet.NodeID(c))
+	}
+	return cs
+}
+
+// parent returns the node this one reports to when it loses.
+func (r *Reducer) parent() simnet.NodeID {
+	if r.Style == Central {
+		return 0
+	}
+	// Clear the lowest set bit: the winner of our losing round.
+	return simnet.NodeID(r.id & (r.id - 1))
+}
+
+// championWait runs node 0's side: wait for all children, fold, broadcast.
+func (r *Reducer) championWait(t *threads.Thread, e int64, st *epochState) {
+	want := len(r.children())
+	t0 := r.node.Engine().Now()
+	for len(st.arrived) < want {
+		st.waiter = t
+		t.Block()
+		st.waiter = nil
+	}
+	r.node.AddDelay(threads.CatSyncDelay, r.node.Engine().Now().Sub(t0))
+	st.result = r.fold(st)
+	st.released = true
+	// Broadcast dissemination: one frame releases everyone.
+	r.node.Send(simnet.Broadcast, releaseMsg{Epoch: e, Result: st.result}, msgSize, threads.CatSync)
+}
+
+// loserPath runs a non-champion: collect children (if any), then send the
+// partial up and wait for the release.
+func (r *Reducer) loserPath(t *threads.Thread, e int64, st *epochState) {
+	want := len(r.children())
+	t0 := r.node.Engine().Now()
+	for len(st.arrived) < want {
+		st.waiter = t
+		t.Block()
+		st.waiter = nil
+	}
+	partial := r.fold(st)
+	st.handle = r.ep.RequestAsync(r.parent(), SvcArrive, arriveMsg{Epoch: e, Value: partial, Has: true},
+		msgSize, threads.CatSync, func(reply any) {
+			// Direct reply: the parent (or champion) had already released.
+			if m, ok := reply.(releaseMsg); ok && !st.released {
+				st.released = true
+				st.result = m.Result
+			}
+			if st.waiter != nil {
+				w := st.waiter
+				st.waiter = nil
+				r.node.Ready(w, true)
+			}
+		})
+	for !st.released {
+		st.waiter = t
+		t.Block()
+		st.waiter = nil
+	}
+	st.handle.Cancel()
+	r.node.AddDelay(threads.CatSyncDelay, r.node.Engine().Now().Sub(t0))
+}
+
+// disseminate runs the butterfly: in round k, exchange partials with the
+// nodes ±2^k away; after log2(p) rounds every node holds the full result.
+func (r *Reducer) disseminate(t *threads.Thread, e int64, st *epochState, x float64) {
+	partial := x
+	t0 := r.node.Engine().Now()
+	for k, dist := int32(0), 1; dist < r.n; k, dist = k+1, dist*2 {
+		dst := simnet.NodeID((r.id + dist) % r.n)
+		r.ep.RequestAsync(dst, SvcArrive, arriveMsg{Epoch: e, Round: k, Value: partial, Has: true},
+			msgSize, threads.CatSync, func(any) {})
+		for {
+			v, ok := st.roundVal[k]
+			if ok {
+				partial = r.op(partial, v)
+				break
+			}
+			st.waiter = t
+			t.Block()
+		}
+	}
+	st.result = partial
+	st.released = true
+	r.node.AddDelay(threads.CatSyncDelay, r.node.Engine().Now().Sub(t0))
+}
+
+func (r *Reducer) fold(st *epochState) float64 {
+	acc := st.vals[0]
+	for _, v := range st.vals[1:] {
+		acc = r.op(acc, v)
+	}
+	return acc
+}
+
+// serveArrive handles a child's arrive request. If this epoch is already
+// released we answer with the result (covers a lost broadcast); otherwise
+// we merge the value and drop — the broadcast will release the child, and
+// its retransmission covers loss.
+func (r *Reducer) serveArrive(from simnet.NodeID, req any) (any, int, packet.Verdict) {
+	m := req.(arriveMsg)
+	if m.Epoch < r.epoch {
+		// Old epoch: it completed globally (we have moved on), so the
+		// release exists; resend it from the retained history.
+		return releaseMsg{Epoch: m.Epoch, Result: r.results[m.Epoch]}, msgSize, packet.Reply
+	}
+	st := r.state(m.Epoch)
+	if r.Style == Dissemination && r.n&(r.n-1) == 0 && r.n > 1 {
+		// Record the round's value (duplicates ignored) and ack.
+		if _, dup := st.roundVal[m.Round]; !dup {
+			st.roundVal[m.Round] = m.Value
+			r.node.Charge(threads.CatSync, r.node.Model().BarrierMerge)
+			if st.waiter != nil {
+				w := st.waiter
+				st.waiter = nil
+				r.node.Ready(w, true)
+			}
+		}
+		return struct{}{}, 8, packet.Reply
+	}
+	if st.released {
+		return releaseMsg{Epoch: m.Epoch, Result: st.result}, msgSize, packet.Reply
+	}
+	if !st.arrived[from] {
+		st.arrived[from] = true
+		r.node.Charge(threads.CatSync, r.node.Model().BarrierMerge)
+		st.vals = append(st.vals, m.Value)
+		if st.waiter != nil && st.own {
+			w := st.waiter
+			st.waiter = nil
+			r.node.Ready(w, true)
+		}
+	}
+	return nil, 0, packet.Drop
+}
+
+// handleRelease consumes broadcast release frames.
+func (r *Reducer) handleRelease(f simnet.Frame) bool {
+	m, ok := f.Payload.(releaseMsg)
+	if !ok {
+		return false
+	}
+	r.node.Charge(threads.CatSync, r.node.Model().RecvCost(msgSize))
+	if m.Epoch < r.epoch {
+		return true // stale
+	}
+	st := r.state(m.Epoch)
+	if st.released {
+		return true
+	}
+	st.released = true
+	st.result = m.Result
+	if st.handle != nil {
+		st.handle.Cancel()
+	}
+	if st.waiter != nil {
+		w := st.waiter
+		st.waiter = nil
+		r.node.Ready(w, true)
+	}
+	return true
+}

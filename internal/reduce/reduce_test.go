@@ -1,0 +1,290 @@
+package reduce
+
+import (
+	"testing"
+
+	"filaments/internal/cost"
+	"filaments/internal/packet"
+	"filaments/internal/sim"
+	"filaments/internal/simnet"
+	"filaments/internal/threads"
+)
+
+type fixture struct {
+	eng      *sim.Engine
+	nw       *simnet.Network
+	nodes    []*threads.Node
+	reducers []*Reducer
+}
+
+func newFixture(t *testing.T, n int, style Style) *fixture {
+	t.Helper()
+	return newFixtureSeed(t, n, style, 1)
+}
+
+func newFixtureSeed(t *testing.T, n int, style Style, seed int64) *fixture {
+	t.Helper()
+	eng := sim.New(seed)
+	m := cost.Default()
+	nw := simnet.New(eng, &m, n)
+	fx := &fixture{eng: eng, nw: nw}
+	for i := 0; i < n; i++ {
+		node := threads.NewNode(nw, simnet.NodeID(i))
+		ep := packet.New(node)
+		r := New(node, ep, nil, n)
+		r.Style = style
+		fx.nodes = append(fx.nodes, node)
+		fx.reducers = append(fx.reducers, r)
+		node.Start()
+	}
+	return fx
+}
+
+func (fx *fixture) run(t *testing.T, body func(id int, th *threads.Thread)) {
+	t.Helper()
+	remaining := len(fx.nodes)
+	fx.eng.Schedule(0, func() {
+		for i := range fx.nodes {
+			i := i
+			fx.nodes[i].Spawn("main", func(th *threads.Thread) {
+				body(i, th)
+				remaining--
+				if remaining == 0 {
+					for _, n := range fx.nodes {
+						n.Stop()
+					}
+				}
+			})
+		}
+	})
+	if err := fx.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8} {
+		fx := newFixture(t, n, Tournament)
+		results := make([]float64, n)
+		fx.run(t, func(id int, th *threads.Thread) {
+			results[id] = fx.reducers[id].Reduce(th, float64(id+1), Sum)
+		})
+		want := float64(n * (n + 1) / 2)
+		for id, got := range results {
+			if got != want {
+				t.Fatalf("n=%d node %d: sum = %v, want %v", n, id, got, want)
+			}
+		}
+	}
+}
+
+func TestReduceMaxMin(t *testing.T) {
+	fx := newFixture(t, 4, Tournament)
+	maxs := make([]float64, 4)
+	mins := make([]float64, 4)
+	fx.run(t, func(id int, th *threads.Thread) {
+		maxs[id] = fx.reducers[id].Reduce(th, float64(id*id), Max)
+		mins[id] = fx.reducers[id].Reduce(th, float64(id*id), Min)
+	})
+	for id := range maxs {
+		if maxs[id] != 9 || mins[id] != 0 {
+			t.Fatalf("node %d: max=%v min=%v", id, maxs[id], mins[id])
+		}
+	}
+}
+
+func TestBarrierNoEarlyRelease(t *testing.T) {
+	fx := newFixture(t, 4, Tournament)
+	var arrived, released [4]sim.Time
+	fx.run(t, func(id int, th *threads.Thread) {
+		// Node 3 arrives much later than everyone else.
+		if id == 3 {
+			th.Node().Charge(threads.CatWork, 200*sim.Millisecond)
+		}
+		arrived[id] = fx.eng.Now()
+		fx.reducers[id].Barrier(th)
+		released[id] = fx.eng.Now()
+	})
+	for id := 0; id < 4; id++ {
+		if released[id] < arrived[3] {
+			t.Fatalf("node %d released at %v before node 3 arrived at %v", id, released[id], arrived[3])
+		}
+	}
+}
+
+func TestManyConsecutiveBarriers(t *testing.T) {
+	const rounds = 50
+	fx := newFixture(t, 8, Tournament)
+	fx.run(t, func(id int, th *threads.Thread) {
+		for i := 0; i < rounds; i++ {
+			got := fx.reducers[id].Reduce(th, float64(i), Sum)
+			if got != float64(8*i) {
+				t.Errorf("round %d node %d: got %v", i, id, got)
+				return
+			}
+		}
+	})
+	for id, r := range fx.reducers {
+		if r.Count() != rounds {
+			t.Fatalf("node %d completed %d barriers", id, r.Count())
+		}
+	}
+}
+
+func TestMessageCountLinear(t *testing.T) {
+	// Tournament with broadcast dissemination: p-1 arrives + 1 broadcast
+	// per barrier (plus nothing else in a lossless run).
+	for _, n := range []int{2, 4, 8} {
+		fx := newFixture(t, n, Tournament)
+		fx.run(t, func(id int, th *threads.Thread) {
+			fx.reducers[id].Barrier(th)
+		})
+		frames := fx.nw.Stats().FramesSent
+		if want := int64(n); frames != want {
+			t.Fatalf("n=%d: %d frames per barrier, want %d", n, frames, want)
+		}
+	}
+}
+
+func TestBarrierLatencyGrowsLogarithmically(t *testing.T) {
+	times := map[int]sim.Duration{}
+	for _, n := range []int{2, 4, 8} {
+		fx := newFixture(t, n, Tournament)
+		const rounds = 100
+		var elapsed sim.Duration
+		fx.run(t, func(id int, th *threads.Thread) {
+			start := fx.eng.Now()
+			for i := 0; i < rounds; i++ {
+				fx.reducers[id].Barrier(th)
+			}
+			if id == 0 {
+				elapsed = fx.eng.Now().Sub(start)
+			}
+		})
+		times[n] = elapsed / rounds
+	}
+	if !(times[2] < times[4] && times[4] < times[8]) {
+		t.Fatalf("barrier times not monotone: %v", times)
+	}
+	// O(log p): the 8-node barrier (3 rounds) should cost well under 3x
+	// the 2-node barrier (1 round), and the 4->8 increment should be
+	// comparable to the 2->4 increment.
+	if times[8] > 3*times[2] {
+		t.Fatalf("8-node barrier %v vs 2-node %v: worse than linear", times[8], times[2])
+	}
+}
+
+func TestCentralStyle(t *testing.T) {
+	fx := newFixture(t, 8, Central)
+	results := make([]float64, 8)
+	fx.run(t, func(id int, th *threads.Thread) {
+		results[id] = fx.reducers[id].Reduce(th, 1, Sum)
+	})
+	for id, got := range results {
+		if got != 8 {
+			t.Fatalf("node %d: got %v", id, got)
+		}
+	}
+}
+
+func TestBarrierUnderLoss(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		fx := newFixtureSeed(t, 8, Tournament, seed)
+		fx.nw.LossRate = 0.2
+		const rounds = 10
+		fx.run(t, func(id int, th *threads.Thread) {
+			for i := 0; i < rounds; i++ {
+				got := fx.reducers[id].Reduce(th, 1, Sum)
+				if got != 8 {
+					t.Errorf("seed %d round %d node %d: got %v", seed, i, id, got)
+					return
+				}
+			}
+		})
+	}
+}
+
+func TestSyncDelayAccounting(t *testing.T) {
+	fx := newFixture(t, 2, Tournament)
+	fx.run(t, func(id int, th *threads.Thread) {
+		if id == 1 {
+			th.Node().Charge(threads.CatWork, 100*sim.Millisecond)
+		}
+		fx.reducers[id].Barrier(th)
+	})
+	// Node 0 waited ~100ms for node 1.
+	delay := fx.nodes[0].Account()[threads.CatSyncDelay]
+	if delay < 90*sim.Millisecond {
+		t.Fatalf("node 0 sync delay = %v, want ~100ms", delay)
+	}
+}
+
+func TestDisseminationReduceSum(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		fx := newFixture(t, n, Dissemination)
+		results := make([]float64, n)
+		fx.run(t, func(id int, th *threads.Thread) {
+			results[id] = fx.reducers[id].Reduce(th, float64(id+1), Sum)
+		})
+		want := float64(n * (n + 1) / 2)
+		for id, got := range results {
+			if got != want {
+				t.Fatalf("n=%d node %d: sum = %v, want %v", n, id, got, want)
+			}
+		}
+	}
+}
+
+func TestDisseminationManyRounds(t *testing.T) {
+	const rounds = 30
+	fx := newFixture(t, 8, Dissemination)
+	fx.run(t, func(id int, th *threads.Thread) {
+		for i := 0; i < rounds; i++ {
+			if got := fx.reducers[id].Reduce(th, 1, Sum); got != 8 {
+				t.Errorf("round %d node %d: got %v", i, id, got)
+				return
+			}
+		}
+	})
+}
+
+func TestDisseminationUnderLoss(t *testing.T) {
+	fx := newFixtureSeed(t, 8, Dissemination, 5)
+	fx.nw.LossRate = 0.15
+	fx.run(t, func(id int, th *threads.Thread) {
+		for i := 0; i < 5; i++ {
+			if got := fx.reducers[id].Reduce(th, 2, Sum); got != 16 {
+				t.Errorf("node %d round %d: got %v", id, i, got)
+				return
+			}
+		}
+	})
+}
+
+// Dissemination falls back to the tournament for non-power-of-two
+// clusters, where the butterfly would double-count.
+func TestDisseminationFallbackOddNodes(t *testing.T) {
+	fx := newFixture(t, 6, Dissemination)
+	results := make([]float64, 6)
+	fx.run(t, func(id int, th *threads.Thread) {
+		results[id] = fx.reducers[id].Reduce(th, 1, Sum)
+	})
+	for id, got := range results {
+		if got != 6 {
+			t.Fatalf("node %d: got %v, want 6", id, got)
+		}
+	}
+}
+
+func TestDisseminationMessageCount(t *testing.T) {
+	// p·log2(p) arrive messages plus their acks.
+	fx := newFixture(t, 8, Dissemination)
+	fx.run(t, func(id int, th *threads.Thread) {
+		fx.reducers[id].Barrier(th)
+	})
+	frames := fx.nw.Stats().FramesSent
+	want := int64(2 * 8 * 3) // (arrive + ack) * p * log2(p)
+	if frames != want {
+		t.Fatalf("frames = %d, want %d", frames, want)
+	}
+}

@@ -1,0 +1,251 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of events.
+// Code runs in one of two forms: plain events (closures fired at a virtual
+// time) and processes (Proc), which are goroutine-backed coroutines that can
+// sleep for virtual durations and park/unpark, giving them the blocking
+// semantics of threads while virtual time stays fully deterministic.
+//
+// Exactly one goroutine — either the engine itself or a single running
+// process — executes at any moment, so simulation state needs no locking.
+// Events scheduled for the same virtual time fire in the order they were
+// scheduled.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It mirrors
+// time.Duration but is a distinct type so real and virtual time cannot be
+// mixed accidentally.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Seconds reports the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds reports the time as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Microseconds reports the time as a floating-point number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Add returns the time advanced by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds reports the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds reports the duration as a floating-point number of
+// milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// Microseconds reports the duration as a floating-point number of
+// microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", d.Milliseconds())
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fµs", d.Microseconds())
+	}
+	return fmt.Sprintf("%dns", int64(d))
+}
+
+// event is a scheduled closure. Events with equal time fire in seq order.
+type event struct {
+	t        Time
+	seq      uint64
+	fn       func()
+	canceled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) peek() *event   { return h[0] }
+func (h *eventHeap) pop() *event   { return heap.Pop(h).(*event) }
+func (h *eventHeap) push(e *event) { heap.Push(h, e) }
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// New.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	procs   []*Proc
+	running *Proc // the proc currently executing, nil if the engine is
+	rng     *rand.Rand
+	panic   any // panic value captured from a proc or event
+	stopped bool
+}
+
+// New returns an engine with virtual time 0 and a deterministic random
+// source derived from seed.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. It must only be
+// used from simulation code (events and procs).
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Current returns the process that is executing right now, or nil when
+// plain event code (or nothing) is running. It lets layered code charge
+// virtual CPU time to "whoever is running" without threading a *Proc
+// through every call.
+func (e *Engine) Current() *Proc { return e.running }
+
+// Timer is a handle to a scheduled event that can be canceled.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer. It is a no-op if the event already fired. It
+// reports whether the event was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.canceled {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// Schedule arranges for fn to run after virtual duration d. A negative d is
+// treated as zero. It returns a Timer that can cancel the event.
+func (e *Engine) Schedule(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleAt(e.now.Add(d), fn)
+}
+
+// ScheduleAt arranges for fn to run at virtual time t, which must not be in
+// the past.
+func (e *Engine) ScheduleAt(t Time, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: ScheduleAt(%d) is before now (%d)", t, e.now))
+	}
+	ev := &event{t: t, seq: e.seq, fn: fn}
+	e.seq++
+	e.events.push(ev)
+	return &Timer{ev: ev}
+}
+
+// Stop makes Run return after the current event or process step completes.
+// Pending events remain queued; a subsequent Run resumes them.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in virtual-time order until no events remain or Stop
+// is called. It returns an error if any processes are still parked when the
+// event queue drains (a deadlock in the simulated system). If simulation
+// code panicked, Run re-panics with the same value.
+func (e *Engine) Run() error {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		ev := e.events.pop()
+		if ev.canceled {
+			continue
+		}
+		if ev.t < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.t
+		ev.fn()
+		if e.panic != nil {
+			p := e.panic
+			e.panic = nil
+			panic(p)
+		}
+	}
+	if e.stopped {
+		return nil
+	}
+	if parked := e.Parked(); len(parked) > 0 {
+		return &DeadlockError{Now: e.now, Parked: parked}
+	}
+	return nil
+}
+
+// RunUntil executes events with time <= t, then sets the clock to t.
+func (e *Engine) RunUntil(t Time) {
+	e.ScheduleAt(t, func() { e.Stop() })
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+	e.now = t
+}
+
+// Parked returns the names of processes that are parked (blocked awaiting an
+// Unpark), sorted for determinism.
+func (e *Engine) Parked() []string {
+	var names []string
+	for _, p := range e.procs {
+		if p.state == procParked {
+			names = append(names, p.name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Live reports the number of processes that have not yet finished.
+func (e *Engine) Live() int {
+	n := 0
+	for _, p := range e.procs {
+		if p.state != procDone {
+			n++
+		}
+	}
+	return n
+}
+
+// DeadlockError reports that the event queue drained while processes were
+// still parked.
+type DeadlockError struct {
+	Now    Time
+	Parked []string
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%s: parked procs %v", Duration(d.Now), d.Parked)
+}

@@ -1,0 +1,279 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.Schedule(30*Microsecond, func() { got = append(got, 3) })
+	e.Schedule(10*Microsecond, func() { got = append(got, 1) })
+	e.Schedule(20*Microsecond, func() { got = append(got, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != Time(30*Microsecond) {
+		t.Fatalf("Now = %v, want 30µs", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5*Millisecond, func() { got = append(got, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events fired out of order: got[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New(1)
+	var fired []Time
+	e.Schedule(10, func() {
+		fired = append(fired, e.Now())
+		e.Schedule(5, func() { fired = append(fired, e.Now()) })
+		e.Schedule(0, func() { fired = append(fired, e.Now()) })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{10, 10, 15}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := New(1)
+	ran := false
+	tm := e.Schedule(10, func() { ran = true })
+	if !tm.Stop() {
+		t.Fatal("Stop returned false on pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	e := New(1)
+	var trace []string
+	e.Go("a", func(p *Proc) {
+		trace = append(trace, "a0")
+		p.Sleep(10 * Microsecond)
+		trace = append(trace, "a1")
+		p.Sleep(10 * Microsecond)
+		trace = append(trace, "a2")
+	})
+	e.Go("b", func(p *Proc) {
+		p.Sleep(15 * Microsecond)
+		trace = append(trace, "b")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a0", "a1", "b", "a2"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+	if e.Now() != Time(20*Microsecond) {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestParkUnpark(t *testing.T) {
+	e := New(1)
+	var order []string
+	var waiter *Proc
+	waiter = e.Go("waiter", func(p *Proc) {
+		order = append(order, "park")
+		p.Park()
+		order = append(order, "woke")
+	})
+	e.Go("waker", func(p *Proc) {
+		p.Sleep(100)
+		order = append(order, "unpark")
+		waiter.Unpark()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"park", "unpark", "woke"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestUnparkBeforePark(t *testing.T) {
+	e := New(1)
+	done := false
+	var p1 *Proc
+	p1 = e.Go("p1", func(p *Proc) {
+		p.Sleep(50)
+		p.Park() // should consume the pending unpark and not block
+		done = true
+	})
+	e.Go("p2", func(p *Proc) {
+		p1.Unpark() // arrives while p1 sleeps
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("proc never finished")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := New(1)
+	e.Go("stuck", func(p *Proc) { p.Park() })
+	err := e.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(de.Parked) != 1 || de.Parked[0] != "stuck" {
+		t.Fatalf("Parked = %v", de.Parked)
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	e := New(1)
+	e.Go("boom", func(p *Proc) { panic("kaput") })
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("Run did not re-panic")
+		}
+	}()
+	_ = e.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		e.Schedule(Millisecond, tick)
+	}
+	e.Schedule(Millisecond, tick)
+	e.RunUntil(Time(10*Millisecond) + 1)
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		e := New(42)
+		var trace []int64
+		for i := 0; i < 5; i++ {
+			e.Go("p", func(p *Proc) {
+				for j := 0; j < 10; j++ {
+					d := Duration(e.Rand().Intn(1000)) * Microsecond
+					p.Sleep(d)
+					trace = append(trace, int64(p.Now()))
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestHeapProperty checks, over random batches of schedule times, that
+// events always fire in nondecreasing time order with FIFO tie-breaks.
+func TestHeapProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := New(7)
+		type rec struct {
+			t   Time
+			seq int
+		}
+		var fired []rec
+		for i, d := range delays {
+			i, d := i, d
+			e.Schedule(Duration(d), func() { fired = append(fired, rec{e.Now(), i}) })
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i].t < fired[i-1].t {
+				return false
+			}
+			if fired[i].t == fired[i-1].t && fired[i].seq < fired[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{2 * Microsecond, "2.000µs"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}

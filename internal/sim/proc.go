@@ -1,0 +1,135 @@
+package sim
+
+import "fmt"
+
+type procState int
+
+const (
+	procCreated procState = iota
+	procRunnable
+	procRunning
+	procSleeping
+	procParked
+	procDone
+)
+
+// Proc is a simulated process: a goroutine that runs cooperatively under the
+// engine. At most one Proc runs at a time; it surrenders control by calling
+// Sleep, Park, or returning from its body.
+type Proc struct {
+	eng   *Engine
+	name  string
+	state procState
+	wake  chan struct{} // engine -> proc: run
+	yield chan struct{} // proc -> engine: I stopped
+	// unparkPending records an Unpark that arrived while the proc was not
+	// parked; the next Park consumes it instead of blocking.
+	unparkPending bool
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Go creates a process running fn and schedules it to start at the current
+// virtual time (after already-queued events at this time).
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:   e,
+		name:  name,
+		state: procCreated,
+		wake:  make(chan struct{}),
+		yield: make(chan struct{}),
+	}
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.wake // wait for first dispatch
+		defer func() {
+			if r := recover(); r != nil {
+				e.panic = fmt.Errorf("sim: proc %q panicked: %v", name, r)
+			}
+			p.state = procDone
+			p.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.Schedule(0, func() { e.dispatch(p) })
+	p.state = procRunnable
+	return p
+}
+
+// dispatch hands the CPU to p and waits for it to stop. It must be called
+// from the engine goroutine (i.e. from an event).
+func (e *Engine) dispatch(p *Proc) {
+	if p.state == procDone {
+		return
+	}
+	prev := e.running
+	e.running = p
+	p.state = procRunning
+	p.wake <- struct{}{}
+	<-p.yield
+	e.running = prev
+}
+
+// yieldToEngine returns control to the engine and blocks until the engine
+// dispatches this proc again.
+func (p *Proc) yieldToEngine() {
+	p.yield <- struct{}{}
+	<-p.wake
+	p.state = procRunning
+}
+
+// Sleep advances this process's local progress by virtual duration d,
+// surrendering control so other events and processes run in the meantime.
+// Sleep(0) yields without advancing time (the proc resumes after events
+// already queued for the current instant).
+func (p *Proc) Sleep(d Duration) {
+	p.checkRunning("Sleep")
+	if d < 0 {
+		d = 0
+	}
+	p.state = procSleeping
+	p.eng.Schedule(d, func() { p.eng.dispatch(p) })
+	p.yieldToEngine()
+}
+
+// Park blocks the process until another piece of simulation code calls
+// Unpark. If an Unpark already arrived since the last Park, it is consumed
+// and Park returns immediately (no yielding at all).
+func (p *Proc) Park() {
+	p.checkRunning("Park")
+	if p.unparkPending {
+		p.unparkPending = false
+		return
+	}
+	p.state = procParked
+	p.yieldToEngine()
+}
+
+// Unpark makes p runnable again. If p is not parked, the unpark is
+// remembered and consumed by p's next Park. Calling Unpark on an already
+// pending or runnable proc is a no-op. Unpark may be called from any
+// simulation code (events or other procs), never from outside the engine.
+func (p *Proc) Unpark() {
+	switch p.state {
+	case procParked:
+		p.state = procRunnable
+		p.eng.Schedule(0, func() { p.eng.dispatch(p) })
+	case procDone:
+		// no-op
+	default:
+		p.unparkPending = true
+	}
+}
+
+func (p *Proc) checkRunning(op string) {
+	if p.eng.running != p {
+		panic(fmt.Sprintf("sim: %s called on proc %q which is not the running proc", op, p.name))
+	}
+}

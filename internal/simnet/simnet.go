@@ -1,0 +1,232 @@
+// Package simnet models the cluster interconnect of the paper's testbed: a
+// single shared 10 Mbps Ethernet segment connecting the workstations.
+//
+// The medium is serialized: one frame transmits at a time and later frames
+// queue behind it, which is what makes network saturation emerge in the
+// matrix-multiplication and 8-node Jacobi experiments exactly as the paper
+// describes. Frames can be lost, duplicated, or delayed through injection
+// hooks, which the Packet protocol tests use to reproduce the four
+// scenarios of the paper's Figure 3.
+//
+// simnet is an unreliable datagram service, like UDP: delivery is not
+// guaranteed and the sender gets no feedback. Reliability is layered on top
+// by package packet.
+package simnet
+
+import (
+	"fmt"
+
+	"filaments/internal/cost"
+	"filaments/internal/sim"
+)
+
+// NodeID identifies a node on the network, in [0, Nodes).
+type NodeID int
+
+// Broadcast is the destination address that delivers a frame to every node
+// except the sender.
+const Broadcast NodeID = -1
+
+// Frame is one datagram on the wire. Payload is carried by reference (the
+// simulation is in-process); Size is the payload's size in bytes for timing
+// purposes and must be set by the sender.
+type Frame struct {
+	Src     NodeID
+	Dst     NodeID // Broadcast for all nodes
+	Payload any
+	Size    int
+}
+
+// Handler receives delivered frames. It runs as a simulation event at
+// delivery time; implementations should only enqueue work and wake the
+// node, charging receive CPU when the node processes the frame.
+type Handler func(Frame)
+
+// Stats aggregates network counters.
+type Stats struct {
+	FramesSent      int64
+	FramesDropped   int64
+	FramesDelivered int64
+	BytesSent       int64 // payload bytes, excluding frame overhead
+	Busy            sim.Duration
+}
+
+// Utilization reports the fraction of the elapsed time the medium was busy.
+func (s Stats) Utilization(elapsed sim.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return s.Busy.Seconds() / elapsed.Seconds()
+}
+
+// MTU is the fragment granularity of the medium: a payload larger than
+// this occupies the wire in several bursts, and bursts from different
+// senders interleave (as IP fragments of competing UDP datagrams do on
+// real Ethernet). Without this, one node's 4 KB page replies would
+// monopolize the wire for milliseconds while other nodes' small
+// acknowledgements starve.
+const MTU = 1500
+
+// queued is a frame waiting for (or in the middle of) transmission.
+type queued struct {
+	frame    Frame
+	bitsLeft int64
+	lost     bool
+	delay    sim.Duration
+}
+
+// Network is a shared-medium Ethernet segment.
+type Network struct {
+	eng      *sim.Engine
+	model    *cost.Model
+	handlers []Handler
+
+	// Per-sender transmit queues, arbitrated round-robin one MTU burst at
+	// a time.
+	queues  [][]*queued
+	rrNext  int
+	sending bool
+
+	// Fault injection.
+
+	// LossRate is the probability a frame is silently dropped after
+	// transmission (it still occupies the medium).
+	LossRate float64
+	// DupRate is the probability a frame is delivered twice.
+	DupRate float64
+	// DropFilter, if non-nil, is consulted per frame; returning true drops
+	// the frame. It is applied before LossRate.
+	DropFilter func(*Frame) bool
+	// DelayFilter, if non-nil, returns extra delivery delay for a frame.
+	DelayFilter func(*Frame) sim.Duration
+
+	stats Stats
+}
+
+// New creates a network for n nodes using the given engine and cost model.
+func New(eng *sim.Engine, model *cost.Model, n int) *Network {
+	if n <= 0 {
+		panic("simnet: need at least one node")
+	}
+	return &Network{
+		eng:      eng,
+		model:    model,
+		handlers: make([]Handler, n),
+		queues:   make([][]*queued, n),
+	}
+}
+
+// Nodes returns the number of nodes on the network.
+func (nw *Network) Nodes() int { return len(nw.handlers) }
+
+// Engine returns the simulation engine the network runs on.
+func (nw *Network) Engine() *sim.Engine { return nw.eng }
+
+// Model returns the cost model the network charges by.
+func (nw *Network) Model() *cost.Model { return nw.model }
+
+// Stats returns a snapshot of the network counters.
+func (nw *Network) Stats() Stats { return nw.stats }
+
+// Register installs the delivery handler for node id. It must be called
+// before any frame addressed to id is delivered.
+func (nw *Network) Register(id NodeID, h Handler) {
+	nw.handlers[id] = h
+}
+
+// Send puts a frame on the wire. The sender's CPU cost is *not* charged
+// here — the caller (the node's protocol layer) charges cost.SendCost — but
+// medium occupancy, queueing, propagation latency, loss, and duplication
+// are. Send must be called from simulation code.
+func (nw *Network) Send(f Frame) {
+	if f.Dst != Broadcast && (int(f.Dst) < 0 || int(f.Dst) >= len(nw.handlers)) {
+		panic(fmt.Sprintf("simnet: bad destination %d", f.Dst))
+	}
+	nw.stats.FramesSent++
+	nw.stats.BytesSent += int64(f.Size)
+
+	q := &queued{
+		frame:    f,
+		bitsLeft: int64(f.Size+nw.model.FrameOverheadBytes) * 8,
+	}
+	// Loss, duplication, and extra delay are decided per frame at send
+	// time; a lost frame still occupies the medium.
+	if nw.DropFilter != nil && nw.DropFilter(&q.frame) {
+		q.lost = true
+	} else if nw.LossRate > 0 && nw.eng.Rand().Float64() < nw.LossRate {
+		q.lost = true
+	}
+	if q.lost {
+		nw.stats.FramesDropped++
+	}
+	if nw.DelayFilter != nil {
+		q.delay = nw.DelayFilter(&q.frame)
+	}
+	nw.queues[f.Src] = append(nw.queues[f.Src], q)
+	if !nw.sending {
+		nw.arbitrate()
+	}
+}
+
+// arbitrate grants the medium to the next sender round-robin, one MTU
+// burst at a time, so large transfers from one node interleave with other
+// nodes' traffic instead of blocking it.
+func (nw *Network) arbitrate() {
+	n := len(nw.queues)
+	for i := 0; i < n; i++ {
+		src := (nw.rrNext + i) % n
+		if len(nw.queues[src]) == 0 {
+			continue
+		}
+		nw.rrNext = (src + 1) % n
+		q := nw.queues[src][0]
+		bits := q.bitsLeft
+		if bits > MTU*8 {
+			bits = MTU * 8
+		}
+		q.bitsLeft -= bits
+		tx := sim.Duration(bits * int64(sim.Second) / nw.model.BandwidthBps)
+		nw.stats.Busy += tx
+		nw.sending = true
+		nw.eng.Schedule(tx, func() {
+			nw.sending = false
+			if q.bitsLeft <= 0 {
+				nw.queues[src] = nw.queues[src][1:]
+				nw.finish(q)
+			}
+			nw.arbitrate()
+		})
+		return
+	}
+}
+
+// finish completes a frame's transmission: schedule delivery (and a
+// duplicate, if injected).
+func (nw *Network) finish(q *queued) {
+	if q.lost {
+		return
+	}
+	f := q.frame
+	arrive := nw.eng.Now().Add(nw.model.WireLatency + q.delay)
+	nw.eng.ScheduleAt(arrive, func() { nw.deliver(f) })
+	if nw.DupRate > 0 && nw.eng.Rand().Float64() < nw.DupRate {
+		nw.eng.ScheduleAt(arrive.Add(nw.model.WireLatency), func() { nw.deliver(f) })
+	}
+}
+
+func (nw *Network) deliver(f Frame) {
+	if f.Dst == Broadcast {
+		for id, h := range nw.handlers {
+			if NodeID(id) == f.Src || h == nil {
+				continue
+			}
+			nw.stats.FramesDelivered++
+			h(f)
+		}
+		return
+	}
+	if h := nw.handlers[f.Dst]; h != nil {
+		nw.stats.FramesDelivered++
+		h(f)
+	}
+}

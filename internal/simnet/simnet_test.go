@@ -1,0 +1,299 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"filaments/internal/cost"
+	"filaments/internal/sim"
+)
+
+func newNet(t *testing.T, n int) (*sim.Engine, *Network, *cost.Model) {
+	t.Helper()
+	eng := sim.New(1)
+	m := cost.Default()
+	return eng, New(eng, &m, n), &m
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	eng, nw, m := newNet(t, 2)
+	var gotAt sim.Time
+	var got Frame
+	nw.Register(1, func(f Frame) { got = f; gotAt = eng.Now() })
+	eng.Schedule(0, func() {
+		nw.Send(Frame{Src: 0, Dst: 1, Payload: "hello", Size: 100})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Payload != "hello" {
+		t.Fatalf("payload = %v", got.Payload)
+	}
+	want := m.TransmitTime(100) + m.WireLatency
+	if gotAt != sim.Time(want) {
+		t.Fatalf("delivered at %v, want %v", gotAt, want)
+	}
+}
+
+func TestTransmitTime(t *testing.T) {
+	m := cost.Default()
+	// 4 KB page + 70 bytes overhead at 10 Mbps = 4166*8/10e6 s = 3332.8 µs.
+	got := m.TransmitTime(4096)
+	want := sim.Duration((4096 + 70) * 8 * 100) // ns at 10 Mbps: bits * 100ns/bit
+	if got != want {
+		t.Fatalf("TransmitTime(4096) = %v, want %v", got, want)
+	}
+}
+
+func TestMediumSerialization(t *testing.T) {
+	eng, nw, m := newNet(t, 3)
+	var arrivals []sim.Time
+	nw.Register(2, func(f Frame) { arrivals = append(arrivals, eng.Now()) })
+	eng.Schedule(0, func() {
+		// Two frames sent at the same instant from different nodes must
+		// serialize on the shared medium.
+		nw.Send(Frame{Src: 0, Dst: 2, Size: 1000})
+		nw.Send(Frame{Src: 1, Dst: 2, Size: 1000})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	tx := m.TransmitTime(1000)
+	if arrivals[1]-arrivals[0] != sim.Time(tx) {
+		t.Fatalf("frames not serialized: gap %v, want %v", arrivals[1]-arrivals[0], tx)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	eng, nw, _ := newNet(t, 4)
+	got := make([]int, 4)
+	for i := 1; i < 4; i++ {
+		i := i
+		nw.Register(NodeID(i), func(f Frame) { got[i]++ })
+	}
+	nw.Register(0, func(f Frame) { got[0]++ })
+	eng.Schedule(0, func() {
+		nw.Send(Frame{Src: 0, Dst: Broadcast, Size: 64})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Fatal("broadcast delivered to sender")
+	}
+	for i := 1; i < 4; i++ {
+		if got[i] != 1 {
+			t.Fatalf("node %d got %d frames", i, got[i])
+		}
+	}
+	st := nw.Stats()
+	if st.FramesSent != 1 || st.FramesDelivered != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDropFilter(t *testing.T) {
+	eng, nw, _ := newNet(t, 2)
+	delivered := 0
+	nw.Register(1, func(f Frame) { delivered++ })
+	n := 0
+	nw.DropFilter = func(f *Frame) bool { n++; return n == 1 } // drop first only
+	eng.Schedule(0, func() {
+		nw.Send(Frame{Src: 0, Dst: 1, Size: 10})
+		nw.Send(Frame{Src: 0, Dst: 1, Size: 10})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", delivered)
+	}
+	if nw.Stats().FramesDropped != 1 {
+		t.Fatalf("dropped = %d", nw.Stats().FramesDropped)
+	}
+}
+
+func TestLossRateApproximate(t *testing.T) {
+	eng, nw, _ := newNet(t, 2)
+	delivered := 0
+	nw.Register(1, func(f Frame) { delivered++ })
+	nw.LossRate = 0.5
+	const total = 2000
+	eng.Schedule(0, func() {
+		for i := 0; i < total; i++ {
+			nw.Send(Frame{Src: 0, Dst: 1, Size: 10})
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered < total/3 || delivered > 2*total/3 {
+		t.Fatalf("delivered = %d of %d with 50%% loss", delivered, total)
+	}
+}
+
+func TestDuplication(t *testing.T) {
+	eng, nw, _ := newNet(t, 2)
+	delivered := 0
+	nw.Register(1, func(f Frame) { delivered++ })
+	nw.DupRate = 1.0
+	eng.Schedule(0, func() { nw.Send(Frame{Src: 0, Dst: 1, Size: 10}) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 2 {
+		t.Fatalf("delivered = %d, want 2 (duplicated)", delivered)
+	}
+}
+
+func TestDelayFilter(t *testing.T) {
+	eng, nw, m := newNet(t, 2)
+	var at sim.Time
+	nw.Register(1, func(f Frame) { at = eng.Now() })
+	nw.DelayFilter = func(f *Frame) sim.Duration { return 5 * sim.Millisecond }
+	eng.Schedule(0, func() { nw.Send(Frame{Src: 0, Dst: 1, Size: 10}) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := m.TransmitTime(10) + m.WireLatency + 5*sim.Millisecond
+	if at != sim.Time(want) {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	eng, nw, m := newNet(t, 2)
+	nw.Register(1, func(f Frame) {})
+	eng.Schedule(0, func() {
+		for i := 0; i < 10; i++ {
+			nw.Send(Frame{Src: 0, Dst: 1, Size: 4096})
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	busy := nw.Stats().Busy
+	if busy != 10*m.TransmitTime(4096) {
+		t.Fatalf("busy = %v", busy)
+	}
+	u := nw.Stats().Utilization(busy) // elapsed == busy here
+	if u < 0.999 || u > 1.001 {
+		t.Fatalf("utilization = %v, want 1", u)
+	}
+}
+
+// Property: delivery order between one src/dst pair matches send order (the
+// medium is FIFO), regardless of frame sizes.
+func TestFIFOProperty(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		eng := sim.New(3)
+		m := cost.Default()
+		nw := New(eng, &m, 2)
+		var got []int
+		nw.Register(1, func(fr Frame) { got = append(got, fr.Payload.(int)) })
+		eng.Schedule(0, func() {
+			for i, s := range sizes {
+				nw.Send(Frame{Src: 0, Dst: 1, Payload: i, Size: int(s)})
+			}
+		})
+		if err := eng.Run(); err != nil {
+			return false
+		}
+		if len(got) != len(sizes) {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A small frame sent while a large transfer is in flight must interleave at
+// MTU granularity instead of waiting for the whole transfer — the property
+// that keeps acknowledgement latency bounded on a saturated medium.
+func TestMTUInterleaving(t *testing.T) {
+	eng, nw, m := newNet(t, 3)
+	var bigAt, smallAt sim.Time
+	nw.Register(2, func(f Frame) {
+		if f.Size > MTU {
+			bigAt = eng.Now()
+		} else {
+			smallAt = eng.Now()
+		}
+	})
+	eng.Schedule(0, func() {
+		nw.Send(Frame{Src: 0, Dst: 2, Size: 60000}) // ~50 ms of wire
+		nw.Send(Frame{Src: 1, Dst: 2, Size: 64})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if smallAt == 0 || bigAt == 0 {
+		t.Fatal("frames not delivered")
+	}
+	if smallAt >= bigAt {
+		t.Fatalf("small frame at %v did not pass the big one at %v", smallAt, bigAt)
+	}
+	// The small frame waits at most ~two MTU bursts plus its own time.
+	maxWait := 3*m.TransmitTime(MTU) + m.WireLatency
+	if smallAt > sim.Time(maxWait) {
+		t.Fatalf("small frame delayed to %v; MTU arbitration broken", smallAt)
+	}
+}
+
+// Frames from one sender stay FIFO even when fragmented.
+func TestSenderFIFOWithFragmentation(t *testing.T) {
+	eng, nw, _ := newNet(t, 2)
+	var got []int
+	nw.Register(1, func(f Frame) { got = append(got, f.Payload.(int)) })
+	eng.Schedule(0, func() {
+		nw.Send(Frame{Src: 0, Dst: 1, Payload: 0, Size: 9000})
+		nw.Send(Frame{Src: 0, Dst: 1, Payload: 1, Size: 10})
+		nw.Send(Frame{Src: 0, Dst: 1, Payload: 2, Size: 5000})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("sender order violated: %v", got)
+		}
+	}
+}
+
+// Total medium occupancy is conserved across fragmentation: N frames of any
+// sizes occupy exactly the sum of their whole-frame transmit times.
+func TestBusyConservedProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		eng := sim.New(11)
+		m := cost.Default()
+		nw := New(eng, &m, 2)
+		nw.Register(1, func(f Frame) {})
+		var want sim.Duration
+		eng.Schedule(0, func() {
+			for _, s := range sizes {
+				nw.Send(Frame{Src: 0, Dst: 1, Size: int(s)})
+				want += m.TransmitTime(int(s))
+			}
+		})
+		if err := eng.Run(); err != nil {
+			return false
+		}
+		return nw.Stats().Busy == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

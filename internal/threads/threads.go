@@ -1,0 +1,367 @@
+// Package threads implements the per-node execution machinery of
+// Distributed Filaments: a single-CPU node running a non-preemptive
+// scheduler over stackful server threads (paper §2.2).
+//
+// Each Node owns one virtual CPU. A kernel process dispatches incoming
+// network messages and ready server threads; at most one of them runs at a
+// time. Server threads execute filaments and block at unpredictable points
+// (DSM page faults, fork/join joins); when one blocks, the kernel switches
+// to another, which is how DF overlaps communication with computation.
+//
+// Message handling follows the paper's SIGIO model as closely as the
+// simulation allows: a message that arrives while the node is idle is
+// handled immediately; one that arrives while a thread is computing is
+// handled at the thread's next dispatch point (Thread.Preempt, called
+// between filaments), so handler latency is bounded by one filament.
+package threads
+
+import (
+	"fmt"
+
+	"filaments/internal/cost"
+	"filaments/internal/sim"
+	"filaments/internal/simnet"
+)
+
+// Category classifies where a node's CPU time goes, matching the breakdown
+// of the paper's Figure 10.
+type Category int
+
+const (
+	// CatWork is the application computation proper.
+	CatWork Category = iota
+	// CatFilament is filaments-package overhead: creating filaments and
+	// dispatching them (inlined or not).
+	CatFilament
+	// CatData is DSM data transfer: faulting, requesting, serving and
+	// installing pages, and the thread switches faults induce.
+	CatData
+	// CatSync is synchronization overhead: sending, receiving, and
+	// processing barrier/reduction messages.
+	CatSync
+	// CatSyncDelay is time spent waiting at a barrier for other nodes.
+	CatSyncDelay
+	// CatIdle is time with no runnable work outside barriers.
+	CatIdle
+	// NumCategories is the number of accounting categories.
+	NumCategories
+)
+
+var categoryNames = [NumCategories]string{
+	"work", "filament", "data", "sync", "sync-delay", "idle",
+}
+
+func (c Category) String() string {
+	if c < 0 || c >= NumCategories {
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+	return categoryNames[c]
+}
+
+// Account is the per-node CPU time ledger.
+type Account [NumCategories]sim.Duration
+
+// Handler processes a delivered frame. It runs on the node's CPU (kernel or
+// preempting thread context) and must charge its own receive cost via
+// Node.Charge before acting.
+type Handler func(f simnet.Frame)
+
+// Node is one simulated workstation: a CPU, a kernel dispatcher, an inbox,
+// and a set of server threads.
+type Node struct {
+	ID    simnet.NodeID
+	eng   *sim.Engine
+	nw    *simnet.Network
+	model *cost.Model
+
+	kernel     *sim.Proc
+	idle       bool
+	idleSince  sim.Time
+	shutdown   bool
+	inbox      []simnet.Frame
+	ready      []*Thread // FIFO deque; index 0 is the front
+	handler    Handler
+	lastThread *Thread
+
+	// InCritical mirrors the paper's one-assignment critical-section flag:
+	// while set, protocol handlers that would modify critical data drop
+	// the message (the requester retransmits).
+	InCritical bool
+
+	acct     Account
+	switches int64
+	started  sim.Time
+	finished sim.Time
+}
+
+// NewNode creates a node attached to the network and registers its delivery
+// handler. Start must be called before the simulation delivers messages
+// that need processing.
+func NewNode(nw *simnet.Network, id simnet.NodeID) *Node {
+	n := &Node{
+		ID:    id,
+		eng:   nw.Engine(),
+		nw:    nw,
+		model: nw.Model(),
+	}
+	nw.Register(id, n.deliver)
+	return n
+}
+
+// SetHandler installs the protocol upcall for delivered frames.
+func (n *Node) SetHandler(h Handler) { n.handler = h }
+
+// Engine returns the simulation engine.
+func (n *Node) Engine() *sim.Engine { return n.eng }
+
+// Network returns the network this node is attached to.
+func (n *Node) Network() *simnet.Network { return n.nw }
+
+// Model returns the node's cost model.
+func (n *Node) Model() *cost.Model { return n.model }
+
+// Account returns the node's CPU-time ledger so far.
+func (n *Node) Account() Account { return n.acct }
+
+// Switches returns the number of server-thread context switches performed.
+func (n *Node) Switches() int64 { return n.switches }
+
+// deliver runs as a simulation event when a frame arrives. It only
+// enqueues; CPU costs are charged when the node processes the frame.
+func (n *Node) deliver(f simnet.Frame) {
+	trace(n, "deliver", f.Payload)
+	n.inbox = append(n.inbox, f)
+	if n.idle {
+		n.idle = false
+		n.acct[CatIdle] += n.eng.Now().Sub(n.idleSince)
+		n.kernel.Unpark()
+	}
+}
+
+// Inject enqueues a local work item that is processed through the node's
+// handler exactly like an incoming frame (charging node CPU when handled).
+// Protocol layers use it to run timer-driven work, such as retransmissions,
+// on the node's CPU. It is safe to call from plain event code.
+func (n *Node) Inject(payload any) {
+	n.inbox = append(n.inbox, simnet.Frame{Src: n.ID, Dst: n.ID, Payload: payload})
+	n.wakeIfIdle()
+}
+
+// Start launches the kernel dispatcher. It must be called once.
+func (n *Node) Start() {
+	if n.kernel != nil {
+		panic("threads: node already started")
+	}
+	n.started = n.eng.Now()
+	n.kernel = n.eng.Go(fmt.Sprintf("node%d/kernel", n.ID), n.kernelLoop)
+}
+
+// Stop shuts the kernel down once current work drains. Threads must have
+// finished (or be deliberately abandoned) by the caller's protocol.
+func (n *Node) Stop() {
+	n.shutdown = true
+	n.finished = n.eng.Now()
+	if n.idle {
+		n.idle = false
+		n.acct[CatIdle] += n.eng.Now().Sub(n.idleSince)
+		n.kernel.Unpark()
+	}
+}
+
+// Uptime returns how long the node ran (Start to Stop, or to now).
+func (n *Node) Uptime() sim.Duration {
+	end := n.finished
+	if end == 0 {
+		end = n.eng.Now()
+	}
+	return end.Sub(n.started)
+}
+
+// Trace, when non-nil, is called at interesting scheduler points
+// (debugging hook; no cost charged).
+var Trace func(n *Node, what string, detail any)
+
+func trace(n *Node, what string, detail any) {
+	if Trace != nil {
+		Trace(n, what, detail)
+	}
+}
+
+func (n *Node) kernelLoop(p *sim.Proc) {
+	for {
+		switch {
+		case len(n.inbox) > 0:
+			n.drainInbox()
+		case len(n.ready) > 0:
+			t := n.ready[0]
+			n.ready = n.ready[1:]
+			n.dispatch(t)
+		case n.shutdown:
+			return
+		default:
+			n.idle = true
+			n.idleSince = n.eng.Now()
+			p.Park()
+		}
+	}
+}
+
+// drainInbox processes every pending frame through the protocol handler.
+// It runs on the active proc (kernel or a preempting thread).
+func (n *Node) drainInbox() {
+	for len(n.inbox) > 0 {
+		f := n.inbox[0]
+		n.inbox = n.inbox[1:]
+		if n.handler == nil {
+			continue
+		}
+		trace(n, "handle", f.Payload)
+		n.handler(f)
+	}
+}
+
+// dispatch runs thread t until it yields, blocks, or finishes.
+func (n *Node) dispatch(t *Thread) {
+	if t.state == threadDone {
+		return
+	}
+	trace(n, "dispatch", t.name)
+	if n.lastThread != t {
+		n.switches++
+		n.Charge(CatData, n.model.ThreadSwitch)
+	}
+	n.lastThread = t
+	t.state = threadRunning
+	t.proc.Unpark()
+	n.kernel.Park() // thread unparks us when it stops running
+}
+
+// Charge spends d of the node's CPU in virtual time and accounts it to
+// category c. It must be called from node code (kernel or thread).
+func (n *Node) Charge(c Category, d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	n.acct[c] += d
+	cur := n.eng.Current()
+	if cur == nil {
+		panic("threads: Charge outside simulation process")
+	}
+	cur.Sleep(d)
+}
+
+// AddDelay records d against category c without consuming CPU time (used
+// for measured waiting, e.g. barrier arrival skew).
+func (n *Node) AddDelay(c Category, d sim.Duration) {
+	if d > 0 {
+		n.acct[c] += d
+	}
+}
+
+// Send transmits payload to dst, charging the sender's CPU cost to
+// category c.
+func (n *Node) Send(dst simnet.NodeID, payload any, size int, c Category) {
+	n.Charge(c, n.model.SendCost(size))
+	n.nw.Send(simnet.Frame{Src: n.ID, Dst: dst, Payload: payload, Size: size})
+}
+
+// thread states.
+type threadState int
+
+const (
+	threadReady threadState = iota
+	threadRunning
+	threadBlocked
+	threadDone
+)
+
+// Thread is a stackful server thread. Filaments run on threads; a thread
+// blocks when a filament faults on a remote page or waits at a join, and
+// the kernel switches to another thread.
+type Thread struct {
+	node  *Node
+	proc  *sim.Proc
+	name  string
+	state threadState
+}
+
+// Spawn creates a server thread that will run body when first scheduled.
+// The thread is placed at the back of the ready queue.
+func (n *Node) Spawn(name string, body func(t *Thread)) *Thread {
+	t := &Thread{node: n, name: name, state: threadReady}
+	t.proc = n.eng.Go(fmt.Sprintf("node%d/%s", n.ID, name), func(p *sim.Proc) {
+		p.Park() // wait for first dispatch
+		body(t)
+		t.state = threadDone
+		n.kernel.Unpark()
+	})
+	n.ready = append(n.ready, t)
+	n.wakeIfIdle()
+	return t
+}
+
+func (n *Node) wakeIfIdle() {
+	if n.idle {
+		n.idle = false
+		n.acct[CatIdle] += n.eng.Now().Sub(n.idleSince)
+		n.kernel.Unpark()
+	}
+}
+
+// Node returns the thread's node.
+func (t *Thread) Node() *Node { return t.node }
+
+// Name returns the thread's name.
+func (t *Thread) Name() string { return t.name }
+
+// Block suspends the thread until some other code calls Ready on it. It
+// returns when the thread is next dispatched.
+func (t *Thread) Block() {
+	t.state = threadBlocked
+	t.node.kernel.Unpark()
+	t.proc.Park()
+}
+
+// Yield places the thread at the back of the ready queue and returns to the
+// kernel; the thread resumes after other ready threads (and pending
+// messages) have had their turn.
+func (t *Thread) Yield() {
+	t.state = threadReady
+	t.node.ready = append(t.node.ready, t)
+	t.node.kernel.Unpark()
+	t.proc.Park()
+}
+
+// Ready makes a blocked thread runnable. With front true the thread goes to
+// the front of the ready queue (the paper schedules page-arrival wakeups at
+// the front in the fork/join anti-thrashing path, and at the back for
+// iterative fault frontloading).
+func (n *Node) Ready(t *Thread, front bool) {
+	if t.state != threadBlocked {
+		panic(fmt.Sprintf("threads: Ready on %s thread %q", []string{"ready", "running", "blocked", "done"}[t.state], t.name))
+	}
+	t.state = threadReady
+	if front {
+		n.ready = append([]*Thread{t}, n.ready...)
+	} else {
+		n.ready = append(n.ready, t)
+	}
+	n.wakeIfIdle()
+}
+
+// Preempt is a dispatch point: if messages arrived while this thread was
+// computing, they are handled now, on this thread's stack, exactly like a
+// SIGIO handler interrupting the computation. Control then returns to the
+// thread.
+func (t *Thread) Preempt() {
+	if len(t.node.inbox) > 0 {
+		t.node.drainInbox()
+	}
+}
+
+// ReadyLen reports how many threads are ready to run (used by load-balance
+// policies to detect an idle node).
+func (n *Node) ReadyLen() int { return len(n.ready) }
+
+// InboxLen reports how many frames await processing.
+func (n *Node) InboxLen() int { return len(n.inbox) }

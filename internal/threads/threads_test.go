@@ -1,0 +1,254 @@
+package threads
+
+import (
+	"testing"
+
+	"filaments/internal/cost"
+	"filaments/internal/sim"
+	"filaments/internal/simnet"
+)
+
+func newNode(t *testing.T, nNodes int) (*sim.Engine, *simnet.Network, []*Node) {
+	t.Helper()
+	eng := sim.New(1)
+	m := cost.Default()
+	nw := simnet.New(eng, &m, nNodes)
+	nodes := make([]*Node, nNodes)
+	for i := range nodes {
+		nodes[i] = NewNode(nw, simnet.NodeID(i))
+	}
+	return eng, nw, nodes
+}
+
+func TestSpawnRunsToCompletion(t *testing.T) {
+	eng, _, nodes := newNode(t, 1)
+	n := nodes[0]
+	done := false
+	n.Start()
+	eng.Schedule(0, func() {
+		n.Spawn("t0", func(th *Thread) {
+			n.Charge(CatWork, sim.Millisecond)
+			done = true
+			n.Stop()
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("thread did not run")
+	}
+	if n.Account()[CatWork] != sim.Millisecond {
+		t.Fatalf("work account = %v", n.Account()[CatWork])
+	}
+}
+
+func TestYieldRoundRobin(t *testing.T) {
+	eng, _, nodes := newNode(t, 1)
+	n := nodes[0]
+	var order []string
+	n.Start()
+	eng.Schedule(0, func() {
+		for _, name := range []string{"a", "b"} {
+			name := name
+			n.Spawn(name, func(th *Thread) {
+				for i := 0; i < 3; i++ {
+					order = append(order, name)
+					th.Yield()
+				}
+			})
+		}
+		n.Spawn("closer", func(th *Thread) {
+			// Let a and b finish first: they were spawned before us and
+			// yield keeps them in the queue.
+			for len(order) < 6 {
+				th.Yield()
+			}
+			n.Stop()
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestBlockAndReady(t *testing.T) {
+	eng, _, nodes := newNode(t, 1)
+	n := nodes[0]
+	var blocked *Thread
+	var trace []string
+	n.Start()
+	eng.Schedule(0, func() {
+		blocked = n.Spawn("sleeper", func(th *Thread) {
+			trace = append(trace, "block")
+			th.Block()
+			trace = append(trace, "woke")
+			n.Stop()
+		})
+		n.Spawn("waker", func(th *Thread) {
+			n.Charge(CatWork, 5*sim.Millisecond)
+			trace = append(trace, "ready")
+			n.Ready(blocked, false)
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"block", "ready", "woke"}
+	for i, w := range want {
+		if trace[i] != w {
+			t.Fatalf("trace = %v", trace)
+		}
+	}
+}
+
+func TestReadyFrontVsBack(t *testing.T) {
+	for _, front := range []bool{true, false} {
+		eng, _, nodes := newNode(t, 1)
+		n := nodes[0]
+		var woken, other *Thread
+		var order []string
+		n.Start()
+		eng.Schedule(0, func() {
+			woken = n.Spawn("woken", func(th *Thread) {
+				th.Block()
+				order = append(order, "woken")
+			})
+			other = n.Spawn("other", func(th *Thread) {
+				th.Block()
+				order = append(order, "other")
+			})
+			n.Spawn("driver", func(th *Thread) {
+				// Both blocked now (they were spawned first). Wake "other"
+				// at the back, then "woken" with the front flag under test.
+				n.Ready(other, false)
+				n.Ready(woken, front)
+				th.Yield()
+				n.Stop()
+			})
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		wantFirst := "other"
+		if front {
+			wantFirst = "woken"
+		}
+		if order[0] != wantFirst {
+			t.Fatalf("front=%v: order = %v", front, order)
+		}
+	}
+}
+
+func TestMessageWakesIdleNode(t *testing.T) {
+	eng, _, nodes := newNode(t, 2)
+	a, b := nodes[0], nodes[1]
+	got := 0
+	b.SetHandler(func(f simnet.Frame) {
+		b.Charge(CatData, b.Model().RecvCost(f.Size))
+		got = f.Payload.(int)
+		b.Stop()
+	})
+	a.SetHandler(func(f simnet.Frame) {})
+	a.Start()
+	b.Start()
+	eng.Schedule(0, func() {
+		a.Spawn("sender", func(th *Thread) {
+			a.Send(b.ID, 42, 20, CatData)
+			a.Stop()
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("got = %d", got)
+	}
+	if b.Account()[CatIdle] == 0 {
+		t.Fatal("receiver should have accumulated idle time before the message")
+	}
+}
+
+func TestPreemptHandlesPendingMessages(t *testing.T) {
+	eng, _, nodes := newNode(t, 2)
+	a, b := nodes[0], nodes[1]
+	var handledAt sim.Time
+	b.SetHandler(func(f simnet.Frame) {
+		b.Charge(CatData, b.Model().RecvCost(f.Size))
+		handledAt = eng.Now()
+	})
+	a.SetHandler(func(f simnet.Frame) {})
+	a.Start()
+	b.Start()
+	eng.Schedule(0, func() {
+		a.Spawn("sender", func(th *Thread) {
+			a.Send(b.ID, "ping", 20, CatData)
+			a.Stop()
+		})
+		b.Spawn("compute", func(th *Thread) {
+			// Long computation in filament-sized slices; the message
+			// arrives mid-way and is handled at the next Preempt.
+			for i := 0; i < 100; i++ {
+				b.Charge(CatWork, sim.Millisecond)
+				th.Preempt()
+			}
+			b.Stop()
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if handledAt == 0 {
+		t.Fatal("message never handled")
+	}
+	if handledAt.Milliseconds() > 10 {
+		t.Fatalf("message handled at %v; preempt should bound latency to ~one slice", handledAt)
+	}
+}
+
+func TestThreadSwitchAccounting(t *testing.T) {
+	eng, _, nodes := newNode(t, 1)
+	n := nodes[0]
+	n.Start()
+	eng.Schedule(0, func() {
+		n.Spawn("a", func(th *Thread) { th.Yield(); th.Yield() })
+		n.Spawn("b", func(th *Thread) { th.Yield(); th.Yield() })
+		n.Spawn("stop", func(th *Thread) {
+			for n.ReadyLen() > 0 {
+				th.Yield()
+			}
+			n.Stop()
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Switches() < 4 {
+		t.Fatalf("switches = %d, want >= 4", n.Switches())
+	}
+	wantMin := sim.Duration(n.Switches()) * n.Model().ThreadSwitch
+	if n.Account()[CatData] < wantMin {
+		t.Fatalf("data account %v < switch cost %v", n.Account()[CatData], wantMin)
+	}
+}
+
+func TestStopDrainsCleanly(t *testing.T) {
+	eng, _, nodes := newNode(t, 1)
+	n := nodes[0]
+	n.Start()
+	eng.Schedule(0, func() {
+		n.Spawn("t", func(th *Thread) { n.Stop() })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Live() != 0 {
+		t.Fatalf("%d procs still live", eng.Live())
+	}
+}

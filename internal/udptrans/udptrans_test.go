@@ -1,0 +1,217 @@
+package udptrans
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+const (
+	svcEcho    = 1
+	svcCounter = 2
+	svcDrop    = 3
+)
+
+func pair(t *testing.T, opts Options) (*Endpoint, *Endpoint) {
+	t.Helper()
+	a, err := Listen("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Listen("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func registerEcho(ep *Endpoint) {
+	ep.Register(svcEcho, Service{
+		Idempotent: true,
+		Handler: func(_ *net.UDPAddr, req []byte) ([]byte, bool) {
+			return append([]byte("echo:"), req...), false
+		},
+	})
+}
+
+func TestEcho(t *testing.T) {
+	a, b := pair(t, Options{})
+	registerEcho(b)
+	got, err := a.Call(b.Addr(), svcEcho, []byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "echo:hi" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestLargePayload(t *testing.T) {
+	a, b := pair(t, Options{})
+	b.Register(svcEcho, Service{
+		Idempotent: true,
+		Handler: func(_ *net.UDPAddr, req []byte) ([]byte, bool) {
+			return req, false
+		},
+	})
+	page := bytes.Repeat([]byte{0xAB}, 40960) // a 10-page DSM group
+	got, err := a.Call(b.Addr(), svcEcho, page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, page) {
+		t.Fatal("payload corrupted")
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	a, b := pair(t, Options{})
+	b.Register(svcEcho, Service{
+		Idempotent: true,
+		Handler: func(_ *net.UDPAddr, req []byte) ([]byte, bool) {
+			return req, false
+		},
+	})
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			want := fmt.Sprintf("msg-%d", i)
+			got, err := a.Call(b.Addr(), svcEcho, []byte(want))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if string(got) != want {
+				errs <- fmt.Errorf("got %q want %q", got, want)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// Figure 3(b): first request lost; retransmission recovers.
+func TestRequestLossRecovered(t *testing.T) {
+	var dropped atomic.Bool
+	opts := Options{
+		RetransmitTimeout: 20 * time.Millisecond,
+		DropSend: func(buf []byte) bool {
+			if buf[0] == kindRequest && !dropped.Load() {
+				dropped.Store(true)
+				return true
+			}
+			return false
+		},
+	}
+	a, err := Listen("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Listen("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	registerEcho(b)
+	got, err := a.Call(b.Addr(), svcEcho, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "echo:x" || !dropped.Load() {
+		t.Fatalf("got %q dropped=%v", got, dropped.Load())
+	}
+}
+
+// Figure 3(c) for a non-idempotent service: the reply is lost, the request
+// retransmitted, and the handler must not re-execute.
+func TestNonIdempotentReplayOnReplyLoss(t *testing.T) {
+	var dropReply atomic.Bool
+	dropReply.Store(true)
+	serverOpts := Options{
+		DropSend: func(buf []byte) bool {
+			if buf[0] == kindReply && dropReply.Load() {
+				dropReply.Store(false)
+				return true
+			}
+			return false
+		},
+	}
+	b, err := Listen("127.0.0.1:0", serverOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a, err := Listen("127.0.0.1:0", Options{RetransmitTimeout: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	var count atomic.Int32
+	b.Register(svcCounter, Service{
+		Idempotent: false,
+		Handler: func(_ *net.UDPAddr, req []byte) ([]byte, bool) {
+			return []byte{byte(count.Add(1))}, false
+		},
+	})
+	got, err := a.Call(b.Addr(), svcCounter, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || count.Load() != 1 {
+		t.Fatalf("reply %d, executions %d; duplicate re-executed", got[0], count.Load())
+	}
+}
+
+// A handler that drops (critical section busy) is retried until it serves.
+func TestHandlerDropRetried(t *testing.T) {
+	a, b := pair(t, Options{RetransmitTimeout: 15 * time.Millisecond})
+	var calls atomic.Int32
+	b.Register(svcDrop, Service{
+		Idempotent: true,
+		Handler: func(_ *net.UDPAddr, req []byte) ([]byte, bool) {
+			if calls.Add(1) < 3 {
+				return nil, true // busy: drop
+			}
+			return []byte("finally"), false
+		},
+	})
+	got, err := a.Call(b.Addr(), svcDrop, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "finally" || calls.Load() < 3 {
+		t.Fatalf("got %q after %d calls", got, calls.Load())
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	a, _ := pair(t, Options{RetransmitTimeout: 5 * time.Millisecond, MaxRetries: 2})
+	dead := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 1} // nothing listens
+	_, err := a.Call(dead, svcEcho, []byte("x"))
+	if err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestClosedEndpoint(t *testing.T) {
+	a, b := pair(t, Options{})
+	registerEcho(b)
+	a.Close()
+	if _, err := a.Call(b.Addr(), svcEcho, nil); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
