@@ -89,4 +89,12 @@ func main() {
 	fmt.Printf("  datagrams lost: %d (recovered by retransmission)\n", dropped.Load())
 	fmt.Printf("  server served : %d requests (duplicates re-served from current contents)\n",
 		served.Load())
+
+	// Per-endpoint transport health, the same counters package packet
+	// reports inside the simulation.
+	cs, ss := client.Stats(), server.Stats()
+	fmt.Printf("  client        : %d requests, %d retransmits, %d replies received, %d timeouts\n",
+		cs.RequestsSent, cs.Retransmits, cs.RepliesReceived, cs.Timeouts)
+	fmt.Printf("  server        : %d replies sent, %d dup-coalesced, %d cache hits, in-flight high-water %d\n",
+		ss.RepliesSent, ss.DupSuppressed, ss.CacheHits, ss.InFlightHWM)
 }

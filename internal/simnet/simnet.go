@@ -94,6 +94,14 @@ type Network struct {
 	LossRate float64
 	// DupRate is the probability a frame is delivered twice.
 	DupRate float64
+	// DupFilter, if non-nil, is consulted per frame; returning true delivers
+	// the frame twice. It is applied before DupRate.
+	DupFilter func(*Frame) bool
+	// ReorderRate is the probability a frame's delivery is deferred by a few
+	// extra wire latencies, landing it after frames sent later — datagram
+	// reordering, as IP routes and interrupt coalescing produce on real
+	// networks.
+	ReorderRate float64
 	// DropFilter, if non-nil, is consulted per frame; returning true drops
 	// the frame. It is applied before LossRate.
 	DropFilter func(*Frame) bool
@@ -162,6 +170,9 @@ func (nw *Network) Send(f Frame) {
 	if nw.DelayFilter != nil {
 		q.delay = nw.DelayFilter(&q.frame)
 	}
+	if nw.ReorderRate > 0 && nw.eng.Rand().Float64() < nw.ReorderRate {
+		q.delay += sim.Duration(2+nw.eng.Rand().Intn(6)) * nw.model.WireLatency
+	}
 	nw.queues[f.Src] = append(nw.queues[f.Src], q)
 	if !nw.sending {
 		nw.arbitrate()
@@ -209,7 +220,11 @@ func (nw *Network) finish(q *queued) {
 	f := q.frame
 	arrive := nw.eng.Now().Add(nw.model.WireLatency + q.delay)
 	nw.eng.ScheduleAt(arrive, func() { nw.deliver(f) })
-	if nw.DupRate > 0 && nw.eng.Rand().Float64() < nw.DupRate {
+	dup := nw.DupFilter != nil && nw.DupFilter(&q.frame)
+	if !dup && nw.DupRate > 0 && nw.eng.Rand().Float64() < nw.DupRate {
+		dup = true
+	}
+	if dup {
 		nw.eng.ScheduleAt(arrive.Add(nw.model.WireLatency), func() { nw.deliver(f) })
 	}
 }

@@ -149,6 +149,54 @@ func TestDuplication(t *testing.T) {
 	}
 }
 
+func TestDupFilter(t *testing.T) {
+	eng, nw, _ := newNet(t, 2)
+	delivered := 0
+	nw.Register(1, func(f Frame) { delivered++ })
+	n := 0
+	nw.DupFilter = func(f *Frame) bool { n++; return n == 1 } // duplicate first only
+	eng.Schedule(0, func() {
+		nw.Send(Frame{Src: 0, Dst: 1, Size: 10})
+		nw.Send(Frame{Src: 0, Dst: 1, Size: 10})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 3 {
+		t.Fatalf("delivered = %d, want 3 (first frame duplicated)", delivered)
+	}
+}
+
+// ReorderRate must be able to land an earlier frame after a later one, which
+// plain FIFO delivery (TestFIFOProperty) never does.
+func TestReorderRate(t *testing.T) {
+	eng, nw, _ := newNet(t, 2)
+	var got []int
+	nw.Register(1, func(f Frame) { got = append(got, f.Payload.(int)) })
+	nw.ReorderRate = 0.5
+	const total = 64
+	eng.Schedule(0, func() {
+		for i := 0; i < total; i++ {
+			nw.Send(Frame{Src: 0, Dst: 1, Payload: i, Size: 10})
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != total {
+		t.Fatalf("delivered %d of %d", len(got), total)
+	}
+	inversions := 0
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Fatal("ReorderRate=0.5 produced a fully ordered stream")
+	}
+}
+
 func TestDelayFilter(t *testing.T) {
 	eng, nw, m := newNet(t, 2)
 	var at sim.Time

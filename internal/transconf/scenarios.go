@@ -1,0 +1,298 @@
+package transconf
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// RunAll runs every conformance scenario as a subtest against the harness.
+func RunAll(t *testing.T, h Harness) {
+	t.Run("NoProblems", func(t *testing.T) { scenarioNoProblems(t, h) })
+	t.Run("RequestLost", func(t *testing.T) { scenarioRequestLost(t, h) })
+	t.Run("ReplyLost", func(t *testing.T) { scenarioReplyLost(t, h) })
+	t.Run("ReplyDelayed", func(t *testing.T) { scenarioReplyDelayed(t, h) })
+	t.Run("Reorder", func(t *testing.T) { scenarioReorder(t, h) })
+	t.Run("Duplication", func(t *testing.T) { scenarioDuplication(t, h) })
+	t.Run("LossSweep", func(t *testing.T) { scenarioLossSweep(t, h) })
+	t.Run("ConcurrentClients", func(t *testing.T) { scenarioConcurrentClients(t, h) })
+	t.Run("CrossCall", func(t *testing.T) { scenarioCrossCall(t, h) })
+}
+
+// Service ids shared by the scenarios.
+const (
+	svcEcho  = 1
+	svcOnce  = 2 // non-idempotent: effect must happen exactly once per call
+	svcOuter = 3 // handler that Calls svcEcho on another node
+)
+
+func echoService(prefix string) func(int) Service {
+	return func(int) Service {
+		return Service{
+			Idempotent: true,
+			Handler: func(_ Caller, _ int, req []byte) ([]byte, bool) {
+				return append([]byte(prefix), req...), false
+			},
+		}
+	}
+}
+
+// onceRecorder builds svcOnce and exposes the per-payload execution counts.
+type onceRecorder struct {
+	mu   sync.Mutex
+	seen map[string]int
+}
+
+func newOnceRecorder() *onceRecorder { return &onceRecorder{seen: make(map[string]int)} }
+
+func (r *onceRecorder) service(int) Service {
+	return Service{
+		Idempotent: false,
+		Handler: func(_ Caller, _ int, req []byte) ([]byte, bool) {
+			r.mu.Lock()
+			r.seen[string(req)]++
+			n := r.seen[string(req)]
+			r.mu.Unlock()
+			return []byte{byte(n)}, false
+		},
+	}
+}
+
+func (r *onceRecorder) distinct() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.seen)
+}
+
+func (r *onceRecorder) assertExactlyOnce(t *testing.T, want int) {
+	t.Helper()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for id, n := range r.seen {
+		if n != 1 {
+			t.Errorf("effect %q happened %d times", id, n)
+		}
+	}
+	if len(r.seen) != want {
+		t.Fatalf("recorded %d distinct effects, want %d", len(r.seen), want)
+	}
+}
+
+func mustCall(t *testing.T, c Caller, dst, svc int, req []byte) []byte {
+	t.Helper()
+	got, err := c.Call(dst, svc, req)
+	if err != nil {
+		t.Errorf("call svc %d to node %d: %v", svc, dst, err)
+		return nil
+	}
+	return got
+}
+
+// Figure 3(a): no problems — one request, one reply.
+func scenarioNoProblems(t *testing.T, h Harness) {
+	cl := h(t, Config{
+		Nodes:    2,
+		Services: map[int]func(int) Service{svcEcho: echoService("echo:")},
+	})
+	cl.Run(t, Worker{Node: 0, Body: func(c Caller) {
+		if got := mustCall(t, c, 1, svcEcho, []byte("hi")); string(got) != "echo:hi" {
+			t.Errorf("got %q", got)
+		}
+	}})
+}
+
+// Figure 3(b): the request is lost; the requester's retransmission recovers.
+func scenarioRequestLost(t *testing.T, h Harness) {
+	cl := h(t, Config{
+		Nodes:    2,
+		Faults:   Faults{DropFirstRequest: true},
+		Services: map[int]func(int) Service{svcEcho: echoService("echo:")},
+	})
+	cl.Run(t, Worker{Node: 0, Body: func(c Caller) {
+		if got := mustCall(t, c, 1, svcEcho, []byte("hi")); string(got) != "echo:hi" {
+			t.Errorf("got %q", got)
+		}
+	}})
+}
+
+// Figure 3(c): the reply is lost; the request is retransmitted and the
+// reply regenerated — without re-executing the non-idempotent handler.
+func scenarioReplyLost(t *testing.T, h Harness) {
+	rec := newOnceRecorder()
+	cl := h(t, Config{
+		Nodes:    2,
+		Faults:   Faults{DropFirstReply: true},
+		Services: map[int]func(int) Service{svcOnce: rec.service},
+	})
+	cl.Run(t, Worker{Node: 0, Body: func(c Caller) {
+		if got := mustCall(t, c, 1, svcOnce, []byte("tx-1")); len(got) != 1 || got[0] != 1 {
+			t.Errorf("reply = %v, want execution count 1", got)
+		}
+	}})
+	rec.assertExactlyOnce(t, 1)
+}
+
+// Figure 3(d): the reply is delayed past the timeout; the retransmission
+// produces a duplicate reply, which the requester must discard — the next
+// call must still pair with its own reply.
+func scenarioReplyDelayed(t *testing.T, h Harness) {
+	var executions atomic.Int32
+	cl := h(t, Config{
+		Nodes:  2,
+		Faults: Faults{DelayFirstReply: true},
+		Services: map[int]func(int) Service{
+			svcEcho: func(int) Service {
+				return Service{
+					Idempotent: true,
+					Handler: func(_ Caller, _ int, req []byte) ([]byte, bool) {
+						executions.Add(1)
+						return append([]byte("echo:"), req...), false
+					},
+				}
+			},
+		},
+	})
+	cl.Run(t, Worker{Node: 0, Body: func(c Caller) {
+		if got := mustCall(t, c, 1, svcEcho, []byte("a")); string(got) != "echo:a" {
+			t.Errorf("first call got %q", got)
+		}
+		if got := mustCall(t, c, 1, svcEcho, []byte("b")); string(got) != "echo:b" {
+			t.Errorf("second call got %q (stale reply leaked across calls)", got)
+		}
+	}})
+	if executions.Load() < 2 {
+		t.Errorf("handler executed %d times; the delayed reply never forced a retransmission", executions.Load())
+	}
+}
+
+// Reordered datagrams must not cross replies between calls.
+func scenarioReorder(t *testing.T, h Harness) {
+	cl := h(t, Config{
+		Nodes:    2,
+		Faults:   Faults{Reorder: 0.5},
+		Services: map[int]func(int) Service{svcEcho: echoService("r:")},
+	})
+	cl.Run(t, Worker{Node: 0, Body: func(c Caller) {
+		for i := 0; i < 16; i++ {
+			msg := fmt.Sprintf("m%d", i)
+			if got := mustCall(t, c, 1, svcEcho, []byte(msg)); string(got) != "r:"+msg {
+				t.Errorf("call %d got %q", i, got)
+			}
+		}
+	}})
+}
+
+// Duplicated datagrams: non-idempotent effects still happen exactly once.
+func scenarioDuplication(t *testing.T, h Harness) {
+	rec := newOnceRecorder()
+	cl := h(t, Config{
+		Nodes:    2,
+		Faults:   Faults{Dup: 0.5},
+		Services: map[int]func(int) Service{svcOnce: rec.service},
+	})
+	const calls = 12
+	cl.Run(t, Worker{Node: 0, Body: func(c Caller) {
+		for i := 0; i < calls; i++ {
+			mustCall(t, c, 1, svcOnce, []byte(fmt.Sprintf("dup-%d", i)))
+		}
+	}})
+	rec.assertExactlyOnce(t, calls)
+}
+
+// 0–10% random loss: every call completes with the right payload.
+func scenarioLossSweep(t *testing.T, h Harness) {
+	for _, loss := range []float64{0, 0.02, 0.05, 0.10} {
+		loss := loss
+		t.Run(fmt.Sprintf("loss=%.0f%%", loss*100), func(t *testing.T) {
+			cl := h(t, Config{
+				Nodes:    2,
+				Faults:   Faults{Loss: loss},
+				Services: map[int]func(int) Service{svcEcho: echoService("l:")},
+			})
+			worker := func(id int) Worker {
+				return Worker{Node: 0, Body: func(c Caller) {
+					for i := 0; i < 8; i++ {
+						msg := fmt.Sprintf("w%d-%d", id, i)
+						if got := mustCall(t, c, 1, svcEcho, []byte(msg)); string(got) != "l:"+msg {
+							t.Errorf("got %q want %q", got, "l:"+msg)
+						}
+					}
+				}}
+			}
+			cl.Run(t, worker(0), worker(1))
+		})
+	}
+}
+
+// Several clients against several servers, non-idempotent, under light
+// loss+duplication: zero lost calls, exactly-once effects.
+func scenarioConcurrentClients(t *testing.T, h Harness) {
+	recs := map[int]*onceRecorder{1: newOnceRecorder(), 2: newOnceRecorder()}
+	cl := h(t, Config{
+		Nodes:  3,
+		Faults: Faults{Loss: 0.05, Dup: 0.1},
+		Services: map[int]func(int) Service{
+			svcOnce: func(node int) Service {
+				if r, ok := recs[node]; ok {
+					return r.service(node)
+				}
+				return newOnceRecorder().service(node)
+			},
+		},
+	})
+	const perWorker = 8
+	var workers []Worker
+	for w := 0; w < 4; w++ {
+		w := w
+		workers = append(workers, Worker{Node: 0, Body: func(c Caller) {
+			for i := 0; i < perWorker; i++ {
+				dst := 1 + (w+i)%2
+				mustCall(t, c, dst, svcOnce, []byte(fmt.Sprintf("w%d-%d", w, i)))
+			}
+		}})
+	}
+	cl.Run(t, workers...)
+	if got := recs[1].distinct() + recs[2].distinct(); got != 4*perWorker {
+		t.Fatalf("recorded %d effects, want %d", got, 4*perWorker)
+	}
+	recs[1].assertExactlyOnce(t, recs[1].distinct())
+	recs[2].assertExactlyOnce(t, recs[2].distinct())
+}
+
+// Symmetric cross-call: both nodes call a service on the other whose
+// handler in turn calls back — the DSM page-request pattern from both sides
+// at once. A transport that services requests on its receive path deadlocks
+// here.
+func scenarioCrossCall(t *testing.T, h Harness) {
+	cl := h(t, Config{
+		Nodes: 2,
+		Services: map[int]func(int) Service{
+			svcEcho: echoService("inner:"),
+			svcOuter: func(node int) Service {
+				peer := 1 - node
+				return Service{
+					Idempotent: true,
+					Calls:      true,
+					Handler: func(c Caller, _ int, req []byte) ([]byte, bool) {
+						inner, err := c.Call(peer, svcEcho, req)
+						if err != nil {
+							return nil, true
+						}
+						return append([]byte("outer:"), inner...), false
+					},
+				}
+			},
+		},
+	})
+	worker := func(node int) Worker {
+		peer := 1 - node
+		return Worker{Node: node, Body: func(c Caller) {
+			msg := fmt.Sprintf("n%d", node)
+			if got := mustCall(t, c, peer, svcOuter, []byte(msg)); string(got) != "outer:inner:"+msg {
+				t.Errorf("node %d got %q", node, got)
+			}
+		}}
+	}
+	cl.Run(t, worker(0), worker(1))
+}

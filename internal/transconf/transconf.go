@@ -1,0 +1,79 @@
+// Package transconf is a transport-agnostic conformance and stress suite
+// for the Packet protocol. The same scenarios — the paper's Figure 3 (no
+// problems, request lost, reply lost, reply delayed) plus reordering,
+// duplication, loss sweeps, concurrent clients, and symmetric cross-calls
+// between endpoints whose handlers call each other — run against both
+// implementations of the protocol: package packet on the simulated Ethernet
+// and package udptrans on real loopback UDP (under the race detector).
+//
+// Passing the suite on both transports is the repo's equivalence argument
+// between the simulation that carries every experiment and the deployable
+// UDP transport: whatever the protocol guarantees in the experiments, the
+// real sockets deliver too.
+//
+// A transport plugs in by providing a Harness that builds a Cluster of n
+// endpoints from a Config; each scenario constructs a fresh cluster, runs
+// Workers (client bodies pinned to nodes), and asserts on effects observed
+// through handler closures.
+package transconf
+
+import "testing"
+
+// Caller issues protocol calls from a specific node. Workers receive one;
+// handlers of services marked Calls receive one bound to their own node.
+type Caller interface {
+	// Call sends req to service svc on node dst and returns the reply.
+	Call(dst, svc int, req []byte) ([]byte, error)
+}
+
+// Service describes one request type, transport-independently.
+type Service struct {
+	// Idempotent handlers may re-execute for duplicate requests;
+	// non-idempotent ones must take effect at most once per request.
+	Idempotent bool
+	// Calls marks a handler that issues Calls through the Caller it
+	// receives. Transports must service such handlers off the receive path
+	// (worker pool, server thread, deferred drop-and-retry) so the nested
+	// call cannot deadlock the endpoint.
+	Calls bool
+	// Handler services one request. c is only valid when Calls is set.
+	Handler func(c Caller, from int, req []byte) (reply []byte, drop bool)
+}
+
+// Faults configures injection for a scenario. Scripted faults (DropFirst*)
+// fire once, cluster-wide, on the first matching protocol message.
+type Faults struct {
+	Loss    float64 // per-datagram loss probability
+	Dup     float64 // per-datagram duplication probability
+	Reorder float64 // probability a datagram is delayed past later ones
+
+	DropFirstRequest bool // Figure 3(b)
+	DropFirstReply   bool // Figure 3(c)
+	DelayFirstReply  bool // Figure 3(d): delay past the retransmit timeout
+}
+
+// Config describes the cluster a scenario needs.
+type Config struct {
+	Nodes  int
+	Faults Faults
+	// Services maps service id to a per-node factory, so handlers can hold
+	// per-node state. Every service is registered on every node.
+	Services map[int]func(node int) Service
+}
+
+// Worker is one client body, pinned to a node.
+type Worker struct {
+	Node int
+	Body func(c Caller)
+}
+
+// Cluster is a running set of endpoints built by a Harness.
+type Cluster interface {
+	// Run executes the workers concurrently, each on its node, and returns
+	// once every body has completed. It is called exactly once per cluster.
+	Run(t *testing.T, workers ...Worker)
+}
+
+// Harness builds a transport's cluster for one scenario. Cleanup should be
+// registered on t.
+type Harness func(t *testing.T, cfg Config) Cluster

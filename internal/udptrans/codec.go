@@ -1,0 +1,47 @@
+package udptrans
+
+import "encoding/binary"
+
+// Wire format: | kind(1) | svc(2) | seq(4) | payload |. Both requests and
+// replies carry the full header; a reply echoes the request's svc and seq so
+// the requester can validate it against the pending call.
+const (
+	kindRequest = 0x01
+	kindReply   = 0x02
+	headerLen   = 7
+)
+
+// header is the decoded fixed prefix of every datagram.
+type header struct {
+	kind byte
+	svc  uint16
+	seq  uint32
+}
+
+// encode builds a datagram from a header and payload.
+func encode(h header, payload []byte) []byte {
+	buf := make([]byte, headerLen+len(payload))
+	buf[0] = h.kind
+	binary.BigEndian.PutUint16(buf[1:], h.svc)
+	binary.BigEndian.PutUint32(buf[3:], h.seq)
+	copy(buf[headerLen:], payload)
+	return buf
+}
+
+// decode splits a received datagram into header and payload. The payload is
+// copied so the caller's receive buffer can be reused. ok is false for
+// datagrams too short to carry a header or with an unknown kind.
+func decode(b []byte) (h header, payload []byte, ok bool) {
+	if len(b) < headerLen {
+		return header{}, nil, false
+	}
+	h.kind = b[0]
+	if h.kind != kindRequest && h.kind != kindReply {
+		return header{}, nil, false
+	}
+	h.svc = binary.BigEndian.Uint16(b[1:])
+	h.seq = binary.BigEndian.Uint32(b[3:])
+	payload = make([]byte, len(b)-headerLen)
+	copy(payload, b[headerLen:])
+	return h, payload, true
+}

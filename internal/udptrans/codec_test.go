@@ -1,0 +1,76 @@
+package udptrans
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	f := func(kindBit bool, svc uint16, seq uint32, payload []byte) bool {
+		h := header{kind: kindRequest, svc: svc, seq: seq}
+		if kindBit {
+			h.kind = kindReply
+		}
+		got, p, ok := decode(encode(h, payload))
+		return ok && got == h && bytes.Equal(p, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, _, ok := decode([]byte{kindRequest, 0, 1}); ok {
+		t.Fatal("decoded a datagram shorter than the header")
+	}
+	if _, _, ok := decode(encode(header{kind: 0x7F, svc: 1, seq: 1}, nil)); ok {
+		t.Fatal("decoded an unknown kind")
+	}
+}
+
+// Regression: replies must carry the service id in bytes 1–2, as the
+// documented wire format | kind | svc | seq | says. The seed implementation
+// left them zero.
+func TestReplyHeaderCarriesService(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	const svc = 0x1234
+	srv.Register(svc, Service{
+		Idempotent: true,
+		Handler: func(_ *net.UDPAddr, req []byte) ([]byte, bool) {
+			return []byte("ok"), false
+		},
+	})
+
+	// Speak the wire format directly so the assertion is on raw bytes.
+	raw, err := net.DialUDP("udp", nil, srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := raw.Write(encode(header{kind: kindRequest, svc: svc, seq: 99}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 256)
+	n, err := raw.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, payload, ok := decode(buf[:n])
+	if !ok {
+		t.Fatalf("reply undecodable: % x", buf[:n])
+	}
+	if h.kind != kindReply || h.svc != svc || h.seq != 99 {
+		t.Fatalf("reply header = %+v, want kind=%d svc=%#x seq=99", h, kindReply, svc)
+	}
+	if string(payload) != "ok" {
+		t.Fatalf("payload = %q", payload)
+	}
+}

@@ -1,0 +1,127 @@
+package udptrans
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"filaments/internal/transconf"
+)
+
+// udpCluster adapts a set of loopback Endpoints to the shared conformance
+// suite, mapping the suite's integer node ids to socket addresses.
+type udpCluster struct {
+	eps   []*Endpoint
+	addrs []*net.UDPAddr
+	ids   map[string]int // addr string → node id
+}
+
+type udpCaller struct {
+	cl *udpCluster
+	ep *Endpoint
+}
+
+func (c *udpCaller) Call(dst, svc int, req []byte) ([]byte, error) {
+	return c.ep.Call(c.cl.addrs[dst], uint16(svc), req)
+}
+
+func (cl *udpCluster) Run(t *testing.T, workers ...transconf.Worker) {
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Body(&udpCaller{cl: cl, ep: cl.eps[w.Node]})
+		}()
+	}
+	wg.Wait()
+}
+
+// udpHarness builds loopback clusters with the suite's faults mapped onto
+// the endpoint's DropSend/DelaySend/DupSend hooks.
+func udpHarness(t *testing.T, cfg transconf.Config) transconf.Cluster {
+	const baseTimeout = 5 * time.Millisecond
+	var (
+		rngMu        sync.Mutex
+		rng          = rand.New(rand.NewSource(7))
+		firstRequest atomic.Bool
+		firstReply   atomic.Bool
+	)
+	chance := func(p float64) bool {
+		if p <= 0 {
+			return false
+		}
+		rngMu.Lock()
+		defer rngMu.Unlock()
+		return rng.Float64() < p
+	}
+	f := cfg.Faults
+	opts := Options{
+		RetransmitTimeout: baseTimeout,
+		MaxBackoff:        50 * time.Millisecond,
+		MaxRetries:        80,
+		DropSend: func(b []byte) bool {
+			if f.DropFirstRequest && b[0] == kindRequest && firstRequest.CompareAndSwap(false, true) {
+				return true
+			}
+			if f.DropFirstReply && b[0] == kindReply && firstReply.CompareAndSwap(false, true) {
+				return true
+			}
+			return chance(f.Loss)
+		},
+		DupSend: func(b []byte) bool { return chance(f.Dup) },
+		DelaySend: func(b []byte) time.Duration {
+			if f.DelayFirstReply && b[0] == kindReply && firstReply.CompareAndSwap(false, true) {
+				return 4 * baseTimeout // past the timeout: forces a retransmission
+			}
+			if chance(f.Reorder) {
+				rngMu.Lock()
+				defer rngMu.Unlock()
+				return time.Duration(rng.Int63n(int64(2 * baseTimeout)))
+			}
+			return 0
+		},
+	}
+
+	cl := &udpCluster{ids: make(map[string]int)}
+	for i := 0; i < cfg.Nodes; i++ {
+		ep, err := Listen("127.0.0.1:0", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ep.Close() })
+		cl.eps = append(cl.eps, ep)
+		cl.addrs = append(cl.addrs, ep.Addr())
+		cl.ids[ep.Addr().String()] = i
+	}
+	for svc, factory := range cfg.Services {
+		for node, ep := range cl.eps {
+			s := factory(node)
+			caller := &udpCaller{cl: cl, ep: ep}
+			handler := s.Handler
+			ep.Register(uint16(svc), Service{
+				Idempotent: s.Idempotent,
+				Handler: func(from *net.UDPAddr, req []byte) ([]byte, bool) {
+					var c transconf.Caller
+					if s.Calls {
+						c = caller
+					}
+					return handler(c, cl.ids[from.String()], req)
+				},
+			})
+		}
+	}
+	return cl
+}
+
+// TestConformance runs the shared transport conformance suite — the same
+// scenarios package packet runs on the simulated Ethernet — on loopback
+// UDP. Run with -race; the symmetric CrossCall scenario hangs on any
+// implementation that services requests on its receive path.
+func TestConformance(t *testing.T) {
+	transconf.RunAll(t, udpHarness)
+}

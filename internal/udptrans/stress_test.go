@@ -1,0 +1,139 @@
+package udptrans
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// faultRNG drives the loss/dup/reorder hooks deterministically and safely
+// from many goroutines.
+type faultRNG struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (f *faultRNG) chance(p float64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rng.Float64() < p
+}
+
+func (f *faultRNG) jitter(max time.Duration) time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return time.Duration(f.rng.Int63n(int64(max)))
+}
+
+// N clients × M servers under simultaneous loss, duplication, and
+// reordering: every call must complete, every non-idempotent effect must
+// happen exactly once, and no reply may cross between calls. This is the
+// -race stress companion to the transconf suite.
+func TestStressLossDupReorder(t *testing.T) {
+	const (
+		servers        = 2
+		clients        = 4
+		callsPerClient = 24
+		svcRecord      = 7
+	)
+	rng := &faultRNG{rng: rand.New(rand.NewSource(42))}
+	opts := Options{
+		RetransmitTimeout: 5 * time.Millisecond,
+		MaxBackoff:        50 * time.Millisecond,
+		MaxRetries:        60,
+		DropSend:          func(b []byte) bool { return rng.chance(0.10) },
+		DupSend:           func(b []byte) bool { return rng.chance(0.10) },
+		DelaySend: func(b []byte) time.Duration {
+			if rng.chance(0.15) {
+				return rng.jitter(8 * time.Millisecond)
+			}
+			return 0
+		},
+	}
+
+	type record struct {
+		mu   sync.Mutex
+		seen map[string]int
+	}
+	var srvEps []*Endpoint
+	var records []*record
+	for i := 0; i < servers; i++ {
+		ep, err := Listen("127.0.0.1:0", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ep.Close() })
+		rec := &record{seen: make(map[string]int)}
+		ep.Register(svcRecord, Service{
+			Idempotent: false, // each id must be recorded exactly once
+			Handler: func(_ *net.UDPAddr, req []byte) ([]byte, bool) {
+				rec.mu.Lock()
+				rec.seen[string(req)]++
+				n := rec.seen[string(req)]
+				rec.mu.Unlock()
+				out := make([]byte, 4+len(req))
+				binary.BigEndian.PutUint32(out, uint32(n))
+				copy(out[4:], req)
+				return out, false
+			},
+		})
+		srvEps = append(srvEps, ep)
+		records = append(records, rec)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*callsPerClient)
+	for c := 0; c < clients; c++ {
+		c := c
+		cli, err := Listen("127.0.0.1:0", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cli.Close() })
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < callsPerClient; i++ {
+				srv := srvEps[(c+i)%servers]
+				id := fmt.Sprintf("c%d-call%d", c, i)
+				got, err := cli.Call(srv.Addr(), svcRecord, []byte(id))
+				if err != nil {
+					errs <- fmt.Errorf("%s: %v", id, err)
+					return
+				}
+				if string(got[4:]) != id {
+					errs <- fmt.Errorf("%s: reply for %q; calls crossed", id, got[4:])
+					return
+				}
+				if n := binary.BigEndian.Uint32(got); n != 1 {
+					errs <- fmt.Errorf("%s: executed %d times", id, n)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	total := 0
+	for s, rec := range records {
+		rec.mu.Lock()
+		for id, n := range rec.seen {
+			if n != 1 {
+				t.Errorf("server %d: %s executed %d times", s, id, n)
+			}
+			total++
+		}
+		rec.mu.Unlock()
+	}
+	if total != clients*callsPerClient {
+		t.Fatalf("recorded %d effects, want %d (lost calls)", total, clients*callsPerClient)
+	}
+}

@@ -2,6 +2,7 @@ package udptrans
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -213,5 +214,301 @@ func TestClosedEndpoint(t *testing.T) {
 	a.Close()
 	if _, err := a.Call(b.Addr(), svcEcho, nil); err != ErrClosed {
 		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+// Regression: a stray reply from a third node carrying a pending seq must
+// not complete the call. The seed implementation matched replies by seq
+// alone, so the forged payload below won the race against the real server.
+func TestStrayReplyRejected(t *testing.T) {
+	a, b := pair(t, Options{RetransmitTimeout: 30 * time.Millisecond})
+	b.Register(svcEcho, Service{
+		Idempotent: true,
+		Handler: func(_ *net.UDPAddr, req []byte) ([]byte, bool) {
+			time.Sleep(60 * time.Millisecond) // hold the call open for the forger
+			return append([]byte("real:"), req...), false
+		},
+	})
+
+	// A third node forges replies for every plausible seq while the call is
+	// outstanding.
+	forger, err := net.DialUDP("udp", nil, a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer forger.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+				for seq := uint32(1); seq <= 4; seq++ {
+					forger.Write(encode(header{kind: kindReply, svc: svcEcho, seq: seq}, []byte("forged")))
+				}
+			}
+		}
+	}()
+
+	got, err := a.Call(b.Addr(), svcEcho, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "real:x" {
+		t.Fatalf("call completed with %q; stray reply accepted", got)
+	}
+	if a.Stats().BadReplies == 0 {
+		t.Fatal("no stray replies were rejected")
+	}
+}
+
+// Two servers serviced by interleaved calls from one client: every reply
+// must match its own request even when one server is slow, so replies
+// arrive out of call order and from different peers.
+func TestTwoServersInterleaved(t *testing.T) {
+	a, b := pair(t, Options{})
+	c, err := Listen("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	for _, srv := range []*Endpoint{b, c} {
+		srv := srv
+		srv.Register(svcEcho, Service{
+			Idempotent: true,
+			Handler: func(_ *net.UDPAddr, req []byte) ([]byte, bool) {
+				if srv == b {
+					time.Sleep(10 * time.Millisecond) // b answers late
+				}
+				return append([]byte(srv.Addr().String()+":"), req...), false
+			},
+		})
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 16; i++ {
+		i := i
+		dst := b
+		if i%2 == 0 {
+			dst = c
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			msg := fmt.Sprintf("m%d", i)
+			got, err := a.Call(dst.Addr(), svcEcho, []byte(msg))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if want := dst.Addr().String() + ":" + msg; string(got) != want {
+				errs <- fmt.Errorf("got %q want %q", got, want)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// Regression: backoff must be capped and jittered. The seed schedule doubled
+// without bound: 10 retries at 50 ms base slept up to 51.15 s in total.
+func TestBackoffCapAndJitter(t *testing.T) {
+	base, cap := 50*time.Millisecond, time.Second
+	prev := time.Duration(0)
+	for attempt := 0; attempt < 30; attempt++ {
+		d := backoffBase(base, cap, attempt)
+		if d < prev {
+			t.Fatalf("backoff shrank at attempt %d: %v < %v", attempt, d, prev)
+		}
+		if d > cap {
+			t.Fatalf("backoff %v exceeds cap at attempt %d", d, attempt)
+		}
+		prev = d
+		for i := 0; i < 50; i++ {
+			j := backoffInterval(base, cap, attempt)
+			if j < time.Duration(float64(d)*0.75) || j > time.Duration(float64(d)*1.25) {
+				t.Fatalf("jittered interval %v outside ±25%% of %v", j, d)
+			}
+		}
+	}
+	if backoffBase(base, cap, 40) != cap { // far past any overflow point
+		t.Fatal("deep attempt not capped")
+	}
+}
+
+func TestWorstCaseLatencyBounded(t *testing.T) {
+	opts := resolveOptions(Options{})
+	var worst time.Duration
+	for attempt := 0; attempt <= opts.MaxRetries; attempt++ {
+		worst += time.Duration(float64(backoffBase(opts.RetransmitTimeout, opts.MaxBackoff, attempt)) * 1.25)
+	}
+	// Seed behaviour was 51.15 s for the same budget; the cap brings the
+	// default worst case under 15 s.
+	if worst > 15*time.Second {
+		t.Fatalf("default worst-case call latency %v not bounded", worst)
+	}
+}
+
+func TestResolveOptionsDefaults(t *testing.T) {
+	got := resolveOptions(Options{})
+	if got.MaxRetries != 10 || got.RetransmitTimeout != 50*time.Millisecond ||
+		got.MaxBackoff != time.Second || got.Workers != 4 || got.QueueDepth != 64 {
+		t.Fatalf("defaults = %+v", got)
+	}
+	if resolveOptions(Options{MaxRetries: NoRetry}).MaxRetries != 0 {
+		t.Fatal("NoRetry did not resolve to zero retries")
+	}
+	if resolveOptions(Options{MaxRetries: 3}).MaxRetries != 3 {
+		t.Fatal("explicit MaxRetries overridden")
+	}
+}
+
+// Regression: a fire-once configuration must be expressible. With the seed
+// options, MaxRetries could not be set to zero (0 meant "default 10").
+func TestNoRetrySendsOnce(t *testing.T) {
+	var sends atomic.Int32
+	a, err := Listen("127.0.0.1:0", Options{
+		RetransmitTimeout: 10 * time.Millisecond,
+		MaxRetries:        NoRetry,
+		DropSend: func(b []byte) bool {
+			if b[0] == kindRequest {
+				sends.Add(1)
+			}
+			return false
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	dead := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 1}
+	start := time.Now()
+	if _, err := a.Call(dead, svcEcho, nil); err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if got := sends.Load(); got != 1 {
+		t.Fatalf("sent %d requests, want exactly 1", got)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("fire-once call took %v", elapsed)
+	}
+}
+
+// Regression: duplicate retransmissions of a non-idempotent request arriving
+// while the handler is still executing must be coalesced, not re-executed.
+// The seed only consulted the reply cache, which is populated after the
+// handler returns.
+func TestInFlightCoalescing(t *testing.T) {
+	b, err := Listen("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a, err := Listen("127.0.0.1:0", Options{RetransmitTimeout: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	var executions atomic.Int32
+	b.Register(svcCounter, Service{
+		Idempotent: false,
+		Handler: func(_ *net.UDPAddr, req []byte) ([]byte, bool) {
+			n := executions.Add(1)
+			time.Sleep(80 * time.Millisecond) // several client retransmissions land here
+			return []byte{byte(n)}, false
+		},
+	})
+	got, err := a.Call(b.Addr(), svcCounter, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || executions.Load() != 1 {
+		t.Fatalf("reply %d, executions %d; mid-execution duplicate re-executed", got[0], executions.Load())
+	}
+	if b.Stats().DupSuppressed == 0 {
+		t.Fatal("no duplicates were coalesced")
+	}
+}
+
+// A handler that itself issues a Call back to the requester (the DSM
+// page-request pattern). On the seed code this deadlocked: the handler ran
+// on the read loop, so the endpoint could never receive the nested reply.
+func TestReentrantHandlerCall(t *testing.T) {
+	a, b := pair(t, Options{RetransmitTimeout: 20 * time.Millisecond})
+	registerEcho(a)
+	b.Register(svcDrop, Service{
+		Idempotent: true,
+		Handler: func(from *net.UDPAddr, req []byte) ([]byte, bool) {
+			inner, err := b.Call(from, svcEcho, []byte("nested"))
+			if err != nil {
+				return nil, true
+			}
+			return append([]byte("outer+"), inner...), false
+		},
+	})
+	done := make(chan struct{})
+	var got []byte
+	var err error
+	go func() {
+		got, err = a.Call(b.Addr(), svcDrop, nil)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("re-entrant call deadlocked")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "outer+echo:nested" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCallContextCancel(t *testing.T) {
+	a, _ := pair(t, Options{RetransmitTimeout: 20 * time.Millisecond, MaxRetries: 100})
+	dead := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := a.CallContext(ctx, dead, svcEcho, nil)
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancellation took %v; deadline not honoured", elapsed)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	a, b := pair(t, Options{RetransmitTimeout: 10 * time.Millisecond})
+	registerEcho(b)
+	var count atomic.Int32
+	b.Register(svcCounter, Service{
+		Handler: func(_ *net.UDPAddr, req []byte) ([]byte, bool) {
+			return []byte{byte(count.Add(1))}, false
+		},
+	})
+	for i := 0; i < 3; i++ {
+		if _, err := a.Call(b.Addr(), svcEcho, []byte("s")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.Call(b.Addr(), svcCounter, nil); err != nil {
+		t.Fatal(err)
+	}
+	as, bs := a.Stats(), b.Stats()
+	if as.RequestsSent != 4 || as.RepliesReceived != 4 {
+		t.Fatalf("client stats = %+v", as)
+	}
+	if bs.RepliesSent != 4 || bs.InFlightHWM < 1 {
+		t.Fatalf("server stats = %+v", bs)
 	}
 }
