@@ -216,9 +216,9 @@ func BenchmarkFig9PageFault(b *testing.B) {
 				return
 			}
 			e.Barrier()
-			t0 := rt.Node().Engine().Now()
+			t0 := rt.Node().Now()
 			_ = rt.DSM().ReadF64(e.Thread(), addr)
-			vus = rt.Node().Engine().Now().Sub(t0).Microseconds()
+			vus = rt.Node().Now().Sub(t0).Microseconds()
 			e.Barrier()
 		})
 		if err != nil {

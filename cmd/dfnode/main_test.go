@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHelperProcess is not a test: re-executed with DFNODE_HELPER_PROCESS
+// set, it becomes the dfnode binary (the arguments after "--" are dfnode's
+// flags). This lets the smoke test below spawn real dfnode processes
+// without building a separate binary.
+func TestHelperProcess(t *testing.T) {
+	if os.Getenv("DFNODE_HELPER_PROCESS") != "1" {
+		return
+	}
+	args := os.Args
+	for i, a := range args {
+		if a == "--" {
+			args = args[i+1:]
+			break
+		}
+	}
+	os.Args = append([]string{"dfnode"}, args...)
+	flag.CommandLine = flag.NewFlagSet("dfnode", flag.ExitOnError)
+	main()
+	os.Exit(0)
+}
+
+// freePorts reserves n distinct loopback UDP ports by binding ephemeral
+// sockets, then releases them for the child processes to rebind.
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	ports := make([]int, n)
+	conns := make([]*net.UDPConn, n)
+	for i := range ports {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+		ports[i] = c.LocalAddr().(*net.UDPAddr).Port
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return ports
+}
+
+// TestTwoProcessJacobi runs the DF Jacobi program across two separate OS
+// processes talking over loopback UDP. Each process verifies the final
+// grid against the sequential reference in-program (the mismatch count is
+// reduced across the cluster), so a clean "RESULT OK" from both is an
+// end-to-end check of the real-time binding: sockets, retransmission,
+// page migration, barriers, and reductions between address spaces.
+func TestTwoProcessJacobi(t *testing.T) {
+	ports := freePorts(t, 2)
+	peers := fmt.Sprintf("127.0.0.1:%d,127.0.0.1:%d", ports[0], ports[1])
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var outs [2]bytes.Buffer
+	var cmds [2]*exec.Cmd
+	for id := range cmds {
+		cmd := exec.CommandContext(ctx, os.Args[0], "-test.run=^TestHelperProcess$", "--",
+			"-id", fmt.Sprint(id), "-nodes", "2", "-peers", peers,
+			"-n", "32", "-iters", "4", "-v")
+		cmd.Env = append(os.Environ(), "DFNODE_HELPER_PROCESS=1")
+		cmd.Stdout = &outs[id]
+		cmd.Stderr = &outs[id]
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		cmds[id] = cmd
+	}
+	for id, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			t.Errorf("node %d exited: %v\n%s", id, err, outs[id].String())
+			continue
+		}
+		if !strings.Contains(outs[id].String(), "RESULT OK") {
+			t.Errorf("node %d did not report RESULT OK:\n%s", id, outs[id].String())
+		}
+	}
+}

@@ -1,9 +1,13 @@
-// dfrun executes one application/variant combination on the simulated
-// cluster and prints its timing and per-node counters.
+// dfrun executes one application/variant combination and prints its
+// timing and per-node counters. The default -transport=sim runs on the
+// simulated cluster (virtual time); -transport=udp runs the same node
+// program over real loopback UDP endpoints, one per node, in this process
+// (wall-clock time; see cmd/dfnode for the multi-process form).
 //
 // Usage:
 //
 //	dfrun -app jacobi -variant df -nodes 8
+//	dfrun -app jacobi -variant df -nodes 4 -transport udp
 //	dfrun -app matmul -variant cg -nodes 4 -n 256
 //	dfrun -app quadrature -variant bag -nodes 8
 //	dfrun -app exprtree -variant df -nodes 8 -protocol migratory
@@ -32,6 +36,7 @@ func main() {
 		height  = flag.Int("height", 0, "exprtree height (0 = paper default)")
 		tol     = flag.Float64("tol", 0, "quadrature tolerance (0 = paper default)")
 		proto   = flag.String("protocol", "", "DSM protocol override: migratory | wi | ii")
+		trans   = flag.String("transport", "sim", "binding: sim (virtual time) | udp (real loopback endpoints)")
 		verbose = flag.Bool("v", false, "per-node counters")
 	)
 	flag.Parse()
@@ -47,6 +52,15 @@ func main() {
 		protocol = filaments.ImplicitInvalidate
 	default:
 		fail("unknown -protocol %q", *proto)
+	}
+
+	switch *trans {
+	case "sim":
+	case "udp":
+		runUDP(*app, *variant, *nodes, *n, *iters, *tol, protocol, *verbose)
+		return
+	default:
+		fail("unknown -transport %q (sim | udp)", *trans)
 	}
 
 	var rep *filaments.Report
@@ -127,6 +141,60 @@ func main() {
 			a[threads.CatIdle].Seconds(),
 			nr.DSM.ReadFaults+nr.DSM.WriteFaults,
 			nr.DSM.Served)
+	}
+}
+
+// runUDP executes the DF variant on the real-time binding: one UDP
+// endpoint per node on loopback, wall-clock timing. Only the DF variants
+// of jacobi and quadrature run over udp — the seq/cg variants are
+// single-address-space programs and the remaining apps have not been
+// ported to the real-time binding.
+func runUDP(app, variant string, nodes, n, iters int, tol float64, protocol filaments.Protocol, verbose bool) {
+	if variant != "df" {
+		fail("-transport=udp runs only -variant df (got %q): seq and cg do not use the cluster", variant)
+	}
+	var rep *filaments.UDPReport
+	switch app {
+	case "jacobi":
+		cfg := jacobi.Config{N: n, Iters: iters, Nodes: nodes, Protocol: protocol}
+		r, _, err := jacobi.DFUDP(cfg)
+		if err != nil {
+			fail("%v", err)
+		}
+		rep = r
+	case "quadrature":
+		cfg := quadrature.Config{Tol: tol, Nodes: nodes}
+		r, _, err := quadrature.DFUDP(cfg, true)
+		if err != nil {
+			fail("%v", err)
+		}
+		rep = r
+	default:
+		fail("-app %s is not supported over -transport=udp (supported: jacobi, quadrature)", app)
+	}
+
+	fmt.Printf("%s/df on %d nodes over loopback UDP: %.3f wall seconds\n",
+		app, nodes, rep.Elapsed.Seconds())
+	var reqs, retrans, faults int64
+	for _, nr := range rep.PerNode {
+		reqs += nr.Transport.RequestsSent
+		retrans += nr.Transport.Retransmits
+		faults += nr.DSM.ReadFaults + nr.DSM.WriteFaults
+	}
+	fmt.Printf("network: %d requests, %d retransmits, %d page faults\n", reqs, retrans, faults)
+	if !verbose {
+		return
+	}
+	fmt.Printf("%-5s %8s %8s %8s %10s %8s\n",
+		"node", "faults", "served", "reqs", "retrans", "steals")
+	for i, nr := range rep.PerNode {
+		fmt.Printf("%-5d %8d %8d %8d %10d %8d\n",
+			i,
+			nr.DSM.ReadFaults+nr.DSM.WriteFaults,
+			nr.DSM.Served,
+			nr.Transport.RequestsSent,
+			nr.Transport.Retransmits,
+			nr.Runtime.StealsGranted)
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"filaments/internal/cost"
 	"filaments/internal/dsm"
 	"filaments/internal/filament"
+	"filaments/internal/kernel"
 	"filaments/internal/packet"
 	"filaments/internal/reduce"
 	"filaments/internal/sim"
@@ -300,7 +301,7 @@ func (c *Cluster) Run(program Program) (*Report, error) {
 	c.eng.Schedule(0, func() {
 		for i, rt := range c.rts {
 			i, rt := i, rt
-			c.nodes[i].Spawn("main", func(t *threads.Thread) {
+			c.nodes[i].Spawn("main", func(t kernel.Thread) {
 				e := rt.NewExec(t)
 				program(rt, e)
 				e.Flush()

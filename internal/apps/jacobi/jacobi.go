@@ -246,7 +246,23 @@ func DF(cfg Config) (*filaments.Report, [][]float64, *filaments.Cluster) {
 	})
 	ga := cl.AllocMatrixOwned(n, n, 0)
 	gb := cl.AllocMatrixOwned(n, n, 0)
-	rep, err := cl.Run(func(rt *filaments.Runtime, e *filaments.Exec) {
+	rep, err := cl.Run(dfProgram(cfg, ga, gb))
+	if err != nil {
+		panic(err)
+	}
+	final := ga
+	if iters%2 == 1 {
+		final = gb
+	}
+	return rep, cl.PeekMatrix(final), cl
+}
+
+// dfProgram is the DF node program shared by every binding: the simulated
+// cluster (DF) and the real-time UDP cluster (DFUDP) run exactly this
+// code. cfg must already be defaulted.
+func dfProgram(cfg Config, ga, gb filaments.Matrix) filaments.Program {
+	n, iters, p := cfg.N, cfg.Iters, cfg.Nodes
+	return func(rt *filaments.Runtime, e *filaments.Exec) {
 		me := rt.ID()
 		d := rt.DSM()
 		if me == 0 {
@@ -336,15 +352,74 @@ func DF(cfg Config) (*filaments.Report, [][]float64, *filaments.Cluster) {
 			e.Reduce(state.maxDiff, filaments.Max)
 			state.src, state.dst = state.dst, state.src
 		}
+	}
+}
+
+// DFUDP runs the same DF program on a single-process real-time cluster:
+// every node is a set of goroutines with its own UDP endpoint on
+// loopback. The returned grid is bitwise-identical to Reference's (both
+// evaluate 0.25*(up+down+left+right) over identical inputs in identical
+// order), so callers verify with exact comparison.
+func DFUDP(cfg Config) (*filaments.UDPReport, [][]float64, error) {
+	cfg.defaults()
+	proto := cfg.Protocol
+	if cfg.UseMigratory {
+		proto = filaments.Migratory
+	}
+	cl, err := filaments.NewUDPCluster(filaments.UDPConfig{
+		Nodes:    cfg.Nodes,
+		Protocol: proto,
 	})
 	if err != nil {
-		panic(err)
+		return nil, nil, err
+	}
+	n := cfg.N
+	ga := cl.AllocMatrixOwned(n, n, 0)
+	gb := cl.AllocMatrixOwned(n, n, 0)
+	rep, err := cl.Run(dfProgram(cfg, ga, gb))
+	if err != nil {
+		return nil, nil, err
 	}
 	final := ga
-	if iters%2 == 1 {
+	if cfg.Iters%2 == 1 {
 		final = gb
 	}
-	return rep, cl.PeekMatrix(final), cl
+	return rep, cl.PeekMatrix(final), nil
+}
+
+// DFNode runs the same DF program as one node of a multi-process cluster
+// (cmd/dfnode): every process calls this with its own UDPNode and the
+// identical Config. The result is verified in-program — each node checks
+// its n/p-row strip of the final grid against the sequential reference and
+// the per-node mismatch counts are combined by a Sum reduction (the sum of
+// small integers is exact and order-independent in float64), so every node
+// returns the cluster-wide mismatch total.
+func DFNode(cfg Config, u *filaments.UDPNode) (*filaments.UDPNodeReport, int, error) {
+	cfg.defaults()
+	n, p := cfg.N, cfg.Nodes
+	ga := u.AllocMatrixOwned(n, n, 0)
+	gb := u.AllocMatrixOwned(n, n, 0)
+	prog := dfProgram(cfg, ga, gb)
+	var mismatches float64
+	rep, err := u.Run(func(rt *filaments.Runtime, e *filaments.Exec) {
+		prog(rt, e)
+		final := ga
+		if cfg.Iters%2 == 1 {
+			final = gb
+		}
+		want := Reference(n, cfg.Iters)
+		me := rt.ID()
+		var bad float64
+		for i := me * n / p; i < (me+1)*n/p; i++ {
+			for j := 0; j < n; j++ {
+				if e.ReadF64(final.Addr(i, j)) != want[i][j] {
+					bad++
+				}
+			}
+		}
+		mismatches = e.Reduce(bad, filaments.Sum)
+	})
+	return rep, int(mismatches), err
 }
 
 // dsmPageRows returns how many grid rows share one DSM page.

@@ -253,9 +253,42 @@ func dfRun(cfg Config, stealing bool) (*filaments.Report, float64, *filaments.Cl
 		WakeFront: true,
 	})
 	var out float64
+	rep, err := cl.Run(dfProgram(cfg, &out))
+	if err != nil {
+		panic(err)
+	}
+	return rep, out, cl
+}
+
+// DFUDP runs the same fork/join program on the single-process real-time
+// cluster: goroutine nodes with UDP endpoints on loopback. Steal-race
+// timing makes the summation order nondeterministic, so the area agrees
+// with Reference only to rounding (callers compare within a tolerance).
+func DFUDP(cfg Config, stealing bool) (*filaments.UDPReport, float64, error) {
+	cfg.defaults()
+	cl, err := filaments.NewUDPCluster(filaments.UDPConfig{
+		Nodes:     cfg.Nodes,
+		Stealing:  stealing,
+		WakeFront: true,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	var out float64
+	rep, err := cl.Run(dfProgram(cfg, &out))
+	if err != nil {
+		return nil, 0, err
+	}
+	return rep, out, nil
+}
+
+// dfProgram is the DF node program shared by every binding: the simulated
+// cluster and the real-time UDP cluster run exactly this code. cfg must
+// already be defaulted; *out receives the area on node 0.
+func dfProgram(cfg Config, out *float64) filaments.Program {
 	bits := func(x float64) int64 { return int64(math.Float64bits(x)) }
 	val := func(b int64) float64 { return math.Float64frombits(uint64(b)) }
-	rep, err := cl.Run(func(rt *filaments.Runtime, e *filaments.Exec) {
+	return func(rt *filaments.Runtime, e *filaments.Exec) {
 		// Filament arguments carry the interval and the already-computed
 		// endpoint/midpoint values — "all the information is contained in
 		// the function parameters" — so the eval count matches the serial
@@ -295,11 +328,7 @@ func dfRun(cfg Config, stealing bool) (*filaments.Report, float64, *filaments.Cl
 		}
 		v := rt.RunForkJoin(e, fnQuad, root)
 		if rt.ID() == 0 {
-			out = v
+			*out = v
 		}
-	})
-	if err != nil {
-		panic(err)
 	}
-	return rep, out, cl
 }

@@ -11,6 +11,8 @@ import (
 	"filaments/internal/apps/quadrature"
 	"filaments/internal/cost"
 	fl "filaments/internal/filament"
+	"filaments/internal/kernel"
+	"filaments/internal/packet"
 	"filaments/internal/sim"
 	"filaments/internal/simnet"
 	"filaments/internal/threads"
@@ -43,7 +45,7 @@ func fig2(w io.Writer, o Options) {
 		body = func(e *fl.Exec, a fl.Args) float64 {
 			id := e.Runtime().ID()
 			if firstWork[id] == 0 {
-				firstWork[id] = e.Thread().Node().Engine().Now()
+				firstWork[id] = e.Runtime().Node().Now()
 			}
 			depth := a[0]
 			e.Compute(200 * sim.Microsecond)
@@ -163,16 +165,16 @@ func fig3(w io.Writer, o Options) {
 			}
 			e.Barrier()
 			if rt.ID() == 1 {
-				t0 := rt.Node().Engine().Now()
+				t0 := rt.Node().Now()
 				got = e.ReadF64(addr)
-				elapsed = rt.Node().Engine().Now().Sub(t0)
+				elapsed = rt.Node().Now().Sub(t0)
 			}
 			e.Barrier()
 		})
 		if err != nil {
 			panic(err)
 		}
-		ps := cl.Runtime(1).Endpoint().Stats()
+		ps := cl.Runtime(1).Endpoint().(*packet.Endpoint).Stats()
 		fmt.Fprintf(w, "%-18s page read ok=%v  latency=%-10v retransmits=%d\n",
 			sc.name, got == 42, elapsed, ps.Retransmits)
 	}
@@ -330,12 +332,12 @@ func fig9(w io.Writer, o Options) {
 		var per sim.Duration
 		cl.Run(func(rt *filaments.Runtime, e *filaments.Exec) {
 			p := rt.NewPool("bench")
-			t0 := rt.Node().Engine().Now()
+			t0 := rt.Node().Now()
 			for i := 0; i < n; i++ {
 				p.Add(e, func(e *filaments.Exec, a filaments.Args) {}, filaments.Args{int64(i)})
 			}
 			e.Flush()
-			per = rt.Node().Engine().Now().Sub(t0) / n
+			per = rt.Node().Now().Sub(t0) / n
 		})
 		line("Filaments creation", per, "2.10")
 	}
@@ -355,9 +357,9 @@ func fig9(w io.Writer, o Options) {
 				p.Add(e, func(e *filaments.Exec, a filaments.Args) {}, a)
 			}
 			e.Flush()
-			t0 := rt.Node().Engine().Now()
+			t0 := rt.Node().Now()
 			rt.RunPools(e)
-			per = rt.Node().Engine().Now().Sub(t0) / n
+			per = rt.Node().Now().Sub(t0) / n
 		})
 		if inlined {
 			line("Context switch: Fil. Inlined", per, "0.126")
@@ -375,7 +377,7 @@ func fig9(w io.Writer, o Options) {
 			node := rt.Node()
 			done := 0
 			main := e.Thread()
-			body := func(t *threads.Thread) {
+			body := func(t kernel.Thread) {
 				for i := 0; i < n; i++ {
 					t.Yield()
 				}
@@ -384,11 +386,11 @@ func fig9(w io.Writer, o Options) {
 					node.Ready(main, false)
 				}
 			}
-			t0 := node.Engine().Now()
+			t0 := node.Now()
 			node.Spawn("a", body)
 			node.Spawn("b", body)
 			main.Block()
-			per = node.Engine().Now().Sub(t0) / (2 * n)
+			per = node.Now().Sub(t0) / (2 * n)
 		})
 		line("Context switch: Threads", per, "48.8")
 	}
@@ -409,9 +411,9 @@ func fig9(w io.Writer, o Options) {
 			e.Barrier()
 			var total sim.Duration
 			for i := 0; i < n; i++ {
-				t0 := rt.Node().Engine().Now()
+				t0 := rt.Node().Now()
 				_ = rt.DSM().ReadF64(e.Thread(), addr)
-				total += rt.Node().Engine().Now().Sub(t0)
+				total += rt.Node().Now().Sub(t0)
 				rt.DSM().AtBarrier() // drop the copy so the next read faults
 			}
 			per = total / n

@@ -2,22 +2,20 @@ package dsm
 
 import (
 	"encoding/binary"
+	"encoding/gob"
 	"fmt"
 	"math"
 
-	"filaments/internal/packet"
-	"filaments/internal/sim"
-	"filaments/internal/simnet"
-	"filaments/internal/threads"
+	"filaments/internal/kernel"
 )
 
-// Service IDs used by the DSM on each node's Packet endpoint.
+// Service IDs used by the DSM on each node's transport endpoint.
 const (
 	// SvcPage requests a block (read or write/ownership, per the request's
 	// Write flag). Non-idempotent: ownership transfers must not be
 	// re-executed for a duplicate request, so replies are replayed from
-	// the Packet reply cache.
-	SvcPage packet.ServiceID = 10 + iota
+	// the transport's reply cache.
+	SvcPage kernel.ServiceID = 10 + iota
 	// SvcInval invalidates a read-only copy (write-invalidate protocol).
 	SvcInval
 )
@@ -40,15 +38,24 @@ type pageData struct {
 	Block      int32
 	Data       []byte
 	GrantOwner bool
-	Copyset    []simnet.NodeID // WI ownership transfer: copies to invalidate
+	Copyset    []kernel.NodeID // WI ownership transfer: copies to invalidate
 }
 
 type redirect struct {
 	Block int32
-	Owner simnet.NodeID
+	Owner kernel.NodeID
 }
 
 type invalReq struct{ Block int32 }
+
+// The real-time binding serializes payloads with gob; registering the wire
+// types lets them travel as interface values.
+func init() {
+	gob.Register(pageReq{})
+	gob.Register(pageData{})
+	gob.Register(redirect{})
+	gob.Register(invalReq{})
+}
 
 const reqSize = 16 // bytes on the wire for a small DSM request
 
@@ -61,15 +68,15 @@ type Stats struct {
 	Redirected   int64 // requests answered with a redirect
 	InvalsSent   int64
 	InvalsRecved int64
-	MirageDrops  int64        // requests dropped by the time window
-	BusyDrops    int64        // requests dropped mid-transition
-	FaultWait    sim.Duration // total time threads spent suspended in faults
-	BytesIn      int64        // page data received
-	BytesOut     int64        // page data sent
+	MirageDrops  int64           // requests dropped by the time window
+	BusyDrops    int64           // requests dropped mid-transition
+	FaultWait    kernel.Duration // total time threads spent suspended in faults
+	BytesIn      int64           // page data received
+	BytesOut     int64           // page data sent
 }
 
 type waiter struct {
-	t     *threads.Thread
+	t     kernel.Thread
 	write bool
 }
 
@@ -82,19 +89,21 @@ type blockState struct {
 	// original owner keeps the block read-only until its first local
 	// write so the write is observed.
 	touched   bool
-	probOwner simnet.NodeID // best guess at the owner (starts at home)
-	copyset   []simnet.NodeID
+	probOwner kernel.NodeID // best guess at the owner (starts at home)
+	copyset   []kernel.NodeID
 	frame     []byte
 	waiting   []waiter
 	fetching  bool
 	invals    int // outstanding invalidation acks before RW install
-	acquired  sim.Time
+	acquired  kernel.Time
 }
 
-// DSM is one node's view of the shared address space.
+// DSM is one node's view of the shared address space. It is written
+// against the kernel interfaces, so the same code runs on the simulated
+// cluster and over real UDP endpoints.
 type DSM struct {
-	node  *threads.Node
-	ep    *packet.Endpoint
+	node  kernel.Node
+	ep    kernel.Transport
 	space *Space
 	proto Protocol
 
@@ -110,37 +119,37 @@ type DSM struct {
 	WakeFront bool
 
 	outstanding int // fetches + invalidation rounds in flight
-	quiescers   []*threads.Thread
+	quiescers   []kernel.Thread
 
 	stats Stats
 }
 
 // New creates the DSM instance for one node and registers its services on
-// the node's Packet endpoint. All nodes must be created before the first
-// allocation.
-func New(node *threads.Node, ep *packet.Endpoint, space *Space, proto Protocol) *DSM {
+// the node's transport endpoint. All nodes must be created before the
+// first allocation.
+func New(node kernel.Node, ep kernel.Transport, space *Space, proto Protocol) *DSM {
 	d := &DSM{node: node, ep: ep, space: space, proto: proto}
 	if len(space.blockStart) != 0 {
 		panic("dsm: all DSMs must be created before the first Alloc")
 	}
 	space.dsms = append(space.dsms, d)
-	ep.Register(SvcPage, packet.Service{
+	ep.Register(SvcPage, kernel.Service{
 		Name:       "dsm-page",
 		Idempotent: false,
-		Category:   threads.CatData,
+		Category:   kernel.CatData,
 		Handler:    d.servePage,
 	})
-	ep.Register(SvcInval, packet.Service{
+	ep.Register(SvcInval, kernel.Service{
 		Name:       "dsm-inval",
 		Idempotent: true,
-		Category:   threads.CatData,
+		Category:   kernel.CatData,
 		Handler:    d.serveInval,
 	})
 	return d
 }
 
 // Node returns the node this DSM belongs to.
-func (d *DSM) Node() *threads.Node { return d.node }
+func (d *DSM) Node() kernel.Node { return d.node }
 
 // Space returns the shared space descriptor.
 func (d *DSM) Space() *Space { return d.space }
@@ -152,12 +161,12 @@ func (d *DSM) Protocol() Protocol { return d.proto }
 func (d *DSM) Stats() Stats { return d.stats }
 
 // addBlock is called by Space.Alloc for every new block.
-func (d *DSM) addBlock(b int32, owner simnet.NodeID) {
+func (d *DSM) addBlock(b int32, owner kernel.NodeID) {
 	if int(b) != len(d.blocks) {
 		panic("dsm: block sequence out of order")
 	}
 	st := blockState{probOwner: owner}
-	if owner == d.node.ID {
+	if owner == d.node.ID() {
 		st.owner = true
 		st.access = accRO // upgraded (and marked touched) on first write
 		st.frame = make([]byte, d.space.blockSize(int(b)))
@@ -173,7 +182,7 @@ func (d *DSM) addBlock(b int32, owner simnet.NodeID) {
 // overlap at the heart of the paper.
 
 // ReadF64 reads the float64 at address a.
-func (d *DSM) ReadF64(t *threads.Thread, a Addr) float64 {
+func (d *DSM) ReadF64(t kernel.Thread, a Addr) float64 {
 	b := d.space.pageBlock[a>>pageShift]
 	st := &d.blocks[b]
 	if st.access == accNone {
@@ -184,7 +193,7 @@ func (d *DSM) ReadF64(t *threads.Thread, a Addr) float64 {
 }
 
 // WriteF64 writes the float64 v at address a.
-func (d *DSM) WriteF64(t *threads.Thread, a Addr, v float64) {
+func (d *DSM) WriteF64(t kernel.Thread, a Addr, v float64) {
 	b := d.space.pageBlock[a>>pageShift]
 	st := &d.blocks[b]
 	if st.access != accRW {
@@ -195,7 +204,7 @@ func (d *DSM) WriteF64(t *threads.Thread, a Addr, v float64) {
 }
 
 // ReadI64 reads the int64 at address a.
-func (d *DSM) ReadI64(t *threads.Thread, a Addr) int64 {
+func (d *DSM) ReadI64(t kernel.Thread, a Addr) int64 {
 	b := d.space.pageBlock[a>>pageShift]
 	st := &d.blocks[b]
 	if st.access == accNone {
@@ -206,7 +215,7 @@ func (d *DSM) ReadI64(t *threads.Thread, a Addr) int64 {
 }
 
 // WriteI64 writes the int64 v at address a.
-func (d *DSM) WriteI64(t *threads.Thread, a Addr, v int64) {
+func (d *DSM) WriteI64(t kernel.Thread, a Addr, v int64) {
 	b := d.space.pageBlock[a>>pageShift]
 	st := &d.blocks[b]
 	if st.access != accRW {
@@ -238,21 +247,21 @@ func sufficient(a access, write bool) bool {
 }
 
 // FaultTrace, when non-nil, observes every fault (diagnostics hook).
-var FaultTrace func(node simnet.NodeID, block int, write bool)
+var FaultTrace func(node kernel.NodeID, block int, write bool)
 
 // fault suspends t until the block is accessible at the needed level.
-func (d *DSM) fault(t *threads.Thread, b int, write bool) {
+func (d *DSM) fault(t kernel.Thread, b int, write bool) {
 	if FaultTrace != nil {
-		FaultTrace(d.node.ID, b, write)
+		FaultTrace(d.node.ID(), b, write)
 	}
 	if write {
 		d.stats.WriteFaults++
 	} else {
 		d.stats.ReadFaults++
 	}
-	d.node.Charge(threads.CatData, d.node.Model().FaultHandle)
+	d.node.Charge(kernel.CatData, d.node.Model().FaultHandle)
 	st := &d.blocks[b]
-	t0 := d.node.Engine().Now()
+	t0 := d.node.Now()
 	for !sufficient(st.access, write) {
 		d.ensure(b, write)
 		if sufficient(st.access, write) {
@@ -263,7 +272,7 @@ func (d *DSM) fault(t *threads.Thread, b int, write bool) {
 		st.waiting = append(st.waiting, waiter{t: t, write: write})
 		t.Block()
 	}
-	d.stats.FaultWait += d.node.Engine().Now().Sub(t0)
+	d.stats.FaultWait += d.node.Now().Sub(t0)
 }
 
 // ensure starts whatever protocol action is needed to raise this block's
@@ -282,20 +291,20 @@ func (d *DSM) ensure(b int, write bool) {
 		return
 	}
 	if st.owner {
-		panic(fmt.Sprintf("dsm: node %d owner of block %d with access %d cannot ensure", d.node.ID, b, st.access))
+		panic(fmt.Sprintf("dsm: node %d owner of block %d with access %d cannot ensure", d.node.ID(), b, st.access))
 	}
 	st.fetching = true
 	d.outstanding++
 	d.sendRequest(b, write, st.probOwner)
 }
 
-func (d *DSM) sendRequest(b int, write bool, dst simnet.NodeID) {
-	if dst == d.node.ID {
-		panic(fmt.Sprintf("dsm: node %d would request block %d from itself", d.node.ID, b))
+func (d *DSM) sendRequest(b int, write bool, dst kernel.NodeID) {
+	if dst == d.node.ID() {
+		panic(fmt.Sprintf("dsm: node %d would request block %d from itself", d.node.ID(), b))
 	}
 	d.stats.Requests++
 	req := pageReq{Block: int32(b), Write: write}
-	d.ep.RequestSized(dst, SvcPage, req, reqSize, d.space.blockSize(b), threads.CatData, func(r any) {
+	d.ep.RequestSized(dst, SvcPage, req, reqSize, d.space.blockSize(b), kernel.CatData, func(r any) {
 		d.onPageReply(b, write, r)
 	})
 }
@@ -320,7 +329,7 @@ func (d *DSM) onPageReply(b int, write bool, r any) {
 // install places received page data, completing or continuing the fetch.
 func (d *DSM) install(b int, write bool, m pageData) {
 	st := &d.blocks[b]
-	d.node.Charge(threads.CatData, d.node.Model().PageInstall)
+	d.node.Charge(kernel.CatData, d.node.Model().PageInstall)
 	d.stats.BytesIn += int64(len(m.Data))
 	if st.frame == nil {
 		st.frame = make([]byte, d.space.blockSize(b))
@@ -331,11 +340,11 @@ func (d *DSM) install(b int, write bool, m pageData) {
 		clear(st.frame) // virgin transfer: content is zeros
 	}
 	st.fetching = false
-	st.acquired = d.node.Engine().Now()
+	st.acquired = d.node.Now()
 	if m.GrantOwner {
 		st.owner = true
 		st.touched = true // conservative: we may write without faulting
-		st.probOwner = d.node.ID
+		st.probOwner = d.node.ID()
 		st.copyset = append(st.copyset[:0], m.Copyset...)
 	}
 	switch {
@@ -363,9 +372,9 @@ func (d *DSM) install(b int, write bool, m pageData) {
 // the RW grant until all acks arrive.
 func (d *DSM) startInvalidation(b int) {
 	st := &d.blocks[b]
-	targets := make([]simnet.NodeID, 0, len(st.copyset))
+	targets := make([]kernel.NodeID, 0, len(st.copyset))
 	for _, n := range st.copyset {
-		if n != d.node.ID {
+		if n != d.node.ID() {
 			targets = append(targets, n)
 		}
 	}
@@ -379,13 +388,13 @@ func (d *DSM) startInvalidation(b int) {
 	d.outstanding++
 	for _, n := range targets {
 		d.stats.InvalsSent++
-		d.ep.RequestAsync(n, SvcInval, invalReq{Block: int32(b)}, reqSize, threads.CatData, func(any) {
+		d.ep.RequestAsync(n, SvcInval, invalReq{Block: int32(b)}, reqSize, kernel.CatData, func(any) {
 			// Re-lookup: d.blocks may have grown since the request went out.
 			bs := &d.blocks[b]
 			bs.invals--
 			if bs.invals == 0 {
 				bs.access = accRW
-				bs.acquired = d.node.Engine().Now()
+				bs.acquired = d.node.Now()
 				d.outstanding--
 				d.wake(b)
 				d.checkQuiescent()
@@ -408,28 +417,39 @@ func (d *DSM) wake(b int) {
 // --- Serving. ---
 
 // servePage handles a page request from another node.
-func (d *DSM) servePage(from simnet.NodeID, req any) (any, int, packet.Verdict) {
+func (d *DSM) servePage(from kernel.NodeID, req any) (any, int, kernel.Verdict) {
 	m := req.(pageReq)
 	b := int(m.Block)
 	st := &d.blocks[b]
 	if !st.owner {
-		return redirect{Block: m.Block, Owner: st.probOwner}, reqSize, packet.Reply
+		if st.probOwner == from {
+			// Our hint says the requester owns this block, but it clearly
+			// does not believe so: the grant that makes the hint true is
+			// still in flight to it — its request overtook our earlier
+			// reply, an ordering real UDP permits (the simulated Ethernet
+			// delivers in send order, so this never fires there). A
+			// redirect would point the requester at itself; drop instead,
+			// and its retransmission arrives after the grant installs.
+			d.stats.BusyDrops++
+			return nil, 0, kernel.Drop
+		}
+		return redirect{Block: m.Block, Owner: st.probOwner}, reqSize, kernel.Reply
 	}
 	if st.fetching || st.invals > 0 {
 		// Mid-transition (e.g. we just got ownership and are still
 		// invalidating); the requester retries.
 		d.stats.BusyDrops++
-		return nil, 0, packet.Drop
+		return nil, 0, kernel.Drop
 	}
 	takesAway := d.proto == Migratory || m.Write
 	model := d.node.Model()
 	if takesAway && model.MirageWindow > 0 {
-		if held := d.node.Engine().Now().Sub(st.acquired); held < model.MirageWindow {
+		if held := d.node.Now().Sub(st.acquired); held < model.MirageWindow {
 			d.stats.MirageDrops++
-			return nil, 0, packet.Drop
+			return nil, 0, kernel.Drop
 		}
 	}
-	d.node.Charge(threads.CatData, model.PageServe)
+	d.node.Charge(kernel.CatData, model.PageServe)
 	if st.frame == nil {
 		st.frame = make([]byte, d.space.blockSize(b))
 	}
@@ -457,7 +477,7 @@ func (d *DSM) servePage(from simnet.NodeID, req any) (any, int, packet.Verdict) 
 		st.access = accNone
 		st.probOwner = from
 		st.frame = nil
-		return reply, size, packet.Reply
+		return reply, size, kernel.Reply
 	case d.proto == WriteInvalidate:
 		// Read copy under write-invalidate: remember the copy and
 		// downgrade ourselves so a future local write faults and
@@ -466,16 +486,16 @@ func (d *DSM) servePage(from simnet.NodeID, req any) (any, int, packet.Verdict) 
 		if st.access == accRW {
 			st.access = accRO
 		}
-		return pageData{Block: m.Block, Data: data}, size, packet.Reply
+		return pageData{Block: m.Block, Data: data}, size, kernel.Reply
 	default:
 		// Read copy under implicit-invalidate: the copy dies at the
 		// requester's next synchronization point, so we track nothing and
 		// keep our write access (the protocol's whole point).
-		return pageData{Block: m.Block, Data: data}, size, packet.Reply
+		return pageData{Block: m.Block, Data: data}, size, kernel.Reply
 	}
 }
 
-func appendUnique(s []simnet.NodeID, n simnet.NodeID) []simnet.NodeID {
+func appendUnique(s []kernel.NodeID, n kernel.NodeID) []kernel.NodeID {
 	for _, x := range s {
 		if x == n {
 			return s
@@ -485,7 +505,7 @@ func appendUnique(s []simnet.NodeID, n simnet.NodeID) []simnet.NodeID {
 }
 
 // serveInval drops our read-only copy.
-func (d *DSM) serveInval(from simnet.NodeID, req any) (any, int, packet.Verdict) {
+func (d *DSM) serveInval(from kernel.NodeID, req any) (any, int, kernel.Verdict) {
 	m := req.(invalReq)
 	st := &d.blocks[m.Block]
 	d.stats.InvalsRecved++
@@ -493,7 +513,7 @@ func (d *DSM) serveInval(from simnet.NodeID, req any) (any, int, packet.Verdict)
 		st.access = accNone
 		st.frame = nil
 	}
-	return struct{}{}, 8, packet.Reply
+	return nil, 8, kernel.Reply
 }
 
 // --- Synchronization hooks. ---
@@ -519,7 +539,7 @@ func (d *DSM) AtBarrier() {
 // Quiesce blocks t until the node has no outstanding page operations, the
 // paper's rule that "nodes delay at synchronization points until all
 // outstanding page requests have been satisfied".
-func (d *DSM) Quiesce(t *threads.Thread) {
+func (d *DSM) Quiesce(t kernel.Thread) {
 	for d.outstanding > 0 {
 		d.quiescers = append(d.quiescers, t)
 		t.Block()

@@ -5,11 +5,17 @@ import (
 	"testing/quick"
 
 	"filaments/internal/cost"
+	"filaments/internal/kernel"
 	"filaments/internal/packet"
 	"filaments/internal/sim"
 	"filaments/internal/simnet"
 	"filaments/internal/threads"
 )
+
+// spawn adapts a *threads.Thread body to the kernel.Thread Spawn signature.
+func spawn(n *threads.Node, name string, body func(*threads.Thread)) {
+	n.Spawn(name, func(kt kernel.Thread) { body(kt.(*threads.Thread)) })
+}
 
 type fixture struct {
 	eng   *sim.Engine
@@ -53,7 +59,7 @@ func (fx *fixture) run(t *testing.T, bodies map[int]func(th *threads.Thread)) {
 	fx.eng.Schedule(0, func() {
 		for id, body := range bodies {
 			id, body := id, body
-			fx.nodes[id].Spawn("test", func(th *threads.Thread) {
+			spawn(fx.nodes[id], "test", func(th *threads.Thread) {
 				body(th)
 				remaining--
 				if remaining == 0 {
@@ -363,7 +369,7 @@ func TestOverlapOtherThreadRunsDuringFault(t *testing.T) {
 		},
 		1: func(th *threads.Thread) {
 			n := th.Node()
-			n.Spawn("background", func(bg *threads.Thread) {
+			spawn(n, "background", func(bg *threads.Thread) {
 				n.Charge(threads.CatWork, sim.Millisecond)
 				workDone = true
 			})
@@ -390,7 +396,7 @@ func TestQuiesce(t *testing.T) {
 			d := fx.dsms[1]
 			// Fault from a helper thread, then quiesce on the main one.
 			n := th.Node()
-			n.Spawn("faulter", func(ft *threads.Thread) {
+			spawn(n, "faulter", func(ft *threads.Thread) {
 				_ = d.ReadF64(ft, a)
 			})
 			th.Yield() // let the faulter start its fetch
@@ -577,7 +583,7 @@ func TestMonotonicReadsProperty(t *testing.T) {
 		a := fx.space.Alloc(8, AllocOpts{Owner: 0})
 		ok := true
 		fx.eng.Schedule(0, func() {
-			fx.nodes[0].Spawn("writer", func(th *threads.Thread) {
+			spawn(fx.nodes[0], "writer", func(th *threads.Thread) {
 				for v := 1; v <= 20; v++ {
 					fx.dsms[0].WriteF64(th, a, float64(v))
 					compute(th, 2*sim.Millisecond)
@@ -586,7 +592,7 @@ func TestMonotonicReadsProperty(t *testing.T) {
 			})
 			for r := 1; r <= 2; r++ {
 				r := r
-				fx.nodes[r].Spawn("reader", func(th *threads.Thread) {
+				spawn(fx.nodes[r], "reader", func(th *threads.Thread) {
 					last := 0.0
 					for i := 0; i < 15; i++ {
 						v := fx.dsms[r].ReadF64(th, a)

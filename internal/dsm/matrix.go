@@ -1,8 +1,7 @@
 package dsm
 
 import (
-	"filaments/internal/simnet"
-	"filaments/internal/threads"
+	"filaments/internal/kernel"
 )
 
 // Matrix describes a dense row-major float64 matrix in shared memory. It is
@@ -33,12 +32,12 @@ func AllocMatrixStriped(s *Space, rows, cols, nodes int) Matrix {
 	rowBytes := int64(cols) * 8
 	m := Matrix{Rows: rows, Cols: cols}
 	m.Base = s.Alloc(m.Bytes(), AllocOpts{
-		OwnerByPage: func(page int) simnet.NodeID {
+		OwnerByPage: func(page int) kernel.NodeID {
 			row := int(int64(page) * PageSize / rowBytes)
 			if row >= rows {
 				row = rows - 1
 			}
-			return simnet.NodeID(StripOf(row, rows, nodes))
+			return kernel.NodeID(StripOf(row, rows, nodes))
 		},
 	})
 	return m
@@ -50,12 +49,12 @@ func (m Matrix) Addr(i, j int) Addr {
 }
 
 // At reads element (i, j) through d.
-func (m Matrix) At(d *DSM, t *threads.Thread, i, j int) float64 {
+func (m Matrix) At(d *DSM, t kernel.Thread, i, j int) float64 {
 	return d.ReadF64(t, m.Addr(i, j))
 }
 
 // Set writes element (i, j) through d.
-func (m Matrix) Set(d *DSM, t *threads.Thread, i, j int, v float64) {
+func (m Matrix) Set(d *DSM, t kernel.Thread, i, j int, v float64) {
 	d.WriteF64(t, m.Addr(i, j), v)
 }
 

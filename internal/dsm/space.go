@@ -10,7 +10,7 @@ package dsm
 import (
 	"fmt"
 
-	"filaments/internal/simnet"
+	"filaments/internal/kernel"
 )
 
 // Addr is a byte offset into the shared address space. The space is
@@ -70,7 +70,7 @@ type Space struct {
 	blockStart []int32 // first page of each block
 	blockLen   []int32 // pages in each block
 
-	home []simnet.NodeID // initial owner per block
+	home []kernel.NodeID // initial owner per block
 
 	dsms []*DSM // every node's DSM, for initial-state setup
 }
@@ -101,11 +101,11 @@ func (s *Space) Used() Addr { return s.brk }
 type AllocOpts struct {
 	// Owner is the initial owner of all pages (ignored if OwnerByPage is
 	// set). Default node 0, matching the paper's master-initialized data.
-	Owner simnet.NodeID
+	Owner kernel.NodeID
 	// OwnerByPage, if non-nil, gives the initial owner of the i-th page of
 	// the allocation — used to distribute one strip per node, as the
 	// paper's Jacobi program does.
-	OwnerByPage func(page int) simnet.NodeID
+	OwnerByPage func(page int) kernel.NodeID
 	// GroupPages groups this many consecutive pages into one protocol
 	// block (0 or 1 means no grouping). A group never spans an ownership
 	// boundary; the allocator panics if OwnerByPage disagrees within a
@@ -169,7 +169,7 @@ func PageOf(a Addr) int { return int(a >> pageShift) }
 func (s *Space) BlockOf(a Addr) int { return int(s.pageBlock[a>>pageShift]) }
 
 // HomeOf returns the initial owner (the directory node) of block b.
-func (s *Space) HomeOf(b int) simnet.NodeID { return s.home[b] }
+func (s *Space) HomeOf(b int) kernel.NodeID { return s.home[b] }
 
 // blockBytes returns the byte extent [start, end) of block b.
 func (s *Space) blockBytes(b int) (Addr, Addr) {

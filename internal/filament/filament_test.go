@@ -240,7 +240,7 @@ func TestTreeDistributionDoubling(t *testing.T) {
 		rt.RegisterFJ(fnLeafSum, func(e *fl.Exec, a fl.Args) float64 {
 			id := e.Runtime().ID()
 			if firstWork[id] == 0 {
-				firstWork[id] = e.Thread().Node().Engine().Now()
+				firstWork[id] = e.Runtime().Node().Now()
 			}
 			return leafSum(e, a)
 		})

@@ -1,13 +1,11 @@
 package filament
 
 import (
+	"encoding/gob"
 	"fmt"
 	"math"
 
-	"filaments/internal/packet"
-	"filaments/internal/sim"
-	"filaments/internal/simnet"
-	"filaments/internal/threads"
+	"filaments/internal/kernel"
 )
 
 // Fork/join filaments (paper §2.3). A recursive computation starts on node
@@ -27,7 +25,7 @@ type FJFunc func(e *Exec, a Args) float64
 const (
 	// SvcFork ships a filament to another node during initial
 	// distribution.
-	SvcFork packet.ServiceID = 30 + iota
+	SvcFork kernel.ServiceID = 30 + iota
 	// SvcResult returns a completed filament's value to its join's node.
 	SvcResult
 	// SvcSteal asks a victim for a pending filament.
@@ -42,12 +40,12 @@ const pruneThreshold = 2
 
 // stealBackoff is how long an idle node waits after a full unsuccessful
 // round of steal requests before probing again.
-const stealBackoff = 5 * sim.Millisecond
+const stealBackoff = 5 * kernel.Millisecond
 
 type task struct {
 	Fn     int32
 	Args   Args
-	Origin simnet.NodeID // node holding the join
+	Origin kernel.NodeID // node holding the join
 	JoinID int64
 }
 
@@ -58,7 +56,8 @@ type resultMsg struct {
 	Value  float64
 }
 
-type stealMsg struct{}
+// A steal request carries no payload (the request itself is the probe);
+// it travels as a nil payload so both bindings encode it as empty.
 
 type stealReply struct {
 	Granted bool
@@ -67,6 +66,14 @@ type stealReply struct {
 
 type doneMsg struct{ Result float64 }
 
+// The real-time binding serializes payloads with gob.
+func init() {
+	gob.Register(forkMsg{})
+	gob.Register(resultMsg{})
+	gob.Register(stealReply{})
+	gob.Register(doneMsg{})
+}
+
 // Join accumulates the results of forked children.
 type Join struct {
 	rt     *Runtime
@@ -74,11 +81,11 @@ type Join struct {
 	need   int
 	have   int
 	sum    float64
-	waiter *threads.Thread
+	waiter kernel.Thread
 }
 
 type worker struct {
-	t        *threads.Thread
+	t        kernel.Thread
 	parked   bool
 	timedIdx int64 // nonzero while a timed wake is armed
 }
@@ -86,13 +93,18 @@ type worker struct {
 type fjState struct {
 	funcs []FJFunc
 
-	children  []simnet.NodeID // binomial-tree children, nearest first
+	children  []kernel.NodeID // binomial-tree children, nearest first
 	nextChild int
 	sendNext  bool // alternate send/keep during distribution
 
 	pending []task // local deque: back = newest (LIFO for locals, FIFO for steals)
 	joins   map[int64]*Join
 	nextID  int64
+
+	// joinWaiters are joins whose threads are blocked in Wait. Their Wait
+	// loops drain pending work, so when every worker is busy or blocked
+	// they are the remaining way to get an arriving filament executed.
+	joinWaiters []*Join
 
 	workers     []*worker
 	idle        []*worker
@@ -102,8 +114,8 @@ type fjState struct {
 
 	done       bool
 	result     float64
-	mainWaiter *threads.Thread
-	exitWaiter *threads.Thread
+	mainWaiter kernel.Thread
+	exitWaiter kernel.Thread
 	timedSeq   int64
 }
 
@@ -120,20 +132,20 @@ func (rt *Runtime) initForkJoin() {
 		start <<= 1
 	}
 	for bit := start; id+bit < rt.n; bit <<= 1 {
-		fj.children = append(fj.children, simnet.NodeID(id+bit))
+		fj.children = append(fj.children, kernel.NodeID(id+bit))
 	}
 	fj.stealVictim = (id + 1) % rt.n
 
-	rt.ep.Register(SvcFork, packet.Service{
-		Name: "fj-fork", Idempotent: false, Category: threads.CatFilament,
+	rt.ep.Register(SvcFork, kernel.Service{
+		Name: "fj-fork", Idempotent: false, Category: kernel.CatFilament,
 		Handler: rt.serveFork,
 	})
-	rt.ep.Register(SvcResult, packet.Service{
-		Name: "fj-result", Idempotent: false, Category: threads.CatFilament,
+	rt.ep.Register(SvcResult, kernel.Service{
+		Name: "fj-result", Idempotent: false, Category: kernel.CatFilament,
 		Handler: rt.serveResult,
 	})
-	rt.ep.Register(SvcSteal, packet.Service{
-		Name: "fj-steal", Idempotent: false, Category: threads.CatFilament,
+	rt.ep.Register(SvcSteal, kernel.Service{
+		Name: "fj-steal", Idempotent: false, Category: kernel.CatFilament,
 		Handler: rt.serveSteal,
 	})
 	rt.ep.HandleRaw(rt.handleDone)
@@ -168,7 +180,7 @@ func (rt *Runtime) NewJoin() *Join {
 func (rt *Runtime) Fork(e *Exec, j *Join, fnID int, args Args) {
 	fj := &rt.fj
 	j.need++
-	tk := task{Fn: int32(fnID), Args: args, Origin: rt.node.ID, JoinID: j.id}
+	tk := task{Fn: int32(fnID), Args: args, Origin: rt.node.ID(), JoinID: j.id}
 
 	if fj.nextChild < len(fj.children) && fj.sendNext {
 		fj.sendNext = false
@@ -176,7 +188,7 @@ func (rt *Runtime) Fork(e *Exec, j *Join, fnID int, args Args) {
 		fj.nextChild++
 		rt.stats.ForksSent++
 		e.Flush()
-		rt.ep.RequestAsync(dst, SvcFork, forkMsg{T: tk}, fjMsgSize, threads.CatFilament, func(any) {})
+		rt.ep.RequestAsync(dst, SvcFork, forkMsg{T: tk}, fjMsgSize, kernel.CatFilament, func(any) {})
 		return
 	}
 	if fj.nextChild < len(fj.children) {
@@ -206,8 +218,21 @@ func (j *Join) Wait(e *Exec) float64 {
 			continue
 		}
 		e.Flush()
+		// Flush is a dispatch point: deliveries can land while it runs.
+		// Re-check before parking, or a result that arrived mid-Flush
+		// (before the waiter was registered) would never wake us.
+		if j.have >= j.need {
+			continue
+		}
 		j.waiter = e.t
+		rt.fj.joinWaiters = append(rt.fj.joinWaiters, j)
 		e.t.Block()
+		for i, w := range rt.fj.joinWaiters {
+			if w == j {
+				rt.fj.joinWaiters = append(rt.fj.joinWaiters[:i], rt.fj.joinWaiters[i+1:]...)
+				break
+			}
+		}
 	}
 	delete(rt.fj.joins, j.id)
 	return j.sum
@@ -257,12 +282,12 @@ func (rt *Runtime) execTask(e *Exec, tk task) {
 	e.overhead(rt.node.Model().FilamentSwitch)
 	v := rt.fj.funcs[tk.Fn](e, tk.Args)
 	e.Flush()
-	if tk.Origin == rt.node.ID {
+	if tk.Origin == rt.node.ID() {
 		rt.joinDeliver(tk.JoinID, v)
 		return
 	}
 	rt.ep.RequestAsync(tk.Origin, SvcResult, resultMsg{JoinID: tk.JoinID, Value: v},
-		fjMsgSize, threads.CatFilament, func(any) {})
+		fjMsgSize, kernel.CatFilament, func(any) {})
 }
 
 func (rt *Runtime) joinDeliver(id int64, v float64) {
@@ -286,12 +311,27 @@ func (rt *Runtime) ensureWorker() {
 		return
 	}
 	if fj.active >= rt.MaxWorkers {
+		// Every worker is running or blocked inside a join. Wake a join
+		// waiter: its Wait loop picks up the pending filament. Without
+		// this, a fork arriving while all workers sit in joins would
+		// never run, and the join it feeds would never complete. Clearing
+		// waiter keeps the wake single-shot (deliver uses the same
+		// discipline); entries already woken have a nil waiter.
+		for i := len(fj.joinWaiters) - 1; i >= 0; i-- {
+			j := fj.joinWaiters[i]
+			if j.waiter != nil {
+				w := j.waiter
+				j.waiter = nil
+				rt.node.Ready(w, false)
+				break
+			}
+		}
 		return
 	}
 	fj.active++
 	w := &worker{}
 	fj.workers = append(fj.workers, w)
-	w.t = rt.node.Spawn(fmt.Sprintf("fjworker%d", len(fj.workers)), func(*threads.Thread) {
+	w.t = rt.node.Spawn(fmt.Sprintf("fjworker%d", len(fj.workers)), func(kernel.Thread) {
 		rt.workerLoop(w)
 	})
 }
@@ -332,7 +372,7 @@ func (rt *Runtime) workerLoop(w *worker) {
 
 // parkWorker idles the worker until work arrives, done is signalled, or
 // (if d > 0) the timeout elapses.
-func (rt *Runtime) parkWorker(w *worker, d sim.Duration) {
+func (rt *Runtime) parkWorker(w *worker, d kernel.Duration) {
 	fj := &rt.fj
 	fj.idle = append(fj.idle, w)
 	w.parked = true
@@ -340,7 +380,7 @@ func (rt *Runtime) parkWorker(w *worker, d sim.Duration) {
 		fj.timedSeq++
 		seq := fj.timedSeq
 		w.timedIdx = seq
-		rt.node.Engine().Schedule(d, func() {
+		rt.node.Schedule(d, func() {
 			if w.parked && w.timedIdx == seq {
 				// Still idle: remove from the idle list and wake.
 				for i, x := range fj.idle {
@@ -376,7 +416,7 @@ func (rt *Runtime) trySteal(e *Exec) bool {
 			}
 		}
 		rt.stats.StealsAttempted++
-		reply := rt.ep.Call(e.t, simnet.NodeID(victim), SvcSteal, stealMsg{}, fjMsgSize, threads.CatFilament)
+		reply := rt.ep.Call(e.t, kernel.NodeID(victim), SvcSteal, nil, fjMsgSize, kernel.CatFilament)
 		m := reply.(stealReply)
 		if m.Granted {
 			rt.stats.StealsGranted++
@@ -389,41 +429,41 @@ func (rt *Runtime) trySteal(e *Exec) bool {
 }
 
 // serveFork receives a distributed filament.
-func (rt *Runtime) serveFork(from simnet.NodeID, req any) (any, int, packet.Verdict) {
+func (rt *Runtime) serveFork(from kernel.NodeID, req any) (any, int, kernel.Verdict) {
 	m := req.(forkMsg)
 	if rt.fj.done {
-		return struct{}{}, 8, packet.Reply
+		return nil, 8, kernel.Reply
 	}
 	rt.enqueue(m.T)
-	return struct{}{}, 8, packet.Reply
+	return nil, 8, kernel.Reply
 }
 
 // serveResult receives a child's result.
-func (rt *Runtime) serveResult(from simnet.NodeID, req any) (any, int, packet.Verdict) {
+func (rt *Runtime) serveResult(from kernel.NodeID, req any) (any, int, kernel.Verdict) {
 	m := req.(resultMsg)
 	rt.joinDeliver(m.JoinID, m.Value)
-	return struct{}{}, 8, packet.Reply
+	return nil, 8, kernel.Reply
 }
 
 // serveSteal hands a pending filament to an idle node, or denies.
-func (rt *Runtime) serveSteal(from simnet.NodeID, req any) (any, int, packet.Verdict) {
+func (rt *Runtime) serveSteal(from kernel.NodeID, req any) (any, int, kernel.Verdict) {
 	if rt.fj.done {
-		return stealReply{}, fjMsgSize, packet.Reply
+		return stealReply{}, fjMsgSize, kernel.Reply
 	}
 	// Steal from the front: the oldest filament is highest in the
 	// recursion tree and so the biggest piece of work.
 	if tk, ok := rt.dequeueFront(); ok {
-		return stealReply{Granted: true, T: tk}, fjMsgSize, packet.Reply
+		return stealReply{Granted: true, T: tk}, fjMsgSize, kernel.Reply
 	}
-	return stealReply{}, fjMsgSize, packet.Reply
+	return stealReply{}, fjMsgSize, kernel.Reply
 }
 
-func (rt *Runtime) handleDone(f simnet.Frame) bool {
-	m, ok := f.Payload.(doneMsg)
+func (rt *Runtime) handleDone(from kernel.NodeID, payload any) bool {
+	m, ok := payload.(doneMsg)
 	if !ok {
 		return false
 	}
-	rt.node.Charge(threads.CatFilament, rt.node.Model().RecvCost(fjMsgSize))
+	rt.node.Charge(kernel.CatFilament, rt.node.Model().RecvCost(fjMsgSize))
 	rt.finish(m.Result)
 	return true
 }
@@ -460,7 +500,7 @@ func (rt *Runtime) RunForkJoin(e *Exec, fnID int, args Args) float64 {
 		e.Flush()
 		rt.finish(v)
 		if rt.n > 1 {
-			rt.node.Send(simnet.Broadcast, doneMsg{Result: v}, fjMsgSize, threads.CatFilament)
+			rt.ep.Send(kernel.Broadcast, doneMsg{Result: v}, fjMsgSize, kernel.CatFilament)
 		}
 	} else {
 		for !fj.done {

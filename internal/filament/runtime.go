@@ -35,10 +35,8 @@ import (
 	"strings"
 
 	"filaments/internal/dsm"
-	"filaments/internal/packet"
+	"filaments/internal/kernel"
 	"filaments/internal/reduce"
-	"filaments/internal/sim"
-	"filaments/internal/threads"
 )
 
 // Args is a filament's argument record. Filaments have no stack, only
@@ -51,7 +49,7 @@ type Func func(e *Exec, a Args)
 // flushQuantum bounds how much computed virtual time may accumulate before
 // it is charged and pending messages are serviced — the simulation's
 // analogue of SIGIO granularity.
-const flushQuantum = sim.Millisecond
+const flushQuantum = kernel.Millisecond
 
 // Stats counts runtime events on one node.
 type Stats struct {
@@ -69,8 +67,8 @@ type Stats struct {
 
 // Runtime is one node's Filaments instance.
 type Runtime struct {
-	node *threads.Node
-	ep   *packet.Endpoint
+	node kernel.Node
+	ep   kernel.Transport
 	d    *dsm.DSM
 	red  *reduce.Reducer
 	n    int // cluster size
@@ -99,7 +97,7 @@ type Runtime struct {
 
 // New creates the runtime for one node. All subsystems (endpoint, DSM,
 // reducer) must already be wired to the node.
-func New(node *threads.Node, ep *packet.Endpoint, d *dsm.DSM, red *reduce.Reducer, n int) *Runtime {
+func New(node kernel.Node, ep kernel.Transport, d *dsm.DSM, red *reduce.Reducer, n int) *Runtime {
 	rt := &Runtime{
 		node:       node,
 		ep:         ep,
@@ -114,11 +112,11 @@ func New(node *threads.Node, ep *packet.Endpoint, d *dsm.DSM, red *reduce.Reduce
 }
 
 // Node returns the runtime's node.
-func (rt *Runtime) Node() *threads.Node { return rt.node }
+func (rt *Runtime) Node() kernel.Node { return rt.node }
 
-// Endpoint returns the node's Packet endpoint (CG programs attach their
-// explicit-messaging port to its raw-frame chain).
-func (rt *Runtime) Endpoint() *packet.Endpoint { return rt.ep }
+// Endpoint returns the node's transport endpoint (CG programs attach
+// their explicit-messaging port to its raw-datagram chain).
+func (rt *Runtime) Endpoint() kernel.Transport { return rt.ep }
 
 // DSM returns the runtime's shared memory instance.
 func (rt *Runtime) DSM() *dsm.DSM { return rt.d }
@@ -130,7 +128,7 @@ func (rt *Runtime) Reducer() *reduce.Reducer { return rt.red }
 func (rt *Runtime) Nodes() int { return rt.n }
 
 // ID returns this node's rank.
-func (rt *Runtime) ID() int { return int(rt.node.ID) }
+func (rt *Runtime) ID() int { return int(rt.node.ID()) }
 
 // Stats returns a snapshot of runtime counters.
 func (rt *Runtime) Stats() Stats { return rt.stats }
@@ -141,24 +139,24 @@ func (rt *Runtime) Stats() Stats { return rt.stats }
 // charges time continuously, not per filament).
 type Exec struct {
 	rt      *Runtime
-	t       *threads.Thread
-	pending sim.Duration // uncharged CatWork time
-	filPend sim.Duration // uncharged CatFilament overhead
-	faulted bool         // a DSM access missed during this context's run
+	t       kernel.Thread
+	pending kernel.Duration // uncharged CatWork time
+	filPend kernel.Duration // uncharged CatFilament overhead
+	faulted bool            // a DSM access missed during this context's run
 }
 
 // NewExec wraps a server thread in an execution context.
-func (rt *Runtime) NewExec(t *threads.Thread) *Exec { return &Exec{rt: rt, t: t} }
+func (rt *Runtime) NewExec(t kernel.Thread) *Exec { return &Exec{rt: rt, t: t} }
 
 // Thread returns the underlying server thread.
-func (e *Exec) Thread() *threads.Thread { return e.t }
+func (e *Exec) Thread() kernel.Thread { return e.t }
 
 // Runtime returns the owning runtime.
 func (e *Exec) Runtime() *Runtime { return e.rt }
 
 // Compute records d of application work. It is charged (and pending
 // messages serviced) at the next flush point.
-func (e *Exec) Compute(d sim.Duration) {
+func (e *Exec) Compute(d kernel.Duration) {
 	e.pending += d
 	if e.pending >= flushQuantum {
 		e.Flush()
@@ -166,7 +164,7 @@ func (e *Exec) Compute(d sim.Duration) {
 }
 
 // overhead records filament-runtime overhead.
-func (e *Exec) overhead(d sim.Duration) { e.filPend += d }
+func (e *Exec) overhead(d kernel.Duration) { e.filPend += d }
 
 // Flush charges all accumulated time and services pending messages.
 // Large charges (a coarse filament's whole computation) are spent in
@@ -180,11 +178,11 @@ func (e *Exec) Flush() {
 			d = flushQuantum
 		}
 		e.pending -= d
-		e.rt.node.Charge(threads.CatWork, d)
+		e.rt.node.Charge(kernel.CatWork, d)
 		e.t.Preempt()
 	}
 	if e.filPend > 0 {
-		e.rt.node.Charge(threads.CatFilament, e.filPend)
+		e.rt.node.Charge(kernel.CatFilament, e.filPend)
 		e.filPend = 0
 	}
 	e.t.Preempt()
@@ -409,7 +407,7 @@ func (rt *Runtime) RunPools(e *Exec) {
 			continue
 		}
 		p := p
-		rt.node.Spawn("pool/"+p.name, func(t *threads.Thread) {
+		rt.node.Spawn("pool/"+p.name, func(t kernel.Thread) {
 			pe := rt.NewExec(t)
 			p.run(pe)
 			completed = append(completed, done{p: p, faulted: pe.faulted})
@@ -503,7 +501,7 @@ func (rt *Runtime) consolidateAutoPools(e *Exec, faulted map[*Pool]bool) {
 		delete(rt.autoPools, strings.TrimPrefix(p.name, "auto:"))
 	}
 	// Re-clustering walks every descriptor once.
-	e.overhead(sim.Duration(moved) * rt.node.Model().FilamentSwitch)
+	e.overhead(kernel.Duration(moved) * rt.node.Model().FilamentSwitch)
 	// Drop the emptied pools from the run order and pool list.
 	rt.order = dropEmpty(rt.order)
 	rt.pools = dropEmpty(rt.pools)

@@ -9,9 +9,7 @@ package msg
 import (
 	"fmt"
 
-	"filaments/internal/packet"
-	"filaments/internal/simnet"
-	"filaments/internal/threads"
+	"filaments/internal/kernel"
 )
 
 // Tag distinguishes message streams between the same pair of nodes.
@@ -24,33 +22,35 @@ type wire struct {
 }
 
 type key struct {
-	src simnet.NodeID
+	src kernel.NodeID
 	tag Tag
 }
 
 // Endpoint is one node's explicit-messaging port.
 type Endpoint struct {
-	node   *threads.Node
+	node   kernel.Node
+	tr     kernel.Transport
 	queues map[key][]wire
 	// waiter is the thread blocked in Recv for a given key (at most one).
-	waiters map[key]*threads.Thread
+	waiters map[key]kernel.Thread
 	// anyFIFO records, per tag, the arrival order of sources, for RecvAny.
-	anyFIFO    map[Tag][]simnet.NodeID
-	anyWaiters map[Tag]*threads.Thread
+	anyFIFO    map[Tag][]kernel.NodeID
+	anyWaiters map[Tag]kernel.Thread
 
 	sent, received int64
 }
 
-// New wires an endpoint into the node's Packet raw-frame chain.
-func New(node *threads.Node, ep *packet.Endpoint) *Endpoint {
+// New wires an endpoint into the transport's raw-datagram chain.
+func New(node kernel.Node, tr kernel.Transport) *Endpoint {
 	m := &Endpoint{
 		node:       node,
+		tr:         tr,
 		queues:     make(map[key][]wire),
-		waiters:    make(map[key]*threads.Thread),
-		anyFIFO:    make(map[Tag][]simnet.NodeID),
-		anyWaiters: make(map[Tag]*threads.Thread),
+		waiters:    make(map[key]kernel.Thread),
+		anyFIFO:    make(map[Tag][]kernel.NodeID),
+		anyWaiters: make(map[Tag]kernel.Thread),
 	}
-	ep.HandleRaw(m.handle)
+	tr.HandleRaw(m.handle)
 	return m
 }
 
@@ -59,25 +59,25 @@ func (m *Endpoint) Sent() int64     { return m.sent }
 func (m *Endpoint) Received() int64 { return m.received }
 
 // Send transmits payload to dst. Unreliable: a lost frame is lost.
-func (m *Endpoint) Send(dst simnet.NodeID, tag Tag, payload any, size int) {
+func (m *Endpoint) Send(dst kernel.NodeID, tag Tag, payload any, size int) {
 	m.sent++
-	m.node.Send(dst, wire{Tag: tag, Data: payload, Size: size}, size, threads.CatData)
+	m.tr.Send(dst, wire{Tag: tag, Data: payload, Size: size}, size, kernel.CatData)
 }
 
 // Broadcast transmits payload to every other node in one frame (the CG
 // matrix-multiplication program broadcasts the B matrix this way).
 func (m *Endpoint) Broadcast(tag Tag, payload any, size int) {
 	m.sent++
-	m.node.Send(simnet.Broadcast, wire{Tag: tag, Data: payload, Size: size}, size, threads.CatData)
+	m.tr.Send(kernel.Broadcast, wire{Tag: tag, Data: payload, Size: size}, size, kernel.CatData)
 }
 
 // Recv blocks the calling thread until a message with the given source and
 // tag arrives, then returns its payload.
-func (m *Endpoint) Recv(t *threads.Thread, src simnet.NodeID, tag Tag) any {
+func (m *Endpoint) Recv(t kernel.Thread, src kernel.NodeID, tag Tag) any {
 	k := key{src: src, tag: tag}
 	for len(m.queues[k]) == 0 {
 		if m.waiters[k] != nil {
-			panic(fmt.Sprintf("msg: two receivers on node %d for src=%d tag=%d", m.node.ID, src, tag))
+			panic(fmt.Sprintf("msg: two receivers on node %d for src=%d tag=%d", m.node.ID(), src, tag))
 		}
 		m.waiters[k] = t
 		t.Block()
@@ -92,10 +92,10 @@ func (m *Endpoint) Recv(t *threads.Thread, src simnet.NodeID, tag Tag) any {
 // RecvAny blocks until a message with the given tag arrives from any
 // source, returning the sender and payload in arrival order. Do not mix
 // RecvAny and Recv on the same tag.
-func (m *Endpoint) RecvAny(t *threads.Thread, tag Tag) (simnet.NodeID, any) {
+func (m *Endpoint) RecvAny(t kernel.Thread, tag Tag) (kernel.NodeID, any) {
 	for len(m.anyFIFO[tag]) == 0 {
 		if m.anyWaiters[tag] != nil {
-			panic(fmt.Sprintf("msg: two RecvAny on node %d tag %d", m.node.ID, tag))
+			panic(fmt.Sprintf("msg: two RecvAny on node %d tag %d", m.node.ID(), tag))
 		}
 		m.anyWaiters[tag] = t
 		t.Block()
@@ -110,16 +110,16 @@ func (m *Endpoint) RecvAny(t *threads.Thread, tag Tag) (simnet.NodeID, any) {
 	return src, w.Data
 }
 
-// handle consumes raw frames carrying msg wires; runs in node context.
-func (m *Endpoint) handle(f simnet.Frame) bool {
-	w, ok := f.Payload.(wire)
+// handle consumes raw datagrams carrying msg wires; runs in node context.
+func (m *Endpoint) handle(from kernel.NodeID, payload any) bool {
+	w, ok := payload.(wire)
 	if !ok {
 		return false
 	}
-	m.node.Charge(threads.CatData, m.node.Model().RecvCost(w.Size))
-	k := key{src: f.Src, tag: w.Tag}
+	m.node.Charge(kernel.CatData, m.node.Model().RecvCost(w.Size))
+	k := key{src: from, tag: w.Tag}
 	m.queues[k] = append(m.queues[k], w)
-	m.anyFIFO[w.Tag] = append(m.anyFIFO[w.Tag], f.Src)
+	m.anyFIFO[w.Tag] = append(m.anyFIFO[w.Tag], from)
 	if t := m.waiters[k]; t != nil {
 		delete(m.waiters, k)
 		m.node.Ready(t, true)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"filaments/internal/cost"
+	"filaments/internal/kernel"
 	"filaments/internal/packet"
 	"filaments/internal/sim"
 	"filaments/internal/simnet"
@@ -38,7 +39,8 @@ func (fx *fixture) run(t *testing.T, bodies map[int]func(th *threads.Thread)) {
 	fx.eng.Schedule(0, func() {
 		for id, body := range bodies {
 			id, body := id, body
-			fx.nodes[id].Spawn("main", func(th *threads.Thread) {
+			fx.nodes[id].Spawn("main", func(kt kernel.Thread) {
+				th := kt.(*threads.Thread)
 				body(th)
 				remaining--
 				if remaining == 0 {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"filaments/internal/cost"
+	"filaments/internal/kernel"
 	"filaments/internal/sim"
 	"filaments/internal/simnet"
 	"filaments/internal/threads"
@@ -24,7 +25,7 @@ type simCluster struct {
 // simCaller issues blocking calls from one server thread.
 type simCaller struct {
 	ep *Endpoint
-	th *threads.Thread
+	th kernel.Thread
 }
 
 func (c *simCaller) Call(dst, svc int, req []byte) ([]byte, error) {
@@ -40,7 +41,7 @@ func (cl *simCluster) Run(t *testing.T, workers ...transconf.Worker) {
 			w := w
 			node := cl.nodes[w.Node]
 			ep := cl.eps[w.Node]
-			node.Spawn(fmt.Sprintf("worker%d", i), func(th *threads.Thread) {
+			node.Spawn(fmt.Sprintf("worker%d", i), func(th kernel.Thread) {
 				w.Body(&simCaller{ep: ep, th: th})
 				remaining--
 				if remaining == 0 {
@@ -99,7 +100,7 @@ func register(cl *simCluster, node int, svc int, s transconf.Service) {
 			if !ok {
 				st = &deferredState{running: true}
 				states[key] = st
-				nd.Spawn("deferred-"+key, func(th *threads.Thread) {
+				nd.Spawn("deferred-"+key, func(th kernel.Thread) {
 					st.reply, st.drop = s.Handler(&simCaller{ep: ep, th: th}, int(from), req.([]byte))
 					st.done = true
 				})

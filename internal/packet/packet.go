@@ -13,48 +13,40 @@
 // in a critical section ignores messages that would modify critical data)
 // and for the Mirage page time-window: the requester's retransmission
 // carries the retry.
+//
+// Endpoint is the simulation binding of kernel.Transport; the real-time
+// binding over UDP sockets is internal/rtnode.
 package packet
 
 import (
+	"container/list"
 	"fmt"
 
+	"filaments/internal/kernel"
 	"filaments/internal/sim"
 	"filaments/internal/simnet"
 	"filaments/internal/threads"
 )
 
-// ServiceID identifies a registered request handler.
-type ServiceID int
+// ServiceID identifies a registered request handler (alias of
+// kernel.ServiceID).
+type ServiceID = kernel.ServiceID
 
-// Verdict is a service handler's decision about a request.
-type Verdict int
+// Verdict is a service handler's decision about a request (alias of
+// kernel.Verdict).
+type Verdict = kernel.Verdict
 
+// Handler verdicts, re-exported from package kernel.
 const (
 	// Reply sends the handler's reply to the requester.
-	Reply Verdict = iota
+	Reply = kernel.Reply
 	// Drop ignores the request; the requester will retransmit. Used by
 	// critical sections, the Mirage window, and deferred barrier releases.
-	Drop
+	Drop = kernel.Drop
 )
 
-// Service describes one request type.
-type Service struct {
-	// Name is used in diagnostics.
-	Name string
-	// Handler services a request and produces a reply. It runs on the
-	// receiving node's CPU; the endpooint charges receive cost before
-	// invoking it, and send cost for the reply after.
-	Handler func(from simnet.NodeID, req any) (reply any, size int, v Verdict)
-	// Idempotent services may be re-executed for a retransmitted request.
-	// Non-idempotent services have their replies cached per requester and
-	// replayed on duplicates.
-	Idempotent bool
-	// ModifiesCritical requests are dropped while the node's critical-
-	// section flag is set (paper §3: entry/exit is a single assignment).
-	ModifiesCritical bool
-	// Category accounts the CPU time this service's messages consume.
-	Category threads.Category
-}
+// Service describes one request type (alias of kernel.Service).
+type Service = kernel.Service
 
 // Stats counts protocol events.
 type Stats struct {
@@ -91,14 +83,15 @@ type pending struct {
 	req      wireRequest
 	cat      threads.Category
 	cb       func(reply any)
-	timer    *sim.Timer
+	timer    kernel.Timer
 	attempts int
 	expect   int // expected reply payload size, for the timeout
 	done     bool
 }
 
 // Handle identifies an outstanding request; it allows local completion
-// (e.g. a broadcast carried the answer) or cancellation.
+// (e.g. a broadcast carried the answer) or cancellation. It implements
+// kernel.Handle.
 type Handle struct {
 	ep *Endpoint
 	p  *pending
@@ -129,7 +122,10 @@ type cacheKey struct {
 	seq uint64
 }
 
-type cachedReply struct {
+// cacheEntry is one cached reply, held in the LRU list; replyCache maps
+// its key to its list element.
+type cacheEntry struct {
+	key      cacheKey
 	wr       wireReply
 	lastSent sim.Time
 }
@@ -146,9 +142,10 @@ type Endpoint struct {
 	// duplicate request (reply lost in transit) is answered identically
 	// rather than re-executed. The paper bounds the analogous request list
 	// by the messages between synchronization points; we bound the cache
-	// by size.
-	replyCache map[cacheKey]cachedReply
-	cacheFIFO  []cacheKey
+	// by size, evicting the least recently used entry — an entry still
+	// being replayed to a retransmitting requester stays resident.
+	replyCache map[cacheKey]*list.Element
+	cacheLRU   *list.List // front = most recently used; values are *cacheEntry
 	cacheCap   int
 
 	// RawHandler, if set, receives frames whose payload is not a Packet
@@ -157,7 +154,7 @@ type Endpoint struct {
 	// HandleRaw instead.
 	RawHandler func(f simnet.Frame)
 
-	rawChain []func(f simnet.Frame) bool
+	rawChain []func(from simnet.NodeID, payload any) bool
 
 	stats Stats
 }
@@ -168,7 +165,8 @@ func New(node *threads.Node) *Endpoint {
 		node:       node,
 		services:   make(map[ServiceID]*Service),
 		pending:    make(map[uint64]*pending),
-		replyCache: make(map[cacheKey]cachedReply),
+		replyCache: make(map[cacheKey]*list.Element),
+		cacheLRU:   list.New(),
 		cacheCap:   replyCacheSize,
 	}
 	node.SetHandler(ep.handle)
@@ -193,7 +191,7 @@ func (ep *Endpoint) Register(id ServiceID, s Service) {
 // node's CPU) when the reply arrives. The request is buffered and
 // retransmitted until then. It returns a Handle for local completion or
 // cancellation. It must run on the node (thread or kernel context).
-func (ep *Endpoint) RequestAsync(dst simnet.NodeID, svc ServiceID, req any, size int, cat threads.Category, cb func(reply any)) *Handle {
+func (ep *Endpoint) RequestAsync(dst simnet.NodeID, svc ServiceID, req any, size int, cat threads.Category, cb func(reply any)) kernel.Handle {
 	return ep.RequestSized(dst, svc, req, size, 0, cat, cb)
 }
 
@@ -202,7 +200,7 @@ func (ep *Endpoint) RequestAsync(dst simnet.NodeID, svc ServiceID, req any, size
 // 10 Mbps medium, let alone a saturated one; the retransmission timeout is
 // stretched accordingly so the requester does not re-request data that is
 // still on the wire.
-func (ep *Endpoint) RequestSized(dst simnet.NodeID, svc ServiceID, req any, size, expectedReply int, cat threads.Category, cb func(reply any)) *Handle {
+func (ep *Endpoint) RequestSized(dst simnet.NodeID, svc ServiceID, req any, size, expectedReply int, cat threads.Category, cb func(reply any)) kernel.Handle {
 	ep.nextSeq++
 	p := &pending{
 		seq:    ep.nextSeq,
@@ -224,7 +222,7 @@ func (ep *Endpoint) RequestSized(dst simnet.NodeID, svc ServiceID, req any, size
 
 // Call sends a request and blocks the calling server thread until the reply
 // arrives, returning the reply payload.
-func (ep *Endpoint) Call(t *threads.Thread, dst simnet.NodeID, svc ServiceID, req any, size int, cat threads.Category) any {
+func (ep *Endpoint) Call(t kernel.Thread, dst simnet.NodeID, svc ServiceID, req any, size int, cat threads.Category) any {
 	var reply any
 	done, waiting := false, false
 	ep.RequestAsync(dst, svc, req, size, cat, func(r any) {
@@ -242,6 +240,12 @@ func (ep *Endpoint) Call(t *threads.Thread, dst simnet.NodeID, svc ServiceID, re
 	return reply
 }
 
+// Send transmits an unreliable one-way datagram through the node,
+// charging send cost to cat (kernel.Transport).
+func (ep *Endpoint) Send(dst simnet.NodeID, payload any, size int, cat threads.Category) {
+	ep.node.Send(dst, payload, size, cat)
+}
+
 func (ep *Endpoint) armTimer(p *pending) {
 	// Exponential backoff: a saturated network (e.g. the master serving
 	// thousands of page requests in the matmul experiment) pushes reply
@@ -252,7 +256,7 @@ func (ep *Endpoint) armTimer(p *pending) {
 	for i := 0; i < p.attempts && i < 5; i++ {
 		timeout *= 2
 	}
-	p.timer = ep.node.Engine().Schedule(timeout, func() {
+	p.timer = ep.node.Schedule(timeout, func() {
 		ep.node.Inject(retransmitTick{seq: p.seq})
 	})
 }
@@ -281,7 +285,7 @@ func (ep *Endpoint) handle(f simnet.Frame) {
 		ep.retransmit(m.seq)
 	default:
 		for _, h := range ep.rawChain {
-			if h(f) {
+			if h(f.Src, f.Payload) {
 				return
 			}
 		}
@@ -291,43 +295,44 @@ func (ep *Endpoint) handle(f simnet.Frame) {
 	}
 }
 
-// HandleRaw appends a consumer for non-Packet frames (broadcasts, explicit
-// message passing). Consumers are tried in registration order; the first
-// one returning true consumes the frame. Handlers must charge their own
-// receive cost.
-func (ep *Endpoint) HandleRaw(h func(f simnet.Frame) bool) {
+// HandleRaw appends a consumer for non-Packet payloads (broadcasts,
+// explicit message passing). Consumers are tried in registration order; the
+// first one returning true consumes the payload. Handlers must charge their
+// own receive cost.
+func (ep *Endpoint) HandleRaw(h func(from simnet.NodeID, payload any) bool) {
 	ep.rawChain = append(ep.rawChain, h)
 }
 
 func (ep *Endpoint) handleRequest(from simnet.NodeID, m wireRequest) {
 	svc, ok := ep.services[m.Svc]
 	if !ok {
-		panic(fmt.Sprintf("packet: node %d: no service %d", ep.node.ID, m.Svc))
+		panic(fmt.Sprintf("packet: node %d: no service %d", ep.node.ID(), m.Svc))
 	}
 	model := ep.node.Model()
 	ep.node.Charge(svc.Category, model.RecvCost(m.Size))
 
-	if svc.ModifiesCritical && ep.node.InCritical {
+	if svc.ModifiesCritical && ep.node.InCritical() {
 		ep.stats.Dropped++
 		return
 	}
 	key := cacheKey{src: from, seq: m.Seq}
 	if !svc.Idempotent {
-		if cached, dup := ep.replyCache[key]; dup {
+		if el, dup := ep.replyCache[key]; dup {
 			ep.stats.DupSuppressed++
+			ent := el.Value.(*cacheEntry)
+			ep.cacheLRU.MoveToFront(el)
 			// Resend the cached reply only if the previous copy has had
 			// time to arrive; a retransmission racing a large reply that
 			// is still on the (saturated) wire must not add another copy
 			// — that feeds the very congestion that delayed it.
-			now := ep.node.Engine().Now()
-			guard := model.RetransmitTimeout/2 + 4*model.TransmitTime(cached.wr.Size)
-			if now.Sub(cached.lastSent) < guard {
+			now := ep.node.Now()
+			guard := model.RetransmitTimeout/2 + 4*model.TransmitTime(ent.wr.Size)
+			if now.Sub(ent.lastSent) < guard {
 				return
 			}
-			cached.lastSent = now
-			ep.replyCache[key] = cached
+			ent.lastSent = now
 			ep.stats.RepliesSent++
-			ep.node.Send(from, cached.wr, cached.wr.Size, svc.Category)
+			ep.node.Send(from, ent.wr, ent.wr.Size, svc.Category)
 			return
 		}
 	}
@@ -344,14 +349,16 @@ func (ep *Endpoint) handleRequest(from simnet.NodeID, m wireRequest) {
 	ep.node.Send(from, wr, size, svc.Category)
 }
 
+// cacheReply inserts a reply at the most-recently-used end of the cache,
+// evicting the least recently used entry when full. O(1) per insert.
 func (ep *Endpoint) cacheReply(key cacheKey, wr wireReply) {
-	if len(ep.cacheFIFO) >= ep.cacheCap {
-		oldest := ep.cacheFIFO[0]
-		ep.cacheFIFO = ep.cacheFIFO[1:]
-		delete(ep.replyCache, oldest)
+	if ep.cacheLRU.Len() >= ep.cacheCap {
+		lru := ep.cacheLRU.Back()
+		ep.cacheLRU.Remove(lru)
+		delete(ep.replyCache, lru.Value.(*cacheEntry).key)
 	}
-	ep.replyCache[key] = cachedReply{wr: wr, lastSent: ep.node.Engine().Now()}
-	ep.cacheFIFO = append(ep.cacheFIFO, key)
+	ent := &cacheEntry{key: key, wr: wr, lastSent: ep.node.Now()}
+	ep.replyCache[key] = ep.cacheLRU.PushFront(ent)
 }
 
 func (ep *Endpoint) handleReply(m wireReply) {

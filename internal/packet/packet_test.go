@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"filaments/internal/cost"
+	"filaments/internal/kernel"
 	"filaments/internal/sim"
 	"filaments/internal/simnet"
 	"filaments/internal/threads"
@@ -66,7 +67,7 @@ func TestScenarioNoProblems(t *testing.T) {
 	fx.registerEcho()
 	var got any
 	fx.eng.Schedule(0, func() {
-		fx.nodes[0].Spawn("caller", func(th *threads.Thread) {
+		fx.nodes[0].Spawn("caller", func(th kernel.Thread) {
 			got = fx.eps[0].Call(th, 1, svcEcho, "hi", 16, threads.CatData)
 			fx.nodes[0].Stop()
 			fx.nodes[1].Stop()
@@ -99,7 +100,7 @@ func TestScenarioRequestLost(t *testing.T) {
 	}
 	var got any
 	fx.eng.Schedule(0, func() {
-		fx.nodes[0].Spawn("caller", func(th *threads.Thread) {
+		fx.nodes[0].Spawn("caller", func(th kernel.Thread) {
 			got = fx.eps[0].Call(th, 1, svcEcho, "hi", 16, threads.CatData)
 			fx.nodes[0].Stop()
 			fx.nodes[1].Stop()
@@ -128,7 +129,7 @@ func TestScenarioReplyLost(t *testing.T) {
 	}
 	var got any
 	fx.eng.Schedule(0, func() {
-		fx.nodes[0].Spawn("caller", func(th *threads.Thread) {
+		fx.nodes[0].Spawn("caller", func(th kernel.Thread) {
 			got = fx.eps[0].Call(th, 1, svcEcho, "hi", 16, threads.CatData)
 			fx.nodes[0].Stop()
 			fx.nodes[1].Stop()
@@ -164,7 +165,7 @@ func TestScenarioReplyDelayed(t *testing.T) {
 	calls := 0
 	var got any
 	fx.eng.Schedule(0, func() {
-		fx.nodes[0].Spawn("caller", func(th *threads.Thread) {
+		fx.nodes[0].Spawn("caller", func(th kernel.Thread) {
 			got = fx.eps[0].Call(th, 1, svcEcho, "hi", 16, threads.CatData)
 			calls++
 			// Allow the delayed duplicate to arrive before stopping.
@@ -219,7 +220,7 @@ func TestNonIdempotentDedup(t *testing.T) {
 	}
 	var got any
 	fx.eng.Schedule(0, func() {
-		fx.nodes[0].Spawn("caller", func(th *threads.Thread) {
+		fx.nodes[0].Spawn("caller", func(th kernel.Thread) {
 			got = fx.eps[0].Call(th, 1, svcCounter, nil, 8, threads.CatData)
 			fx.nodes[0].Stop()
 			fx.nodes[1].Stop()
@@ -231,6 +232,50 @@ func TestNonIdempotentDedup(t *testing.T) {
 	}
 	if fx.eps[1].Stats().DupSuppressed != 1 {
 		t.Fatalf("dupSuppressed = %d", fx.eps[1].Stats().DupSuppressed)
+	}
+}
+
+// TestReplyCacheEvictionOrder pins the reply cache's replacement policy:
+// least-recently-USED, not least-recently-inserted. A duplicate request
+// refreshes its entry's recency, so the entry a retransmitting requester
+// is still draining stays resident while a colder one is evicted. The
+// execution counter discriminates: a suppressed duplicate leaves it
+// unchanged, an evicted entry re-executes the handler.
+func TestReplyCacheEvictionOrder(t *testing.T) {
+	fx := newFixture(t, 2)
+	count := 0
+	fx.eps[1].Register(svcCounter, Service{
+		Name:     "counter",
+		Category: threads.CatData, // non-idempotent: replies are cached
+		Handler: func(from simnet.NodeID, req any) (any, int, Verdict) {
+			count++
+			return count, 8, Reply
+		},
+	})
+	fx.eps[1].cacheCap = 3
+	send := func(seq uint64) {
+		fx.eps[1].handleRequest(0, wireRequest{Svc: svcCounter, Seq: seq, Size: 8})
+	}
+	fx.eng.Schedule(0, func() {
+		fx.nodes[1].Spawn("driver", func(th kernel.Thread) {
+			send(1)
+			send(2)
+			send(3) // cache full, recency front→back [3 2 1]
+			send(1) // duplicate: suppressed, refreshed → [1 3 2]
+			send(4) // evicts 2 (LRU; FIFO would evict 1) → [4 1 3]
+			send(2) // evicted, so re-executes; inserting evicts 3 → [2 4 1]
+			send(1) // refreshed above, still resident: suppressed
+			send(3) // evicted by 2's reinsertion: re-executes
+			fx.nodes[0].Stop()
+			fx.nodes[1].Stop()
+		})
+	})
+	fx.run(t)
+	if count != 6 {
+		t.Fatalf("handler ran %d times, want 6 (seqs 1 2 3, then evicted 4 2 3)", count)
+	}
+	if dup := fx.eps[1].Stats().DupSuppressed; dup != 2 {
+		t.Fatalf("dupSuppressed = %d, want 2", dup)
 	}
 }
 
@@ -252,11 +297,11 @@ func TestCriticalSectionDrop(t *testing.T) {
 	m := fx.nodes[0].Model()
 	fx.eng.Schedule(0, func() {
 		// Node 1 enters its critical section for 1.5 timeouts.
-		fx.nodes[1].InCritical = true
+		fx.nodes[1].Critical = true
 		fx.eng.Schedule(m.RetransmitTimeout+m.RetransmitTimeout/2, func() {
-			fx.nodes[1].InCritical = false
+			fx.nodes[1].Critical = false
 		})
-		fx.nodes[0].Spawn("caller", func(th *threads.Thread) {
+		fx.nodes[0].Spawn("caller", func(th kernel.Thread) {
 			got := fx.eps[0].Call(th, 1, svcCritical, nil, 8, threads.CatData)
 			if got != "ok" {
 				t.Errorf("got %v", got)
@@ -292,7 +337,7 @@ func TestHandleComplete(t *testing.T) {
 	})
 	var got any
 	fx.eng.Schedule(0, func() {
-		fx.nodes[0].Spawn("caller", func(th *threads.Thread) {
+		fx.nodes[0].Spawn("caller", func(th kernel.Thread) {
 			h := fx.eps[0].RequestAsync(1, svcEcho, "x", 8, threads.CatSync, func(r any) { got = r })
 			fx.nodes[0].Engine().Schedule(sim.Millisecond, func() {
 				fx.nodes[0].Inject(func() {})
@@ -337,7 +382,7 @@ func TestReliabilityUnderLoss(t *testing.T) {
 		const calls = 5
 		completions := 0
 		eng.Schedule(0, func() {
-			a.Spawn("caller", func(th *threads.Thread) {
+			a.Spawn("caller", func(th kernel.Thread) {
 				for i := 0; i < calls; i++ {
 					if got := epA.Call(th, 1, svcEcho, i, 16, threads.CatData); got != i {
 						t.Errorf("echo returned %v, want %d", got, i)

@@ -17,16 +17,21 @@
 package reduce
 
 import (
+	"encoding/gob"
 	"math"
 
 	"filaments/internal/dsm"
-	"filaments/internal/packet"
-	"filaments/internal/simnet"
-	"filaments/internal/threads"
+	"filaments/internal/kernel"
 )
 
-// SvcArrive is the Packet service ID for tournament arrive messages.
-const SvcArrive packet.ServiceID = 20
+// SvcArrive is the service ID for tournament arrive messages.
+const SvcArrive kernel.ServiceID = 20
+
+// The real-time binding serializes payloads with gob.
+func init() {
+	gob.Register(arriveMsg{})
+	gob.Register(releaseMsg{})
+}
 
 // Op combines two reduction values. It must be commutative and
 // associative, and identical on every node for a given reduction.
@@ -76,12 +81,12 @@ const msgSize = 20 // the paper's bound on request size
 
 type epochState struct {
 	vals     []float64 // child values plus own, folded at completion
-	arrived  map[simnet.NodeID]bool
+	arrived  map[kernel.NodeID]bool
 	own      bool
 	released bool
 	result   float64
-	waiter   *threads.Thread // local thread parked on this epoch
-	handle   *packet.Handle  // outstanding arrive request, if a loser
+	waiter   kernel.Thread // local thread parked on this epoch
+	handle   kernel.Handle // outstanding arrive request, if a loser
 
 	// Dissemination state: the value received for each round, keyed by
 	// round number.
@@ -90,8 +95,8 @@ type epochState struct {
 
 // Reducer is one node's reduction/barrier instance.
 type Reducer struct {
-	node  *threads.Node
-	ep    *packet.Endpoint
+	node  kernel.Node
+	ep    kernel.Transport
 	d     *dsm.DSM // optional; nil for programs without DSM
 	id    int
 	n     int
@@ -112,20 +117,20 @@ const resultHistory = 8
 
 // New creates the reducer for one node of an n-node cluster. d may be nil
 // when the program does not use the DSM.
-func New(node *threads.Node, ep *packet.Endpoint, d *dsm.DSM, n int) *Reducer {
+func New(node kernel.Node, ep kernel.Transport, d *dsm.DSM, n int) *Reducer {
 	r := &Reducer{
 		node:    node,
 		ep:      ep,
 		d:       d,
-		id:      int(node.ID),
+		id:      int(node.ID()),
 		n:       n,
 		states:  make(map[int64]*epochState),
 		results: make(map[int64]float64),
 	}
-	ep.Register(SvcArrive, packet.Service{
+	ep.Register(SvcArrive, kernel.Service{
 		Name:       "reduce-arrive",
 		Idempotent: true, // duplicates are filtered by the arrived set
-		Category:   threads.CatSync,
+		Category:   kernel.CatSync,
 		Handler:    r.serveArrive,
 	})
 	ep.HandleRaw(r.handleRelease)
@@ -139,7 +144,7 @@ func (r *Reducer) state(e int64) *epochState {
 	st, ok := r.states[e]
 	if !ok {
 		st = &epochState{
-			arrived:  make(map[simnet.NodeID]bool),
+			arrived:  make(map[kernel.NodeID]bool),
 			roundVal: make(map[int32]float64),
 		}
 		r.states[e] = st
@@ -148,13 +153,13 @@ func (r *Reducer) state(e int64) *epochState {
 }
 
 // Barrier blocks t until every node has arrived at the same barrier.
-func (r *Reducer) Barrier(t *threads.Thread) {
+func (r *Reducer) Barrier(t kernel.Thread) {
 	r.Reduce(t, 0, Sum)
 }
 
 // Reduce contributes x, blocks until all nodes have contributed, and
 // returns the combined value (identical on every node).
-func (r *Reducer) Reduce(t *threads.Thread, x float64, op Op) float64 {
+func (r *Reducer) Reduce(t kernel.Thread, x float64, op Op) float64 {
 	model := r.node.Model()
 	// Synchronization-point duties (paper §3): drain outstanding page
 	// operations, then implicitly invalidate read-only copies.
@@ -162,7 +167,7 @@ func (r *Reducer) Reduce(t *threads.Thread, x float64, op Op) float64 {
 		r.d.Quiesce(t)
 		r.d.AtBarrier()
 	}
-	r.node.Charge(threads.CatSync, model.BarrierProcess)
+	r.node.Charge(kernel.CatSync, model.BarrierProcess)
 
 	e := r.epoch
 	r.op = op
@@ -195,12 +200,12 @@ func (r *Reducer) Reduce(t *threads.Thread, x float64, op Op) float64 {
 // (node id receives from id+1, id+2, id+4, ... until the next set bit of
 // id or the cluster size cuts it off). Under the Central style node 0's
 // children are everyone.
-func (r *Reducer) children() []simnet.NodeID {
-	var cs []simnet.NodeID
+func (r *Reducer) children() []kernel.NodeID {
+	var cs []kernel.NodeID
 	if r.Style == Central {
 		if r.id == 0 {
 			for i := 1; i < r.n; i++ {
-				cs = append(cs, simnet.NodeID(i))
+				cs = append(cs, kernel.NodeID(i))
 			}
 		}
 		return cs
@@ -213,41 +218,41 @@ func (r *Reducer) children() []simnet.NodeID {
 		if c >= r.n {
 			break
 		}
-		cs = append(cs, simnet.NodeID(c))
+		cs = append(cs, kernel.NodeID(c))
 	}
 	return cs
 }
 
 // parent returns the node this one reports to when it loses.
-func (r *Reducer) parent() simnet.NodeID {
+func (r *Reducer) parent() kernel.NodeID {
 	if r.Style == Central {
 		return 0
 	}
 	// Clear the lowest set bit: the winner of our losing round.
-	return simnet.NodeID(r.id & (r.id - 1))
+	return kernel.NodeID(r.id & (r.id - 1))
 }
 
 // championWait runs node 0's side: wait for all children, fold, broadcast.
-func (r *Reducer) championWait(t *threads.Thread, e int64, st *epochState) {
+func (r *Reducer) championWait(t kernel.Thread, e int64, st *epochState) {
 	want := len(r.children())
-	t0 := r.node.Engine().Now()
+	t0 := r.node.Now()
 	for len(st.arrived) < want {
 		st.waiter = t
 		t.Block()
 		st.waiter = nil
 	}
-	r.node.AddDelay(threads.CatSyncDelay, r.node.Engine().Now().Sub(t0))
+	r.node.AddDelay(kernel.CatSyncDelay, r.node.Now().Sub(t0))
 	st.result = r.fold(st)
 	st.released = true
 	// Broadcast dissemination: one frame releases everyone.
-	r.node.Send(simnet.Broadcast, releaseMsg{Epoch: e, Result: st.result}, msgSize, threads.CatSync)
+	r.ep.Send(kernel.Broadcast, releaseMsg{Epoch: e, Result: st.result}, msgSize, kernel.CatSync)
 }
 
 // loserPath runs a non-champion: collect children (if any), then send the
 // partial up and wait for the release.
-func (r *Reducer) loserPath(t *threads.Thread, e int64, st *epochState) {
+func (r *Reducer) loserPath(t kernel.Thread, e int64, st *epochState) {
 	want := len(r.children())
-	t0 := r.node.Engine().Now()
+	t0 := r.node.Now()
 	for len(st.arrived) < want {
 		st.waiter = t
 		t.Block()
@@ -255,7 +260,7 @@ func (r *Reducer) loserPath(t *threads.Thread, e int64, st *epochState) {
 	}
 	partial := r.fold(st)
 	st.handle = r.ep.RequestAsync(r.parent(), SvcArrive, arriveMsg{Epoch: e, Value: partial, Has: true},
-		msgSize, threads.CatSync, func(reply any) {
+		msgSize, kernel.CatSync, func(reply any) {
 			// Direct reply: the parent (or champion) had already released.
 			if m, ok := reply.(releaseMsg); ok && !st.released {
 				st.released = true
@@ -273,18 +278,18 @@ func (r *Reducer) loserPath(t *threads.Thread, e int64, st *epochState) {
 		st.waiter = nil
 	}
 	st.handle.Cancel()
-	r.node.AddDelay(threads.CatSyncDelay, r.node.Engine().Now().Sub(t0))
+	r.node.AddDelay(kernel.CatSyncDelay, r.node.Now().Sub(t0))
 }
 
 // disseminate runs the butterfly: in round k, exchange partials with the
 // nodes ±2^k away; after log2(p) rounds every node holds the full result.
-func (r *Reducer) disseminate(t *threads.Thread, e int64, st *epochState, x float64) {
+func (r *Reducer) disseminate(t kernel.Thread, e int64, st *epochState, x float64) {
 	partial := x
-	t0 := r.node.Engine().Now()
+	t0 := r.node.Now()
 	for k, dist := int32(0), 1; dist < r.n; k, dist = k+1, dist*2 {
-		dst := simnet.NodeID((r.id + dist) % r.n)
+		dst := kernel.NodeID((r.id + dist) % r.n)
 		r.ep.RequestAsync(dst, SvcArrive, arriveMsg{Epoch: e, Round: k, Value: partial, Has: true},
-			msgSize, threads.CatSync, func(any) {})
+			msgSize, kernel.CatSync, func(any) {})
 		for {
 			v, ok := st.roundVal[k]
 			if ok {
@@ -297,7 +302,7 @@ func (r *Reducer) disseminate(t *threads.Thread, e int64, st *epochState, x floa
 	}
 	st.result = partial
 	st.released = true
-	r.node.AddDelay(threads.CatSyncDelay, r.node.Engine().Now().Sub(t0))
+	r.node.AddDelay(kernel.CatSyncDelay, r.node.Now().Sub(t0))
 }
 
 func (r *Reducer) fold(st *epochState) float64 {
@@ -312,33 +317,33 @@ func (r *Reducer) fold(st *epochState) float64 {
 // released we answer with the result (covers a lost broadcast); otherwise
 // we merge the value and drop — the broadcast will release the child, and
 // its retransmission covers loss.
-func (r *Reducer) serveArrive(from simnet.NodeID, req any) (any, int, packet.Verdict) {
+func (r *Reducer) serveArrive(from kernel.NodeID, req any) (any, int, kernel.Verdict) {
 	m := req.(arriveMsg)
 	if m.Epoch < r.epoch {
 		// Old epoch: it completed globally (we have moved on), so the
 		// release exists; resend it from the retained history.
-		return releaseMsg{Epoch: m.Epoch, Result: r.results[m.Epoch]}, msgSize, packet.Reply
+		return releaseMsg{Epoch: m.Epoch, Result: r.results[m.Epoch]}, msgSize, kernel.Reply
 	}
 	st := r.state(m.Epoch)
 	if r.Style == Dissemination && r.n&(r.n-1) == 0 && r.n > 1 {
 		// Record the round's value (duplicates ignored) and ack.
 		if _, dup := st.roundVal[m.Round]; !dup {
 			st.roundVal[m.Round] = m.Value
-			r.node.Charge(threads.CatSync, r.node.Model().BarrierMerge)
+			r.node.Charge(kernel.CatSync, r.node.Model().BarrierMerge)
 			if st.waiter != nil {
 				w := st.waiter
 				st.waiter = nil
 				r.node.Ready(w, true)
 			}
 		}
-		return struct{}{}, 8, packet.Reply
+		return nil, 8, kernel.Reply
 	}
 	if st.released {
-		return releaseMsg{Epoch: m.Epoch, Result: st.result}, msgSize, packet.Reply
+		return releaseMsg{Epoch: m.Epoch, Result: st.result}, msgSize, kernel.Reply
 	}
 	if !st.arrived[from] {
 		st.arrived[from] = true
-		r.node.Charge(threads.CatSync, r.node.Model().BarrierMerge)
+		r.node.Charge(kernel.CatSync, r.node.Model().BarrierMerge)
 		st.vals = append(st.vals, m.Value)
 		if st.waiter != nil && st.own {
 			w := st.waiter
@@ -346,16 +351,16 @@ func (r *Reducer) serveArrive(from simnet.NodeID, req any) (any, int, packet.Ver
 			r.node.Ready(w, true)
 		}
 	}
-	return nil, 0, packet.Drop
+	return nil, 0, kernel.Drop
 }
 
-// handleRelease consumes broadcast release frames.
-func (r *Reducer) handleRelease(f simnet.Frame) bool {
-	m, ok := f.Payload.(releaseMsg)
+// handleRelease consumes broadcast release datagrams.
+func (r *Reducer) handleRelease(from kernel.NodeID, payload any) bool {
+	m, ok := payload.(releaseMsg)
 	if !ok {
 		return false
 	}
-	r.node.Charge(threads.CatSync, r.node.Model().RecvCost(msgSize))
+	r.node.Charge(kernel.CatSync, r.node.Model().RecvCost(msgSize))
 	if m.Epoch < r.epoch {
 		return true // stale
 	}

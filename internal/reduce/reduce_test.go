@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"filaments/internal/cost"
+	"filaments/internal/kernel"
 	"filaments/internal/packet"
 	"filaments/internal/sim"
 	"filaments/internal/simnet"
@@ -46,7 +47,8 @@ func (fx *fixture) run(t *testing.T, body func(id int, th *threads.Thread)) {
 	fx.eng.Schedule(0, func() {
 		for i := range fx.nodes {
 			i := i
-			fx.nodes[i].Spawn("main", func(th *threads.Thread) {
+			fx.nodes[i].Spawn("main", func(kt kernel.Thread) {
+				th := kt.(*threads.Thread)
 				body(i, th)
 				remaining--
 				if remaining == 0 {

@@ -1,0 +1,187 @@
+// Package rtnode is the real-time binding of the kernel seam: kernel.Node
+// implemented with goroutines and wall-clock time, and kernel.Transport
+// implemented over internal/udptrans UDP sockets.
+//
+// Where the simulation binding (internal/threads) models the paper's
+// one-CPU node with a cooperative scheduler in virtual time, rtnode uses a
+// per-node monitor: every server thread is a goroutine that holds the
+// node's mutex while it runs and releases it when it blocks. At most one
+// thread (or message handler) executes protocol code at a time, which
+// preserves the kernel layers' single-CPU atomicity assumptions — DSM
+// table updates, join bookkeeping, and barrier epochs are mutated only
+// under the monitor — while real time, real sockets, and the Go scheduler
+// replace the simulator's event loop.
+//
+// The paper's critical-section flag (drop requests that would modify
+// critical data, §2.3) has no counterpart here: the monitor itself
+// serializes handlers against threads, so a handler can never observe a
+// thread's half-finished update.
+package rtnode
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"filaments/internal/cost"
+	"filaments/internal/kernel"
+)
+
+// Node is one real-time node: an identity, a monitor, and a CPU-time
+// ledger. It implements kernel.Node.
+//
+// "Node context" below means holding the node's monitor: thread bodies run
+// in node context for their whole life (except while blocked), and so do
+// service handlers, raw handlers, request callbacks, and scheduled timers.
+type Node struct {
+	id    kernel.NodeID
+	model *cost.Model
+	start time.Time
+
+	mu     sync.Mutex
+	closed bool
+	acct   kernel.Account
+
+	threads sync.WaitGroup
+}
+
+// NewNode creates a node. The cost model is used for ledger accounting
+// only; real operations take the time they take.
+func NewNode(id kernel.NodeID, model *cost.Model) *Node {
+	return &Node{id: id, model: model, start: time.Now()}
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() kernel.NodeID { return n.id }
+
+// Model returns the node's cost model.
+func (n *Node) Model() *cost.Model { return n.model }
+
+// Now returns nanoseconds of wall time since the node was created
+// (kernel.Clock). It is safe from any goroutine.
+func (n *Node) Now() kernel.Time { return kernel.Time(time.Since(n.start)) }
+
+// rtTimer adapts time.Timer to kernel.Timer.
+type rtTimer struct{ t *time.Timer }
+
+func (t *rtTimer) Stop() bool { return t.t.Stop() }
+
+// Schedule runs fn in node context after wall duration d (kernel.Clock).
+func (n *Node) Schedule(d kernel.Duration, fn func()) kernel.Timer {
+	t := time.AfterFunc(time.Duration(d), func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if n.closed {
+			return
+		}
+		fn()
+	})
+	return &rtTimer{t}
+}
+
+// Charge spends d of CPU in category c. Under real time the cost is
+// ledger-only: the actual operation took however long it took. Must be
+// called in node context.
+func (n *Node) Charge(c kernel.Category, d kernel.Duration) {
+	if d > 0 {
+		n.acct[c] += d
+	}
+}
+
+// AddDelay records d in the ledger without consuming CPU. Must be called
+// in node context.
+func (n *Node) AddDelay(c kernel.Category, d kernel.Duration) {
+	if d > 0 {
+		n.acct[c] += d
+	}
+}
+
+// Account returns a snapshot of the node's CPU ledger.
+func (n *Node) Account() kernel.Account {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.acct
+}
+
+// WithLock runs fn in node context. It is how code outside the node (test
+// harnesses, result verification) inspects kernel-layer state races-free.
+func (n *Node) WithLock(fn func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	fn()
+}
+
+// Close marks the node closed: scheduled timers that have not fired yet
+// become no-ops. Threads must already have finished (or be about to).
+func (n *Node) Close() {
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+}
+
+// Wait blocks until every spawned thread has returned.
+func (n *Node) Wait() { n.threads.Wait() }
+
+// Thread is a goroutine-backed server thread holding the node monitor
+// while it runs. It implements kernel.Thread.
+type Thread struct {
+	node  *Node
+	name  string
+	cond  *sync.Cond
+	ready bool // wake token: Ready before Block is not lost
+}
+
+// Spawn creates a thread running body. The goroutine acquires the monitor
+// before body starts and releases it when body returns. Safe from any
+// context (a caller already in node context keeps the monitor; the new
+// thread starts once it is released).
+func (n *Node) Spawn(name string, body func(t kernel.Thread)) kernel.Thread {
+	t := &Thread{node: n, name: name}
+	t.cond = sync.NewCond(&n.mu)
+	n.threads.Add(1)
+	go func() {
+		defer n.threads.Done()
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		body(t)
+	}()
+	return t
+}
+
+// Ready wakes a blocked thread. The front hint is meaningless here — the Go
+// scheduler owns ordering — and is ignored. Must be called in node context.
+func (n *Node) Ready(kt kernel.Thread, front bool) {
+	t, ok := kt.(*Thread)
+	if !ok || t.node != n {
+		panic(fmt.Sprintf("rtnode: Ready on foreign thread %q", kt.Name()))
+	}
+	t.ready = true
+	t.cond.Signal()
+}
+
+// Name returns the thread's diagnostic name.
+func (t *Thread) Name() string { return t.name }
+
+// Block releases the monitor and suspends the thread until Ready. A Ready
+// issued before Block is consumed immediately (wake tokens do not get
+// lost, unlike a bare condition wait).
+func (t *Thread) Block() {
+	for !t.ready {
+		t.cond.Wait()
+	}
+	t.ready = false
+}
+
+// Yield briefly releases the monitor so other threads and handlers can
+// run.
+func (t *Thread) Yield() {
+	t.node.mu.Unlock()
+	runtime.Gosched()
+	t.node.mu.Lock()
+}
+
+// Preempt is a dispatch point. The simulation drains pending input here;
+// under real time, handlers run concurrently on the worker pool, so
+// Preempt just gives them a window to take the monitor.
+func (t *Thread) Preempt() { t.Yield() }

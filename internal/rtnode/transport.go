@@ -1,0 +1,273 @@
+package rtnode
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"filaments/internal/kernel"
+	"filaments/internal/udptrans"
+)
+
+// Transport implements kernel.Transport over a udptrans UDP endpoint.
+// Payloads cross the wire gob-encoded; the kernel layers register their
+// wire structs with gob in their init functions.
+//
+// Reliability division of labor: udptrans already provides retransmission
+// with capped backoff, duplicate coalescing, and reply caching — the same
+// Packet protocol the simulation binding implements — so this adapter only
+// translates between kernel types and bytes, bridges handlers into node
+// context, and keeps requests alive across udptrans retry-budget
+// exhaustion (the kernel contract is "retransmitted until answered",
+// matching the simulated Packet's unbounded persistence).
+type Transport struct {
+	node *Node
+	ep   *udptrans.Endpoint
+
+	peers []*net.UDPAddr           // indexed by NodeID
+	ids   map[string]kernel.NodeID // reverse: observed source address → id
+	raw   []func(from kernel.NodeID, payload any) bool
+
+	outstanding int // guarded by node.mu
+	inflight    sync.WaitGroup
+}
+
+// NewTransport wraps ep as node's kernel.Transport. Peers must be
+// installed with SetPeers before traffic flows.
+func NewTransport(node *Node, ep *udptrans.Endpoint) *Transport {
+	tr := &Transport{node: node, ep: ep, ids: make(map[string]kernel.NodeID)}
+	ep.SetEventHandler(tr.handleEvent)
+	return tr
+}
+
+// SetPeers installs the cluster address table: peers[i] is node i's
+// endpoint address (including this node's own).
+func (tr *Transport) SetPeers(peers []*net.UDPAddr) {
+	tr.peers = peers
+	for i, p := range peers {
+		tr.ids[p.String()] = kernel.NodeID(i)
+	}
+}
+
+// Endpoint returns the underlying UDP endpoint (stats, address).
+func (tr *Transport) Endpoint() *udptrans.Endpoint { return tr.ep }
+
+// Close shuts the transport down: the endpoint closes (failing pending
+// calls), and every async request goroutine drains.
+func (tr *Transport) Close() error {
+	err := tr.ep.Close()
+	tr.inflight.Wait()
+	return err
+}
+
+func (tr *Transport) idOf(addr *net.UDPAddr) (kernel.NodeID, bool) {
+	id, ok := tr.ids[addr.String()]
+	return id, ok
+}
+
+// encodePayload turns a kernel-layer payload into bytes. nil encodes as an
+// empty payload (steal probes and ack-only replies are nil).
+func encodePayload(v any) []byte {
+	if v == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+		panic(fmt.Sprintf("rtnode: encode %T: %v", v, err))
+	}
+	return buf.Bytes()
+}
+
+// decodePayload inverts encodePayload.
+func decodePayload(b []byte) any {
+	if len(b) == 0 {
+		return nil
+	}
+	var v any
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&v); err != nil {
+		panic(fmt.Sprintf("rtnode: decode: %v", err))
+	}
+	return v
+}
+
+// Register installs a kernel service on the UDP endpoint. The wrapped
+// handler decodes the payload, enters node context, charges receive and
+// send costs to the ledger, and maps kernel.Drop to a udptrans drop (the
+// requester's retransmission recovers, as in the paper).
+func (tr *Transport) Register(id kernel.ServiceID, s kernel.Service) {
+	n := tr.node
+	tr.ep.Register(uint16(id), udptrans.Service{
+		Idempotent: s.Idempotent,
+		Handler: func(from *net.UDPAddr, req []byte) ([]byte, bool) {
+			src, known := tr.idOf(from)
+			if !known {
+				return nil, true // stray datagram from outside the cluster
+			}
+			payload := decodePayload(req)
+			n.mu.Lock()
+			defer n.mu.Unlock()
+			if n.closed {
+				return nil, true
+			}
+			n.acct[s.Category] += n.model.RecvCost(len(req))
+			reply, size, v := s.Handler(src, payload)
+			if v == kernel.Drop {
+				return nil, true
+			}
+			n.acct[s.Category] += n.model.SendCost(size)
+			return encodePayload(reply), false
+		},
+	})
+}
+
+// call runs one reliable request to completion. The endpoint must carry an
+// effectively unbounded retry budget (the bindings configure one): the
+// kernel contract is "retransmitted until answered", and the
+// retransmissions must reuse the request's sequence number so the
+// receiver's reply cache absorbs duplicates. Re-issuing a timed-out call
+// as a fresh request would re-execute non-idempotent handlers — a steal
+// grant whose reply datagram was dropped would dequeue a second filament
+// and strand the first. ok is false on endpoint close or cancellation.
+func (tr *Transport) call(ctx context.Context, dst *net.UDPAddr, svc uint16, data []byte) ([]byte, bool) {
+	reply, err := tr.ep.CallContext(ctx, dst, svc, data)
+	if err != nil {
+		return nil, false
+	}
+	return reply, true
+}
+
+// Call issues a blocking request from thread t. The node monitor is
+// released while the call is in flight — the calling thread is blocked,
+// exactly as in the simulation, and other threads and handlers run.
+func (tr *Transport) Call(t kernel.Thread, dst kernel.NodeID, svc kernel.ServiceID, req any, size int, cat kernel.Category) any {
+	n := tr.node
+	n.acct[cat] += n.model.SendCost(size)
+	tr.outstanding++
+	data := encodePayload(req)
+	addr := tr.peers[dst]
+	n.mu.Unlock()
+	reply, ok := tr.call(context.Background(), addr, uint16(svc), data)
+	n.mu.Lock()
+	tr.outstanding--
+	if !ok {
+		return nil // endpoint closed mid-run (shutdown)
+	}
+	n.acct[cat] += n.model.RecvCost(len(reply))
+	return decodePayload(reply)
+}
+
+// handle tracks one asynchronous request. Its fields are guarded by the
+// node monitor; Complete/Cancel/Done must be called in node context.
+type handle struct {
+	cb     func(any)
+	done   bool
+	cancel context.CancelFunc
+}
+
+func (h *handle) Complete(reply any) {
+	if h.done {
+		return
+	}
+	h.done = true
+	h.cancel()
+	h.cb(reply)
+}
+
+func (h *handle) Cancel() {
+	if h.done {
+		return
+	}
+	h.done = true
+	h.cancel()
+}
+
+func (h *handle) Done() bool { return h.done }
+
+// RequestAsync issues a reliable request serviced by a dedicated
+// goroutine; the callback runs in node context when the reply arrives.
+func (tr *Transport) RequestAsync(dst kernel.NodeID, svc kernel.ServiceID, req any, size int, cat kernel.Category, cb func(reply any)) kernel.Handle {
+	n := tr.node
+	ctx, cancel := context.WithCancel(context.Background())
+	h := &handle{cb: cb, cancel: cancel}
+	n.acct[cat] += n.model.SendCost(size)
+	tr.outstanding++
+	data := encodePayload(req)
+	addr := tr.peers[dst]
+	tr.inflight.Add(1)
+	go func() {
+		defer tr.inflight.Done()
+		reply, ok := tr.call(ctx, addr, uint16(svc), data)
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		tr.outstanding--
+		if h.done {
+			return // completed out of band or canceled
+		}
+		h.done = true
+		if !ok {
+			return // endpoint closed mid-run
+		}
+		n.acct[cat] += n.model.RecvCost(len(reply))
+		cb(decodePayload(reply))
+	}()
+	return h
+}
+
+// RequestSized is RequestAsync; the expected reply size only stretches
+// timeouts in the simulation (real retransmission keeps retrying anyway).
+func (tr *Transport) RequestSized(dst kernel.NodeID, svc kernel.ServiceID, req any, size, expectedReply int, cat kernel.Category, cb func(reply any)) kernel.Handle {
+	return tr.RequestAsync(dst, svc, req, size, cat, cb)
+}
+
+// Send transmits an unreliable one-way datagram; Broadcast fans out to
+// every peer but this node. Loss is tolerated by the protocols above
+// (e.g. a lost barrier release is recovered by arrive retransmission).
+func (tr *Transport) Send(dst kernel.NodeID, payload any, size int, cat kernel.Category) {
+	n := tr.node
+	n.acct[cat] += n.model.SendCost(size)
+	data := encodePayload(payload)
+	if dst == kernel.Broadcast {
+		for i, p := range tr.peers {
+			if kernel.NodeID(i) == n.id {
+				continue
+			}
+			tr.ep.SendEvent(p, data) //nolint:errcheck // unreliable by contract
+		}
+		return
+	}
+	tr.ep.SendEvent(tr.peers[dst], data) //nolint:errcheck // unreliable by contract
+}
+
+// HandleRaw appends a one-way datagram handler. Registration happens
+// during setup, before traffic flows.
+func (tr *Transport) HandleRaw(h func(from kernel.NodeID, payload any) bool) {
+	tr.raw = append(tr.raw, h)
+}
+
+// handleEvent delivers a one-way datagram through the raw handler chain in
+// node context. It runs on the endpoint's worker pool.
+func (tr *Transport) handleEvent(from *net.UDPAddr, b []byte) {
+	src, known := tr.idOf(from)
+	if !known {
+		return
+	}
+	payload := decodePayload(b)
+	n := tr.node
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	for _, h := range tr.raw {
+		if h(src, payload) {
+			return
+		}
+	}
+}
+
+// Outstanding returns the number of requests in flight. Must be called in
+// node context.
+func (tr *Transport) Outstanding() int { return tr.outstanding }

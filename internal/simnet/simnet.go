@@ -17,15 +17,17 @@ import (
 	"fmt"
 
 	"filaments/internal/cost"
+	"filaments/internal/kernel"
 	"filaments/internal/sim"
 )
 
-// NodeID identifies a node on the network, in [0, Nodes).
-type NodeID int
+// NodeID identifies a node on the network, in [0, Nodes). It is an alias
+// of the binding-neutral kernel.NodeID.
+type NodeID = kernel.NodeID
 
 // Broadcast is the destination address that delivers a frame to every node
 // except the sender.
-const Broadcast NodeID = -1
+const Broadcast = kernel.Broadcast
 
 // Frame is one datagram on the wire. Payload is carried by reference (the
 // simulation is in-process); Size is the payload's size in bytes for timing

@@ -13,53 +13,38 @@
 // handled immediately; one that arrives while a thread is computing is
 // handled at the thread's next dispatch point (Thread.Preempt, called
 // between filaments), so handler latency is bounded by one filament.
+//
+// Node is the simulation binding of kernel.Node (kernel.Executor +
+// kernel.Clock); the real-time binding is internal/rtnode.
 package threads
 
 import (
 	"fmt"
 
 	"filaments/internal/cost"
+	"filaments/internal/kernel"
 	"filaments/internal/sim"
 	"filaments/internal/simnet"
 )
 
 // Category classifies where a node's CPU time goes, matching the breakdown
-// of the paper's Figure 10.
-type Category int
+// of the paper's Figure 10. It is an alias of the binding-neutral
+// kernel.Category.
+type Category = kernel.Category
 
+// Accounting categories, re-exported from package kernel.
 const (
-	// CatWork is the application computation proper.
-	CatWork Category = iota
-	// CatFilament is filaments-package overhead: creating filaments and
-	// dispatching them (inlined or not).
-	CatFilament
-	// CatData is DSM data transfer: faulting, requesting, serving and
-	// installing pages, and the thread switches faults induce.
-	CatData
-	// CatSync is synchronization overhead: sending, receiving, and
-	// processing barrier/reduction messages.
-	CatSync
-	// CatSyncDelay is time spent waiting at a barrier for other nodes.
-	CatSyncDelay
-	// CatIdle is time with no runnable work outside barriers.
-	CatIdle
-	// NumCategories is the number of accounting categories.
-	NumCategories
+	CatWork       = kernel.CatWork
+	CatFilament   = kernel.CatFilament
+	CatData       = kernel.CatData
+	CatSync       = kernel.CatSync
+	CatSyncDelay  = kernel.CatSyncDelay
+	CatIdle       = kernel.CatIdle
+	NumCategories = kernel.NumCategories
 )
 
-var categoryNames = [NumCategories]string{
-	"work", "filament", "data", "sync", "sync-delay", "idle",
-}
-
-func (c Category) String() string {
-	if c < 0 || c >= NumCategories {
-		return fmt.Sprintf("Category(%d)", int(c))
-	}
-	return categoryNames[c]
-}
-
 // Account is the per-node CPU time ledger.
-type Account [NumCategories]sim.Duration
+type Account = kernel.Account
 
 // Handler processes a delivered frame. It runs on the node's CPU (kernel or
 // preempting thread context) and must charge its own receive cost via
@@ -69,7 +54,7 @@ type Handler func(f simnet.Frame)
 // Node is one simulated workstation: a CPU, a kernel dispatcher, an inbox,
 // and a set of server threads.
 type Node struct {
-	ID    simnet.NodeID
+	id    simnet.NodeID
 	eng   *sim.Engine
 	nw    *simnet.Network
 	model *cost.Model
@@ -83,10 +68,10 @@ type Node struct {
 	handler    Handler
 	lastThread *Thread
 
-	// InCritical mirrors the paper's one-assignment critical-section flag:
+	// Critical mirrors the paper's one-assignment critical-section flag:
 	// while set, protocol handlers that would modify critical data drop
 	// the message (the requester retransmits).
-	InCritical bool
+	Critical bool
 
 	acct     Account
 	switches int64
@@ -99,7 +84,7 @@ type Node struct {
 // that need processing.
 func NewNode(nw *simnet.Network, id simnet.NodeID) *Node {
 	n := &Node{
-		ID:    id,
+		id:    id,
 		eng:   nw.Engine(),
 		nw:    nw,
 		model: nw.Model(),
@@ -107,6 +92,12 @@ func NewNode(nw *simnet.Network, id simnet.NodeID) *Node {
 	nw.Register(id, n.deliver)
 	return n
 }
+
+// ID returns the node's network identity.
+func (n *Node) ID() simnet.NodeID { return n.id }
+
+// InCritical reports whether the node is inside a critical section.
+func (n *Node) InCritical() bool { return n.Critical }
 
 // SetHandler installs the protocol upcall for delivered frames.
 func (n *Node) SetHandler(h Handler) { n.handler = h }
@@ -119,6 +110,15 @@ func (n *Node) Network() *simnet.Network { return n.nw }
 
 // Model returns the node's cost model.
 func (n *Node) Model() *cost.Model { return n.model }
+
+// Now returns the current virtual time (kernel.Clock).
+func (n *Node) Now() sim.Time { return n.eng.Now() }
+
+// Schedule runs fn after virtual duration d (kernel.Clock). The callback
+// runs as a simulation event, i.e. in node context for a one-CPU node.
+func (n *Node) Schedule(d sim.Duration, fn func()) kernel.Timer {
+	return n.eng.Schedule(d, fn)
+}
 
 // Account returns the node's CPU-time ledger so far.
 func (n *Node) Account() Account { return n.acct }
@@ -143,7 +143,7 @@ func (n *Node) deliver(f simnet.Frame) {
 // Protocol layers use it to run timer-driven work, such as retransmissions,
 // on the node's CPU. It is safe to call from plain event code.
 func (n *Node) Inject(payload any) {
-	n.inbox = append(n.inbox, simnet.Frame{Src: n.ID, Dst: n.ID, Payload: payload})
+	n.inbox = append(n.inbox, simnet.Frame{Src: n.id, Dst: n.id, Payload: payload})
 	n.wakeIfIdle()
 }
 
@@ -153,7 +153,7 @@ func (n *Node) Start() {
 		panic("threads: node already started")
 	}
 	n.started = n.eng.Now()
-	n.kernel = n.eng.Go(fmt.Sprintf("node%d/kernel", n.ID), n.kernelLoop)
+	n.kernel = n.eng.Go(fmt.Sprintf("node%d/kernel", n.id), n.kernelLoop)
 }
 
 // Stop shuts the kernel down once current work drains. Threads must have
@@ -262,7 +262,7 @@ func (n *Node) AddDelay(c Category, d sim.Duration) {
 // category c.
 func (n *Node) Send(dst simnet.NodeID, payload any, size int, c Category) {
 	n.Charge(c, n.model.SendCost(size))
-	n.nw.Send(simnet.Frame{Src: n.ID, Dst: dst, Payload: payload, Size: size})
+	n.nw.Send(simnet.Frame{Src: n.id, Dst: dst, Payload: payload, Size: size})
 }
 
 // thread states.
@@ -277,7 +277,8 @@ const (
 
 // Thread is a stackful server thread. Filaments run on threads; a thread
 // blocks when a filament faults on a remote page or waits at a join, and
-// the kernel switches to another thread.
+// the kernel switches to another thread. Thread is the simulation binding
+// of kernel.Thread.
 type Thread struct {
 	node  *Node
 	proc  *sim.Proc
@@ -287,9 +288,9 @@ type Thread struct {
 
 // Spawn creates a server thread that will run body when first scheduled.
 // The thread is placed at the back of the ready queue.
-func (n *Node) Spawn(name string, body func(t *Thread)) *Thread {
+func (n *Node) Spawn(name string, body func(t kernel.Thread)) kernel.Thread {
 	t := &Thread{node: n, name: name, state: threadReady}
-	t.proc = n.eng.Go(fmt.Sprintf("node%d/%s", n.ID, name), func(p *sim.Proc) {
+	t.proc = n.eng.Go(fmt.Sprintf("node%d/%s", n.id, name), func(p *sim.Proc) {
 		p.Park() // wait for first dispatch
 		body(t)
 		t.state = threadDone
@@ -335,8 +336,12 @@ func (t *Thread) Yield() {
 // Ready makes a blocked thread runnable. With front true the thread goes to
 // the front of the ready queue (the paper schedules page-arrival wakeups at
 // the front in the fork/join anti-thrashing path, and at the back for
-// iterative fault frontloading).
-func (n *Node) Ready(t *Thread, front bool) {
+// iterative fault frontloading). The thread must be one of this node's.
+func (n *Node) Ready(kt kernel.Thread, front bool) {
+	t, ok := kt.(*Thread)
+	if !ok || t.node != n {
+		panic(fmt.Sprintf("threads: Ready on foreign thread %q", kt.Name()))
+	}
 	if t.state != threadBlocked {
 		panic(fmt.Sprintf("threads: Ready on %s thread %q", []string{"ready", "running", "blocked", "done"}[t.state], t.name))
 	}

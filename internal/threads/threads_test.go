@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"filaments/internal/cost"
+	"filaments/internal/kernel"
 	"filaments/internal/sim"
 	"filaments/internal/simnet"
 )
@@ -26,7 +27,7 @@ func TestSpawnRunsToCompletion(t *testing.T) {
 	done := false
 	n.Start()
 	eng.Schedule(0, func() {
-		n.Spawn("t0", func(th *Thread) {
+		n.Spawn("t0", func(th kernel.Thread) {
 			n.Charge(CatWork, sim.Millisecond)
 			done = true
 			n.Stop()
@@ -51,14 +52,14 @@ func TestYieldRoundRobin(t *testing.T) {
 	eng.Schedule(0, func() {
 		for _, name := range []string{"a", "b"} {
 			name := name
-			n.Spawn(name, func(th *Thread) {
+			n.Spawn(name, func(th kernel.Thread) {
 				for i := 0; i < 3; i++ {
 					order = append(order, name)
 					th.Yield()
 				}
 			})
 		}
-		n.Spawn("closer", func(th *Thread) {
+		n.Spawn("closer", func(th kernel.Thread) {
 			// Let a and b finish first: they were spawned before us and
 			// yield keeps them in the queue.
 			for len(order) < 6 {
@@ -81,17 +82,17 @@ func TestYieldRoundRobin(t *testing.T) {
 func TestBlockAndReady(t *testing.T) {
 	eng, _, nodes := newNode(t, 1)
 	n := nodes[0]
-	var blocked *Thread
+	var blocked kernel.Thread
 	var trace []string
 	n.Start()
 	eng.Schedule(0, func() {
-		blocked = n.Spawn("sleeper", func(th *Thread) {
+		blocked = n.Spawn("sleeper", func(th kernel.Thread) {
 			trace = append(trace, "block")
 			th.Block()
 			trace = append(trace, "woke")
 			n.Stop()
 		})
-		n.Spawn("waker", func(th *Thread) {
+		n.Spawn("waker", func(th kernel.Thread) {
 			n.Charge(CatWork, 5*sim.Millisecond)
 			trace = append(trace, "ready")
 			n.Ready(blocked, false)
@@ -112,19 +113,19 @@ func TestReadyFrontVsBack(t *testing.T) {
 	for _, front := range []bool{true, false} {
 		eng, _, nodes := newNode(t, 1)
 		n := nodes[0]
-		var woken, other *Thread
+		var woken, other kernel.Thread
 		var order []string
 		n.Start()
 		eng.Schedule(0, func() {
-			woken = n.Spawn("woken", func(th *Thread) {
+			woken = n.Spawn("woken", func(th kernel.Thread) {
 				th.Block()
 				order = append(order, "woken")
 			})
-			other = n.Spawn("other", func(th *Thread) {
+			other = n.Spawn("other", func(th kernel.Thread) {
 				th.Block()
 				order = append(order, "other")
 			})
-			n.Spawn("driver", func(th *Thread) {
+			n.Spawn("driver", func(th kernel.Thread) {
 				// Both blocked now (they were spawned first). Wake "other"
 				// at the back, then "woken" with the front flag under test.
 				n.Ready(other, false)
@@ -159,8 +160,8 @@ func TestMessageWakesIdleNode(t *testing.T) {
 	a.Start()
 	b.Start()
 	eng.Schedule(0, func() {
-		a.Spawn("sender", func(th *Thread) {
-			a.Send(b.ID, 42, 20, CatData)
+		a.Spawn("sender", func(th kernel.Thread) {
+			a.Send(b.ID(), 42, 20, CatData)
 			a.Stop()
 		})
 	})
@@ -187,11 +188,11 @@ func TestPreemptHandlesPendingMessages(t *testing.T) {
 	a.Start()
 	b.Start()
 	eng.Schedule(0, func() {
-		a.Spawn("sender", func(th *Thread) {
-			a.Send(b.ID, "ping", 20, CatData)
+		a.Spawn("sender", func(th kernel.Thread) {
+			a.Send(b.ID(), "ping", 20, CatData)
 			a.Stop()
 		})
-		b.Spawn("compute", func(th *Thread) {
+		b.Spawn("compute", func(th kernel.Thread) {
 			// Long computation in filament-sized slices; the message
 			// arrives mid-way and is handled at the next Preempt.
 			for i := 0; i < 100; i++ {
@@ -217,9 +218,9 @@ func TestThreadSwitchAccounting(t *testing.T) {
 	n := nodes[0]
 	n.Start()
 	eng.Schedule(0, func() {
-		n.Spawn("a", func(th *Thread) { th.Yield(); th.Yield() })
-		n.Spawn("b", func(th *Thread) { th.Yield(); th.Yield() })
-		n.Spawn("stop", func(th *Thread) {
+		n.Spawn("a", func(th kernel.Thread) { th.Yield(); th.Yield() })
+		n.Spawn("b", func(th kernel.Thread) { th.Yield(); th.Yield() })
+		n.Spawn("stop", func(th kernel.Thread) {
 			for n.ReadyLen() > 0 {
 				th.Yield()
 			}
@@ -243,7 +244,7 @@ func TestStopDrainsCleanly(t *testing.T) {
 	n := nodes[0]
 	n.Start()
 	eng.Schedule(0, func() {
-		n.Spawn("t", func(th *Thread) { n.Stop() })
+		n.Spawn("t", func(th kernel.Thread) { n.Stop() })
 	})
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)

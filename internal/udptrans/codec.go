@@ -8,7 +8,12 @@ import "encoding/binary"
 const (
 	kindRequest = 0x01
 	kindReply   = 0x02
-	headerLen   = 7
+	// kindEvent is an unreliable one-way datagram: no seq tracking, no
+	// retransmission, no reply. Protocols layered above must tolerate loss
+	// (the barrier release broadcast does, via arrive retransmission). The
+	// svc and seq header fields are zero.
+	kindEvent = 0x03
+	headerLen = 7
 )
 
 // header is the decoded fixed prefix of every datagram.
@@ -36,7 +41,7 @@ func decode(b []byte) (h header, payload []byte, ok bool) {
 		return header{}, nil, false
 	}
 	h.kind = b[0]
-	if h.kind != kindRequest && h.kind != kindReply {
+	if h.kind != kindRequest && h.kind != kindReply && h.kind != kindEvent {
 		return header{}, nil, false
 	}
 	h.svc = binary.BigEndian.Uint16(b[1:])

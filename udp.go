@@ -1,0 +1,380 @@
+package filaments
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"filaments/internal/cost"
+	"filaments/internal/dsm"
+	"filaments/internal/filament"
+	"filaments/internal/kernel"
+	"filaments/internal/reduce"
+	"filaments/internal/rtnode"
+	"filaments/internal/udptrans"
+)
+
+// This file is the real-time face of the package: the same DF kernel
+// layers (DSM, reductions, filaments) that run inside the deterministic
+// simulation are wired to internal/rtnode and internal/udptrans instead,
+// so a program runs over real UDP sockets in real goroutines. UDPCluster
+// hosts every node in one process (endpoints on loopback); UDPNode hosts
+// one node of a multi-process cluster (see cmd/dfnode).
+//
+// Results are exact — the identical kernel code moves the data — but time
+// is wall time, so performance depends on the host, not on the paper's
+// calibrated cost model.
+
+// UDPConfig describes a single-process UDP cluster.
+type UDPConfig struct {
+	// Nodes is the cluster size (>= 1). Each node gets its own UDP
+	// endpoint on 127.0.0.1.
+	Nodes int
+	// Protocol is the page consistency protocol (default Migratory).
+	Protocol Protocol
+	// SharedBytes is the size of the shared address space (default 64 MB).
+	SharedBytes int64
+	// Stealing enables receiver-initiated fork/join load balancing.
+	Stealing bool
+	// MaxWorkers caps per-node fork/join server threads (default 16).
+	MaxWorkers int
+	// WakeFront schedules page-arrival wakeups at the front (fork/join
+	// setting); it is advisory here — the Go scheduler owns ordering.
+	WakeFront bool
+	// Model overrides the cost model used for ledger accounting; nil uses
+	// cost.Default.
+	Model *CostModel
+}
+
+// UDPNodeReport is one node's accounting after a real-time run.
+type UDPNodeReport struct {
+	CPU       kernel.Account
+	DSM       dsm.Stats
+	Transport udptrans.Stats
+	Runtime   filament.Stats
+}
+
+// UDPReport summarizes a real-time run.
+type UDPReport struct {
+	// Elapsed is the wall time from Run's start until the last node's main
+	// thread finished.
+	Elapsed time.Duration
+	// PerNode holds each node's counters.
+	PerNode []UDPNodeReport
+}
+
+// UDPCluster runs a DF program across UDP endpoints on loopback, every
+// node in its own set of goroutines. Create with NewUDPCluster, allocate
+// shared data, call Run once, then Peek the results.
+type UDPCluster struct {
+	cfg   UDPConfig
+	model cost.Model
+	space *dsm.Space
+	nodes []*rtnode.Node
+	trs   []*rtnode.Transport
+	dsms  []*dsm.DSM
+	reds  []*reduce.Reducer
+	rts   []*filament.Runtime
+	ran   bool
+}
+
+// rtOptions configures the real-time binding's endpoints with an
+// effectively unbounded retry budget: one logical request keeps one
+// sequence number until it is answered, so the receiver's reply cache
+// absorbs duplicates and non-idempotent handlers execute exactly once.
+// Re-issuing a timed-out call under a fresh sequence number would
+// re-execute the handler — a steal grant whose reply was lost would lose
+// the stolen filament with it.
+func rtOptions() udptrans.Options {
+	return udptrans.Options{MaxRetries: 1 << 30}
+}
+
+// NewUDPCluster builds a cluster from cfg, opening one UDP endpoint per
+// node on 127.0.0.1.
+func NewUDPCluster(cfg UDPConfig) (*UDPCluster, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("filaments: UDPConfig.Nodes must be >= 1")
+	}
+	if cfg.SharedBytes == 0 {
+		cfg.SharedBytes = 64 << 20
+	}
+	if cfg.MaxWorkers == 0 {
+		cfg.MaxWorkers = 16
+	}
+	c := &UDPCluster{cfg: cfg}
+	if cfg.Model != nil {
+		c.model = *cfg.Model
+	} else {
+		c.model = cost.Default()
+	}
+	c.space = dsm.NewSpace(cfg.SharedBytes)
+
+	eps := make([]*udptrans.Endpoint, cfg.Nodes)
+	addrs := make([]*net.UDPAddr, cfg.Nodes)
+	for i := range eps {
+		ep, err := udptrans.Listen("127.0.0.1:0", rtOptions())
+		if err != nil {
+			for _, open := range eps[:i] {
+				open.Close() //nolint:errcheck // best-effort unwind
+			}
+			return nil, err
+		}
+		eps[i] = ep
+		addrs[i] = ep.Addr()
+	}
+	// Same construction order as the simulated Cluster: every DSM exists
+	// before the first allocation.
+	for i := 0; i < cfg.Nodes; i++ {
+		node := rtnode.NewNode(kernel.NodeID(i), &c.model)
+		tr := rtnode.NewTransport(node, eps[i])
+		tr.SetPeers(addrs)
+		d := dsm.New(node, tr, c.space, cfg.Protocol)
+		d.WakeFront = cfg.WakeFront
+		red := reduce.New(node, tr, d, cfg.Nodes)
+		rt := filament.New(node, tr, d, red, cfg.Nodes)
+		rt.Stealing = cfg.Stealing
+		rt.MaxWorkers = cfg.MaxWorkers
+		c.nodes = append(c.nodes, node)
+		c.trs = append(c.trs, tr)
+		c.dsms = append(c.dsms, d)
+		c.reds = append(c.reds, red)
+		c.rts = append(c.rts, rt)
+	}
+	return c, nil
+}
+
+// Nodes returns the cluster size.
+func (c *UDPCluster) Nodes() int { return c.cfg.Nodes }
+
+// Runtime returns node i's runtime (for inspecting stats after Run).
+func (c *UDPCluster) Runtime(i int) *Runtime { return c.rts[i] }
+
+// DSM returns node i's DSM instance (for inspecting stats after Run).
+func (c *UDPCluster) DSM(i int) *dsm.DSM { return c.dsms[i] }
+
+// Alloc reserves shared memory owned initially by node 0.
+func (c *UDPCluster) Alloc(size int64) Addr {
+	return c.space.Alloc(size, dsm.AllocOpts{})
+}
+
+// AllocOwned reserves shared memory owned initially by the given node.
+func (c *UDPCluster) AllocOwned(size int64, owner int) Addr {
+	return c.space.Alloc(size, dsm.AllocOpts{Owner: kernel.NodeID(owner)})
+}
+
+// AllocMatrixOwned allocates a shared matrix initially owned by one node.
+func (c *UDPCluster) AllocMatrixOwned(rows, cols, owner int) Matrix {
+	return dsm.AllocMatrix(c.space, rows, cols, dsm.AllocOpts{Owner: kernel.NodeID(owner)})
+}
+
+// AllocMatrixStriped allocates a matrix owned in one horizontal strip per
+// node.
+func (c *UDPCluster) AllocMatrixStriped(rows, cols int) Matrix {
+	return dsm.AllocMatrixStriped(c.space, rows, cols, c.cfg.Nodes)
+}
+
+// Run executes program on every node and returns the run report. It may
+// be called once per UDPCluster; it closes the transports on completion.
+func (c *UDPCluster) Run(program Program) (*UDPReport, error) {
+	if c.ran {
+		return nil, fmt.Errorf("filaments: UDP cluster already ran")
+	}
+	c.ran = true
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range c.nodes {
+		i := i
+		wg.Add(1)
+		c.nodes[i].Spawn("main", func(t kernel.Thread) {
+			defer wg.Done()
+			e := c.rts[i].NewExec(t)
+			program(c.rts[i], e)
+			e.Flush()
+		})
+	}
+	// Every main has passed its final synchronization before the first
+	// transport closes, so any straggling retransmissions are still
+	// answered (from the reply caches) while it matters.
+	wg.Wait()
+	rep := &UDPReport{Elapsed: time.Since(start), PerNode: make([]UDPNodeReport, c.cfg.Nodes)}
+	for _, tr := range c.trs {
+		tr.Close() //nolint:errcheck // best-effort shutdown
+	}
+	for _, n := range c.nodes {
+		n.Close()
+		n.Wait()
+	}
+	for i := range rep.PerNode {
+		rep.PerNode[i] = UDPNodeReport{
+			CPU:       c.nodes[i].Account(),
+			DSM:       c.dsms[i].Stats(),
+			Transport: c.trs[i].Endpoint().Stats(),
+			Runtime:   c.rts[i].Stats(),
+		}
+	}
+	return rep, nil
+}
+
+// PeekF64 reads a shared float64 from whichever node owns it, for result
+// verification after Run.
+func (c *UDPCluster) PeekF64(a Addr) float64 {
+	for i, d := range c.dsms {
+		var v float64
+		var ok bool
+		c.nodes[i].WithLock(func() { v, ok = d.Peek(a) })
+		if ok {
+			return v
+		}
+	}
+	panic(fmt.Sprintf("filaments: no owner holds address %d", a))
+}
+
+// PeekMatrix copies a shared matrix out of the cluster after Run.
+func (c *UDPCluster) PeekMatrix(m Matrix) [][]float64 {
+	out := make([][]float64, m.Rows)
+	for i := range out {
+		row := make([]float64, m.Cols)
+		for j := range row {
+			row[j] = c.PeekF64(m.Addr(i, j))
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// UDPNodeConfig describes one node of a multi-process UDP cluster. Every
+// process must allocate identical shared data in identical order (the
+// SPMD convention), so the address spaces agree.
+type UDPNodeConfig struct {
+	// ID is this node's identity, in [0, Nodes).
+	ID int
+	// Nodes is the cluster size.
+	Nodes int
+	// Peers holds every node's endpoint address, indexed by node ID; entry
+	// ID is the address this node binds.
+	Peers []string
+	// Protocol is the page consistency protocol (default Migratory).
+	Protocol Protocol
+	// SharedBytes is the size of the shared address space (default 64 MB).
+	SharedBytes int64
+	// Stealing enables receiver-initiated fork/join load balancing.
+	Stealing bool
+	// MaxWorkers caps per-node fork/join server threads (default 16).
+	MaxWorkers int
+	// WakeFront is advisory under real time (see UDPConfig.WakeFront).
+	WakeFront bool
+	// Linger is how long the node keeps servicing requests after its own
+	// main finishes, so slower peers' retransmissions still get answered
+	// (default 500 ms).
+	Linger time.Duration
+	// Model overrides the ledger cost model; nil uses cost.Default.
+	Model *CostModel
+}
+
+// UDPNode is one process's node in a multi-process cluster.
+type UDPNode struct {
+	cfg   UDPNodeConfig
+	model cost.Model
+	space *dsm.Space
+	node  *rtnode.Node
+	tr    *rtnode.Transport
+	d     *dsm.DSM
+	red   *reduce.Reducer
+	rt    *filament.Runtime
+	ran   bool
+}
+
+// NewUDPNode builds this process's node and binds its endpoint.
+func NewUDPNode(cfg UDPNodeConfig) (*UDPNode, error) {
+	if cfg.Nodes <= 0 || cfg.ID < 0 || cfg.ID >= cfg.Nodes {
+		return nil, fmt.Errorf("filaments: bad node identity %d of %d", cfg.ID, cfg.Nodes)
+	}
+	if len(cfg.Peers) != cfg.Nodes {
+		return nil, fmt.Errorf("filaments: %d peer addresses for %d nodes", len(cfg.Peers), cfg.Nodes)
+	}
+	if cfg.SharedBytes == 0 {
+		cfg.SharedBytes = 64 << 20
+	}
+	if cfg.MaxWorkers == 0 {
+		cfg.MaxWorkers = 16
+	}
+	if cfg.Linger == 0 {
+		cfg.Linger = 500 * time.Millisecond
+	}
+	u := &UDPNode{cfg: cfg}
+	if cfg.Model != nil {
+		u.model = *cfg.Model
+	} else {
+		u.model = cost.Default()
+	}
+	addrs := make([]*net.UDPAddr, cfg.Nodes)
+	for i, s := range cfg.Peers {
+		a, err := net.ResolveUDPAddr("udp", s)
+		if err != nil {
+			return nil, fmt.Errorf("filaments: peer %d: %w", i, err)
+		}
+		addrs[i] = a
+	}
+	ep, err := udptrans.Listen(cfg.Peers[cfg.ID], rtOptions())
+	if err != nil {
+		return nil, err
+	}
+	u.space = dsm.NewSpace(cfg.SharedBytes)
+	u.node = rtnode.NewNode(kernel.NodeID(cfg.ID), &u.model)
+	u.tr = rtnode.NewTransport(u.node, ep)
+	u.tr.SetPeers(addrs)
+	u.d = dsm.New(u.node, u.tr, u.space, cfg.Protocol)
+	u.d.WakeFront = cfg.WakeFront
+	u.red = reduce.New(u.node, u.tr, u.d, cfg.Nodes)
+	u.rt = filament.New(u.node, u.tr, u.d, u.red, cfg.Nodes)
+	u.rt.Stealing = cfg.Stealing
+	u.rt.MaxWorkers = cfg.MaxWorkers
+	return u, nil
+}
+
+// Runtime returns the node's runtime.
+func (u *UDPNode) Runtime() *Runtime { return u.rt }
+
+// Alloc reserves shared memory owned initially by node 0. Every process
+// must perform identical allocations in identical order.
+func (u *UDPNode) Alloc(size int64) Addr {
+	return u.space.Alloc(size, dsm.AllocOpts{})
+}
+
+// AllocOwned reserves shared memory owned initially by the given node.
+func (u *UDPNode) AllocOwned(size int64, owner int) Addr {
+	return u.space.Alloc(size, dsm.AllocOpts{Owner: kernel.NodeID(owner)})
+}
+
+// AllocMatrixOwned allocates a shared matrix initially owned by one node.
+func (u *UDPNode) AllocMatrixOwned(rows, cols, owner int) Matrix {
+	return dsm.AllocMatrix(u.space, rows, cols, dsm.AllocOpts{Owner: kernel.NodeID(owner)})
+}
+
+// Run executes this node's part of the SPMD program, lingers so lagging
+// peers' retransmissions are still answered, then closes the endpoint.
+func (u *UDPNode) Run(program Program) (*UDPNodeReport, error) {
+	if u.ran {
+		return nil, fmt.Errorf("filaments: UDP node already ran")
+	}
+	u.ran = true
+	done := make(chan struct{})
+	u.node.Spawn("main", func(t kernel.Thread) {
+		defer close(done)
+		e := u.rt.NewExec(t)
+		program(u.rt, e)
+		e.Flush()
+	})
+	<-done
+	time.Sleep(u.cfg.Linger)
+	u.tr.Close() //nolint:errcheck // best-effort shutdown
+	u.node.Close()
+	u.node.Wait()
+	return &UDPNodeReport{
+		CPU:       u.node.Account(),
+		DSM:       u.d.Stats(),
+		Transport: u.tr.Endpoint().Stats(),
+		Runtime:   u.rt.Stats(),
+	}, nil
+}
