@@ -1,0 +1,313 @@
+// Command dflint checks the kernel-seam contracts documented in
+// internal/kernel and enforced by internal/lint: no wall-clock time, raw
+// goroutines, sync primitives, or map-order dependence in kernel-layer
+// packages; no blocking calls in node-context handlers; and gob
+// registrations for every concrete wire payload.
+//
+// It runs two ways:
+//
+//	dflint ./...                      # standalone, like a linter
+//	go vet -vettool=$(which dflint) ./...   # as a vet tool
+//
+// Standalone mode shells out to `go list -deps -test -export` for type
+// information; vettool mode speaks go vet's unitchecker protocol
+// (-flags, -V=full, then one JSON .cfg file per package). Both print
+// diagnostics as file:line:col: message and exit non-zero when any are
+// found. Violations are suppressed, with a mandatory reason, by
+//
+//	//dflint:allow <rule> <one-line reason>
+//
+// on the flagged line or the line above it.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"filaments/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	// go vet's vettool handshake: report our flags, then our identity.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	for _, a := range args {
+		if a == "-V=full" || a == "-V" || strings.HasPrefix(a, "-V=") {
+			printVersion()
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetUnit(args[0]))
+	}
+	os.Exit(runStandalone(args))
+}
+
+// printVersion implements -V=full. go vet fingerprints the tool for its
+// cache, so the line must carry a build ID that changes when the binary
+// does: the hash of the executable itself.
+func printVersion() {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			id = fmt.Sprintf("%x", sha256.Sum256(data))
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%s\n", os.Args[0], id)
+}
+
+// --- vettool mode: one type-check unit described by a JSON config. ---
+
+// vetConfig is the subset of go vet's unitchecker config that dflint
+// needs: the files of the unit, and how to resolve its imports to
+// export-data files.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dflint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "dflint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// Dependencies are visited only so vet can chain facts; dflint keeps
+	// no cross-package facts, so an empty output satisfies the protocol.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "dflint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dflint: %v\n", err)
+		return 1
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	pkg, info, err := check(fset, cfg.ImportPath, files, importer.ForCompiler(fset, "gc", lookup))
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "dflint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	diags := lint.Run(lint.Analyzers(), fset, files, pkg, info)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// --- standalone mode: load packages via the go command. ---
+
+// listUnit is the subset of `go list -json` dflint consumes. With -test,
+// a package can appear several times: the plain unit, a test variant
+// ("pkg [pkg.test]", its GoFiles merged with the in-package _test files),
+// an external test package ("pkg_test [pkg.test]"), and the synthesized
+// ".test" main, which has no source of its own and is skipped.
+type listUnit struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+}
+
+func runStandalone(patterns []string) int {
+	for _, p := range patterns {
+		if strings.HasPrefix(p, "-") {
+			fmt.Fprintf(os.Stderr, "usage: dflint [packages]\n       go vet -vettool=$(which dflint) [packages]\n")
+			return 2
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	units, err := goList(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dflint: %v\n", err)
+		return 1
+	}
+	byPath := make(map[string]*listUnit, len(units))
+	for _, u := range units {
+		byPath[u.ImportPath] = u
+	}
+
+	// Analyze every in-scope unit, preferring a package's test variant
+	// (whose GoFiles are a superset) over the plain unit so _test.go
+	// files are covered without analyzing the shared files twice.
+	hasTestVariant := make(map[string]bool)
+	for _, u := range units {
+		if u.ForTest != "" && basePath(u.ImportPath) == u.ForTest {
+			hasTestVariant[u.ForTest] = true
+		}
+	}
+	exit := 0
+	seen := make(map[string]bool)
+	for _, u := range units {
+		switch {
+		case u.Standard || u.DepOnly || len(u.GoFiles) == 0,
+			strings.HasSuffix(u.ImportPath, ".test"),
+			u.ForTest == "" && hasTestVariant[u.ImportPath]:
+			continue
+		}
+		diags, err := analyzeUnit(u, byPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dflint: %s: %v\n", u.ImportPath, err)
+			exit = 1
+			continue
+		}
+		for _, d := range diags {
+			line := fmt.Sprintf("%s: %s", d.Pos, d.Message)
+			if seen[line] {
+				continue
+			}
+			seen[line] = true
+			fmt.Println(line)
+			if exit == 0 {
+				exit = 2
+			}
+		}
+	}
+	return exit
+}
+
+func goList(patterns []string) ([]*listUnit, error) {
+	args := append([]string{
+		"list", "-e", "-deps", "-test", "-export",
+		"-json=ImportPath,Dir,GoFiles,ImportMap,Export,Standard,DepOnly,ForTest",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var units []*listUnit
+	dec := json.NewDecoder(out)
+	for {
+		u := new(listUnit)
+		if err := dec.Decode(u); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: %v", err)
+		}
+		units = append(units, u)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list: %v", err)
+	}
+	return units, nil
+}
+
+func analyzeUnit(u *listUnit, byPath map[string]*listUnit) ([]lint.Diagnostic, error) {
+	fset := token.NewFileSet()
+	paths := make([]string, len(u.GoFiles))
+	for i, f := range u.GoFiles {
+		paths[i] = filepath.Join(u.Dir, f)
+	}
+	files, err := parseFiles(fset, paths)
+	if err != nil {
+		return nil, err
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := u.ImportMap[path]; ok {
+			path = mapped
+		}
+		dep := byPath[path]
+		if dep == nil || dep.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(dep.Export)
+	}
+	pkg, info, err := check(fset, u.ImportPath, files, importer.ForCompiler(fset, "gc", lookup))
+	if err != nil {
+		return nil, err
+	}
+	return lint.Run(lint.Analyzers(), fset, files, pkg, info), nil
+}
+
+// --- shared ---
+
+func parseFiles(fset *token.FileSet, paths []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := lint.NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// basePath strips go list's test-variant suffix: "pkg [pkg.test]" → "pkg".
+func basePath(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

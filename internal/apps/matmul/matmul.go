@@ -19,8 +19,15 @@ import (
 	"filaments"
 	"filaments/internal/cost"
 	"filaments/internal/msg"
+	"filaments/internal/rtnode"
 	"filaments/internal/simnet"
 )
+
+// The real-time binding serializes payloads with gob; the CG program
+// broadcasts B and ships matrix strips through msg's envelope.
+func init() {
+	rtnode.RegisterWire([][]float64(nil))
+}
 
 // Config parameterizes a run.
 type Config struct {

@@ -16,8 +16,22 @@ import (
 	"filaments"
 	"filaments/internal/cost"
 	"filaments/internal/msg"
+	"filaments/internal/rtnode"
 	"filaments/internal/simnet"
 )
+
+// interval is the bag-of-tasks work unit: one subinterval, or the Done
+// sentinel that retires a slave.
+type interval struct {
+	A, B float64
+	Done bool
+}
+
+// The real-time binding serializes payloads with gob; the CG programs'
+// payloads cross the wire inside msg's envelope.
+func init() {
+	rtnode.RegisterWire(interval{})
+}
 
 // Config parameterizes a run.
 type Config struct {
@@ -173,10 +187,6 @@ func BagOfTasks(cfg Config, tasks int) (*filaments.Report, float64) {
 		tagWork
 		tagResult
 	)
-	type interval struct {
-		A, B float64
-		Done bool
-	}
 	rep, err := cl.Run(func(rt *filaments.Runtime, e *filaments.Exec) {
 		me := rt.ID()
 		mx := msg.New(rt.Node(), rt.Endpoint())

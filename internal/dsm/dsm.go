@@ -2,11 +2,11 @@ package dsm
 
 import (
 	"encoding/binary"
-	"encoding/gob"
 	"fmt"
 	"math"
 
 	"filaments/internal/kernel"
+	"filaments/internal/rtnode"
 )
 
 // Service IDs used by the DSM on each node's transport endpoint.
@@ -48,13 +48,10 @@ type redirect struct {
 
 type invalReq struct{ Block int32 }
 
-// The real-time binding serializes payloads with gob; registering the wire
+// The real-time binding serializes payloads with gob; declaring the wire
 // types lets them travel as interface values.
 func init() {
-	gob.Register(pageReq{})
-	gob.Register(pageData{})
-	gob.Register(redirect{})
-	gob.Register(invalReq{})
+	rtnode.RegisterWire(pageReq{}, pageData{}, redirect{}, invalReq{})
 }
 
 const reqSize = 16 // bytes on the wire for a small DSM request

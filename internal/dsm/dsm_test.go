@@ -57,8 +57,13 @@ func (fx *fixture) run(t *testing.T, bodies map[int]func(th *threads.Thread)) {
 	t.Helper()
 	remaining := len(bodies)
 	fx.eng.Schedule(0, func() {
-		for id, body := range bodies {
-			id, body := id, body
+		// Spawn in node order: map iteration order would vary the spawn
+		// sequence run to run (dflint: maprange).
+		for id := range fx.nodes {
+			body, ok := bodies[id]
+			if !ok {
+				continue
+			}
 			spawn(fx.nodes[id], "test", func(th *threads.Thread) {
 				body(th)
 				remaining--

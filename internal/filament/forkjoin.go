@@ -1,11 +1,11 @@
 package filament
 
 import (
-	"encoding/gob"
 	"fmt"
 	"math"
 
 	"filaments/internal/kernel"
+	"filaments/internal/rtnode"
 )
 
 // Fork/join filaments (paper §2.3). A recursive computation starts on node
@@ -68,10 +68,7 @@ type doneMsg struct{ Result float64 }
 
 // The real-time binding serializes payloads with gob.
 func init() {
-	gob.Register(forkMsg{})
-	gob.Register(resultMsg{})
-	gob.Register(stealReply{})
-	gob.Register(doneMsg{})
+	rtnode.RegisterWire(forkMsg{}, resultMsg{}, stealReply{}, doneMsg{})
 }
 
 // Join accumulates the results of forked children.

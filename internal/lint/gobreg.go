@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GobReg cross-checks the concrete payload types a package puts on the
+// wire against the gob registrations it makes.
+//
+// The simulation binding passes payloads by reference, so an unregistered
+// wire type works perfectly in every simulated test — and then the UDP
+// binding's gob encoder fails at runtime on the first real message
+// ("type not registered for interface"). This analyzer makes that a vet
+// error: every concrete type a package passes to Transport.Send /
+// Request* / Call, to msg.Endpoint.Send/Broadcast, or returns as a
+// handler reply must be registered in that same package (gob.Register or
+// rtnode.RegisterWire in an init).
+//
+// Types gob encodes inside an interface without registration — untyped
+// basics, unnamed strings/numbers/bools, []byte, and unnamed slices of
+// unnamed basics like []float64 — are skipped. Interface-typed payload
+// expressions (forwarding an `any` received elsewhere) are skipped too:
+// the dynamic type is checked at its original send site.
+var GobReg = &Analyzer{
+	Name: "gobreg",
+	Doc: "require every concrete payload type sent through the transport to be " +
+		"gob-registered in the sending package; the UDP binding cannot encode it otherwise",
+	Run: runGobReg,
+}
+
+// payloadArgIndex maps sending methods (on kernel.Transport and
+// msg.Endpoint) to the index of their payload argument.
+type sendSig struct {
+	pkgPath string
+	arg     int
+}
+
+var gobSendSites = map[string]sendSig{
+	"RequestAsync": {"filaments/internal/kernel", 2},
+	"RequestSized": {"filaments/internal/kernel", 2},
+	"Call":         {"filaments/internal/kernel", 3},
+	"Send":         {"filaments/internal/kernel", 1}, // msg.Endpoint.Send resolved separately
+	"Broadcast":    {"filaments/internal/msg", 1},
+}
+
+func runGobReg(pass *Pass) {
+	if !pass.Kernel() {
+		return
+	}
+	registered := collectRegistrations(pass)
+
+	check := func(arg ast.Expr, how string) {
+		tv, ok := pass.Info.Types[ast.Unparen(arg)]
+		if !ok || tv.Type == nil {
+			return
+		}
+		t := tv.Type
+		if tv.IsNil() || gobSelfDescribing(t) {
+			return
+		}
+		if _, isIface := t.Underlying().(*types.Interface); isIface {
+			return // forwarded any; checked where the concrete value was made
+		}
+		if registered[t.String()] {
+			return
+		}
+		pass.Reportf(arg.Pos(),
+			"%s %s without a gob registration in this package: the UDP binding's encoder will reject it at runtime; add it to the rtnode.RegisterWire call in this package's init",
+			how, types.TypeString(t, types.RelativeTo(pass.Pkg)))
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				name, idx, ok := sendPayload(pass.Info, n)
+				if ok && idx < len(n.Args) {
+					check(n.Args[idx], "sends "+name+" payload of type")
+				}
+			case *ast.FuncDecl:
+				if n.Body != nil && isHandlerSig(pass.Info.Defs[n.Name]) {
+					checkHandlerReplies(pass, n.Body, check)
+				}
+			case *ast.FuncLit:
+				if tv, ok := pass.Info.Types[n]; ok && handlerSigType(tv.Type) {
+					checkHandlerReplies(pass, n.Body, check)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// collectRegistrations gathers the type strings this package registers via
+// gob.Register, gob.RegisterName, or rtnode.RegisterWire.
+func collectRegistrations(pass *Pass) map[string]bool {
+	registered := make(map[string]bool)
+	add := func(arg ast.Expr) {
+		if tv, ok := pass.Info.Types[ast.Unparen(arg)]; ok && tv.Type != nil && !tv.IsNil() {
+			registered[tv.Type.String()] = true
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := useOf(pass.Info, call.Fun)
+			switch {
+			case isPkgObj(obj, "encoding/gob", "Register") && len(call.Args) == 1:
+				add(call.Args[0])
+			case isPkgObj(obj, "encoding/gob", "RegisterName") && len(call.Args) == 2:
+				add(call.Args[1])
+			case isPkgObj(obj, "filaments/internal/rtnode", "RegisterWire"):
+				for _, a := range call.Args {
+					add(a)
+				}
+			}
+			return true
+		})
+	}
+	return registered
+}
+
+// sendPayload resolves call to a known wire-sending method and the index
+// of its payload argument.
+func sendPayload(info *types.Info, call *ast.CallExpr) (string, int, bool) {
+	obj := useOf(info, call.Fun)
+	if obj == nil {
+		return "", 0, false
+	}
+	sig, ok := gobSendSites[obj.Name()]
+	if !ok {
+		return "", 0, false
+	}
+	// Send exists on both kernel.Transport (payload at 1) and
+	// msg.Endpoint (payload at 2); every other name is unambiguous.
+	if obj.Name() == "Send" && isPkgObj(obj, "filaments/internal/msg", "Send") {
+		return "msg.Send", 2, true
+	}
+	if !isPkgObj(obj, sig.pkgPath, obj.Name()) {
+		return "", 0, false
+	}
+	return obj.Name(), sig.arg, true
+}
+
+// gobSelfDescribing reports whether gob encodes t inside an interface
+// without an explicit registration: unnamed basics, []byte, and unnamed
+// slices of unnamed basics ([]float64, []int, ...).
+func gobSelfDescribing(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Basic:
+		return true
+	case *types.Slice:
+		_, basic := t.Elem().(*types.Basic)
+		return basic
+	}
+	return false
+}
+
+// isHandlerSig reports whether obj is a function with the kernel.Service
+// handler signature func(NodeID, any) (any, int, Verdict).
+func isHandlerSig(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	return handlerSigType(fn.Type())
+}
+
+func handlerSigType(t types.Type) bool {
+	sig, ok := t.(*types.Signature)
+	if !ok || sig.Params().Len() != 2 || sig.Results().Len() != 3 {
+		return false
+	}
+	return isKernelType(sig.Params().At(0).Type(), "NodeID") &&
+		isKernelType(sig.Results().At(2).Type(), "Verdict")
+}
+
+// checkHandlerReplies applies check to the reply operand of every return
+// in a handler body (the reply is gob-encoded when it crosses the wire).
+func checkHandlerReplies(pass *Pass, body *ast.BlockStmt, check func(ast.Expr, string)) {
+	inspectSkipNestedFuncs(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 3 {
+			return true
+		}
+		check(ret.Results[0], "handler returns reply of type")
+		return true
+	})
+}

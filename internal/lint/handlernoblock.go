@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// HandlerNoBlock flags blocking calls inside code that runs in node
+// context: kernel.Service handlers, raw datagram handlers, request
+// callbacks, and scheduled timer callbacks.
+//
+// Handlers run under the node's scheduler (simulation) or monitor
+// (rtnode) — the paper's §2.2 Packet rule that a request is serviced
+// without blocking, dropping instead when it cannot be answered yet. A
+// handler that calls Transport.Call or Thread.Block deadlocks the rtnode
+// monitor (the handler holds it while waiting for traffic that needs it)
+// and corrupts the simulation's one-CPU model. Long work belongs on a
+// server thread the handler wakes.
+//
+// Detection is transitive within a package: a handler calling a local
+// function that (eventually) blocks is flagged at the handler's call
+// site. Blocking is (a) the kernel seam's own suspension points —
+// Transport.Call, Thread.Block/Yield/Preempt — and (b) by seam
+// convention, any call that passes a kernel.Thread argument: the kernel
+// layers' APIs take the calling thread exactly when they may suspend it
+// (dsm accessors, Reducer.Reduce, msg.Recv, ...). Executor.Ready and
+// constructors are exempt from (b).
+var HandlerNoBlock = &Analyzer{
+	Name: "handlernoblock",
+	Doc: "forbid blocking calls (Transport.Call, Thread.Block, anything taking a " +
+		"kernel.Thread) inside Service handlers, raw handlers, and node-context callbacks",
+	Run: runHandlerNoBlock,
+}
+
+// blockingKernelMethods are the seam's direct suspension/dispatch points.
+// Call blocks the thread for a reply; Block suspends; Yield and Preempt
+// are dispatch points that release the monitor, which a handler must
+// never do mid-update.
+var blockingKernelMethods = []string{"Call", "Block", "Yield", "Preempt"}
+
+// threadArgExempt lists callees that take a kernel.Thread without ever
+// suspending the caller: waking a thread and wrapping one.
+var threadArgExempt = map[string]bool{
+	"Ready":   true,
+	"NewExec": true,
+	"Spawn":   true,
+	"Name":    true,
+}
+
+type hnbContext struct {
+	expr ast.Expr // the handler/callback expression
+	kind string   // human label for diagnostics
+}
+
+func runHandlerNoBlock(pass *Pass) {
+	// Collect package-level function declarations.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+
+	// Fixed point: which package functions block, and via what.
+	blocks := make(map[*types.Func]string)
+	for changed := true; changed; {
+		changed = false
+		for obj, fd := range decls {
+			if _, done := blocks[obj]; done {
+				continue
+			}
+			witness := ""
+			inspectSkipNestedFuncs(fd.Body, func(n ast.Node) bool {
+				if witness != "" {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if w, ok := blockingCall(pass.Info, call); ok {
+					witness = w
+					return false
+				}
+				if callee, ok := useOf(pass.Info, call.Fun).(*types.Func); ok {
+					if w, ok := blocks[callee]; ok {
+						witness = callee.Name() + " → " + w
+						return false
+					}
+				}
+				return true
+			})
+			if witness != "" {
+				blocks[obj] = witness
+				changed = true
+			}
+		}
+	}
+
+	// Find node-context handler expressions and check them.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			for _, ctx := range handlerContexts(pass.Info, n) {
+				checkHandler(pass, ctx, blocks)
+			}
+			return true
+		})
+	}
+}
+
+// handlerContexts returns the node-context function expressions rooted at
+// n: Service{Handler: ...} fields, HandleRaw handlers, request callbacks,
+// and Schedule callbacks.
+func handlerContexts(info *types.Info, n ast.Node) []hnbContext {
+	switch n := n.(type) {
+	case *ast.CompositeLit:
+		tv, ok := info.Types[n]
+		if !ok || !isKernelType(tv.Type, "Service") {
+			return nil
+		}
+		for _, elt := range n.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Handler" {
+				return []hnbContext{{expr: kv.Value, kind: "kernel.Service handler"}}
+			}
+		}
+	case *ast.CallExpr:
+		switch {
+		case kernelMethod(info, n, "HandleRaw") && len(n.Args) == 1:
+			return []hnbContext{{expr: n.Args[0], kind: "raw datagram handler"}}
+		case (kernelMethod(info, n, "RequestAsync") || kernelMethod(info, n, "RequestSized")) && len(n.Args) > 0:
+			return []hnbContext{{expr: n.Args[len(n.Args)-1], kind: "request callback"}}
+		case kernelMethod(info, n, "Schedule") && len(n.Args) == 2:
+			return []hnbContext{{expr: n.Args[1], kind: "scheduled callback"}}
+		}
+	}
+	return nil
+}
+
+// checkHandler reports blocking calls inside one handler expression.
+func checkHandler(pass *Pass, ctx hnbContext, blocks map[*types.Func]string) {
+	switch e := ast.Unparen(ctx.expr).(type) {
+	case *ast.FuncLit:
+		inspectSkipNestedFuncs(e.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if w, ok := blockingCall(pass.Info, call); ok {
+				pass.Reportf(call.Pos(),
+					"%s must not block: %s runs in node context; wake a server thread instead",
+					ctx.kind, w)
+				return true
+			}
+			if callee, ok := useOf(pass.Info, call.Fun).(*types.Func); ok {
+				if w, ok := blocks[callee]; ok {
+					pass.Reportf(call.Pos(),
+						"%s must not block: %s blocks (via %s); handlers run in node context",
+						ctx.kind, callee.Name(), w)
+				}
+			}
+			return true
+		})
+	default:
+		// Method value or function reference: d.servePage, handleRelease.
+		if callee, ok := useOf(pass.Info, e).(*types.Func); ok {
+			if w, ok := blocks[callee]; ok {
+				pass.Reportf(e.Pos(),
+					"%s %s blocks (via %s); handlers run in node context and must not block",
+					ctx.kind, callee.Name(), w)
+			}
+		}
+	}
+}
+
+// blockingCall reports whether call is a direct seam suspension point,
+// with a human-readable witness.
+func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	for _, name := range blockingKernelMethods {
+		if kernelMethod(info, call, name) {
+			return "kernel." + name, true
+		}
+	}
+	callee := useOf(info, call.Fun)
+	if callee == nil || threadArgExempt[callee.Name()] {
+		return "", false
+	}
+	for _, arg := range call.Args {
+		if tv, ok := info.Types[arg]; ok && isKernelType(tv.Type, "Thread") {
+			return fmt.Sprintf("%s takes the calling kernel.Thread (may suspend it)", callee.Name()), true
+		}
+	}
+	return "", false
+}
+
+// isKernelType reports whether t (possibly behind a pointer) is the named
+// internal/kernel type.
+func isKernelType(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return isPkgObj(named.Obj(), "filaments/internal/kernel", name)
+}
+
+// inspectSkipNestedFuncs walks body like ast.Inspect but does not descend
+// into nested function literals: a FuncLit inside a handler or function is
+// deferred work (a spawned thread body, a callback) that runs in its own
+// context and is analyzed through its own registration site.
+func inspectSkipNestedFuncs(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}

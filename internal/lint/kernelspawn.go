@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// kernelSyncForbidden are the sync package identifiers that smuggle
+// binding-owned concurrency into kernel code.
+var kernelSyncForbidden = map[string]bool{
+	"WaitGroup": true,
+	"Cond":      true,
+	"NewCond":   true,
+	"Mutex":     true,
+	"RWMutex":   true,
+	"Once":      true,
+	"Map":       true,
+}
+
+// KernelSpawn flags raw goroutines and sync primitives in kernel-layer
+// packages.
+//
+// Threading in kernel code must go through kernel.Executor (Spawn, Ready,
+// Block): under the simulation that is how a thread becomes a scheduled
+// proc on the node's one virtual CPU, and under rtnode it is how a
+// goroutine acquires the node monitor. A raw `go` statement or a
+// sync.WaitGroup/Cond bypasses both — the simulator never sees the
+// thread (breaking determinism and cost accounting) and the rtnode
+// monitor is not held (a data race on every kernel structure).
+var KernelSpawn = &Analyzer{
+	Name: "kernelspawn",
+	Doc: "forbid raw go statements and sync primitives in kernel-layer packages; " +
+		"use kernel.Executor (Spawn/Ready) and Thread.Block",
+	Run: runKernelSpawn,
+}
+
+func runKernelSpawn(pass *Pass) {
+	if !pass.Kernel() {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(),
+					"raw go statement in kernel-layer code: use kernel.Executor.Spawn so the thread runs under the node's scheduler/monitor")
+			case *ast.SelectorExpr:
+				obj := pass.Info.Uses[n.Sel]
+				if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+					return true
+				}
+				if kernelSyncForbidden[obj.Name()] {
+					pass.Reportf(n.Pos(),
+						"sync.%s in kernel-layer code: node-context serialization is the binding's job; use kernel.Executor/Thread (Spawn, Ready, Block)",
+						obj.Name())
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// kernelTimeForbidden are the package time functions whose use in kernel
+// code silently substitutes wall time for the binding's clock.
+var kernelTimeForbidden = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// KernelTime flags wall-clock use in kernel-layer packages.
+//
+// Kernel code runs under two clocks: the simulation's virtual time (which
+// produces the exact-time figure tests) and rtnode's wall time. A
+// time.Now or time.Sleep in shared code reads the host clock under both
+// bindings, so simulated runs stop being deterministic functions of the
+// event queue — the figures drift without any test failing loudly. All
+// time must flow through kernel.Clock (Now, Schedule).
+var KernelTime = &Analyzer{
+	Name: "kerneltime",
+	Doc: "forbid time.Now/Sleep/After/... in kernel-layer packages; " +
+		"use kernel.Clock so simulated virtual time stays exact",
+	Run: runKernelTime,
+}
+
+func runKernelTime(pass *Pass) {
+	if !pass.Kernel() {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if kernelTimeForbidden[obj.Name()] {
+				pass.Reportf(sel.Pos(),
+					"time.%s in kernel-layer code: use kernel.Clock (Now/Schedule) so the simulation binding keeps exact virtual time",
+					obj.Name())
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,34 @@
+package lint_test
+
+import (
+	"testing"
+
+	"filaments/internal/lint"
+	"filaments/internal/lint/linttest"
+)
+
+func TestKernelTime(t *testing.T) {
+	linttest.Run(t, "testdata/src", "kerneltime", lint.KernelTime)
+}
+
+func TestKernelSpawn(t *testing.T) {
+	linttest.Run(t, "testdata/src", "kernelspawn", lint.KernelSpawn)
+}
+
+func TestHandlerNoBlock(t *testing.T) {
+	linttest.Run(t, "testdata/src", "handlernoblock", lint.HandlerNoBlock)
+}
+
+func TestMapRange(t *testing.T) {
+	linttest.Run(t, "testdata/src", "maprange", lint.MapRange)
+}
+
+func TestGobReg(t *testing.T) {
+	linttest.Run(t, "testdata/src", "gobreg", lint.GobReg)
+}
+
+// TestNonKernelExempt runs the whole suite over a package outside the
+// kernel layer: none of the kernel-gated rules may fire.
+func TestNonKernelExempt(t *testing.T) {
+	linttest.Run(t, "testdata/src", "nonkernel", lint.Analyzers()...)
+}

@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRange flags `for range` over maps in kernel-layer packages.
+//
+// Go randomizes map iteration order per run. Kernel code executes under a
+// simulation whose figures are asserted byte-for-byte: if a loop's body
+// sends messages, charges CPU time, or wakes threads in map order, two
+// runs of the same experiment produce different event interleavings and
+// the exact-time tests break nondeterministically. Loops whose effect is
+// genuinely order-insensitive (pure accumulation into a commutative
+// reduction, assertions in tests) carry an explicit escape hatch:
+//
+//	//dflint:allow maprange <why the order cannot matter>
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc: "forbid map iteration in kernel-layer packages unless annotated " +
+		"order-insensitive; map order nondeterminism breaks the bitwise-exact figures",
+	Run: runMapRange,
+}
+
+func runMapRange(pass *Pass) {
+	if !pass.Kernel() {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			pass.Reportf(rng.For,
+				"range over map %s iterates in nondeterministic order; make the loop order explicit, or annotate //dflint:allow maprange <reason> if order cannot matter",
+				types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+			return true
+		})
+	}
+}

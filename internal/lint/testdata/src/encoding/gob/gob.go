@@ -1,0 +1,7 @@
+// Package gob is a hermetic stand-in for encoding/gob, for the gobreg
+// fixtures.
+package gob
+
+func Register(value any) {}
+
+func RegisterName(name string, value any) {}

@@ -1,0 +1,55 @@
+//dflint:kernel
+
+package gobreg
+
+import (
+	"encoding/gob"
+	"kernel"
+	"rtnode"
+)
+
+type registeredMsg struct{ N int }
+
+type strayMsg struct{ N int }
+
+type namedReply struct{ V float64 }
+
+func init() {
+	gob.Register(registeredMsg{})
+	rtnode.RegisterWire(namedReply{}, map[int]float64(nil))
+}
+
+func send(tr kernel.Transport, t kernel.Thread) {
+	tr.Send(1, registeredMsg{N: 1}, 0, 0)
+	tr.Send(1, strayMsg{}, 0, 0) // want "payload of type strayMsg without a gob registration"
+	tr.Send(1, 42, 0, 0)
+	tr.Send(1, "hello", 0, 0)
+	tr.Send(1, []byte{1}, 0, 0)
+	tr.Send(1, []float64{1}, 0, 0)
+	tr.Send(1, map[int]float64{}, 0, 0)
+	tr.RequestAsync(1, 1, strayMsg{}, 0, 0, func(reply any) {})    // want "RequestAsync payload of type strayMsg"
+	tr.RequestSized(1, 1, strayMsg{}, 0, 8, 0, func(reply any) {}) // want "RequestSized payload of type strayMsg"
+	_ = tr.Call(t, 1, 1, [][]float64{}, 0, 0)                      // want "Call payload of type .*float64 without a gob registration"
+	forward(tr, strayMsg{})
+}
+
+// forward resends an opaque payload; the concrete type was checked where
+// it was made, so the interface-typed argument is not reported here.
+func forward(tr kernel.Transport, payload any) {
+	tr.Send(2, payload, 0, 0)
+}
+
+func allowedSend(tr kernel.Transport) {
+	//dflint:allow gobreg sim-only diagnostic payload, never crosses the UDP binding
+	tr.Send(1, strayMsg{}, 0, 0)
+}
+
+func handler(from kernel.NodeID, req any) (any, int, kernel.Verdict) {
+	if from == 0 {
+		return strayMsg{}, 0, kernel.Reply // want "handler returns reply of type strayMsg"
+	}
+	if from == 1 {
+		return nil, 0, kernel.Drop
+	}
+	return namedReply{}, 8, kernel.Reply
+}

@@ -1,0 +1,80 @@
+//dflint:kernel
+
+package handlernoblock
+
+import "kernel"
+
+type srv struct {
+	tr kernel.Transport
+}
+
+func (s *srv) register(t kernel.Thread) {
+	s.tr.Register(1, kernel.Service{
+		Name: "bad-direct",
+		Handler: func(from kernel.NodeID, req any) (any, int, kernel.Verdict) {
+			v := s.tr.Call(t, from, 1, req, 0, 0) // want "must not block: kernel.Call"
+			return v, 0, kernel.Reply
+		},
+	})
+	s.tr.Register(2, kernel.Service{Name: "bad-indirect", Handler: s.serveIndirect}) // want "serveIndirect blocks .via helper"
+	s.tr.HandleRaw(func(from kernel.NodeID, payload any) bool {
+		t.Block() // want "raw datagram handler must not block: kernel.Block"
+		return true
+	})
+	s.tr.RequestAsync(1, 1, nil, 0, 0, func(reply any) {
+		t.Yield() // want "request callback must not block: kernel.Yield"
+	})
+}
+
+func (s *srv) serveIndirect(from kernel.NodeID, req any) (any, int, kernel.Verdict) {
+	helper(nil)
+	return nil, 0, kernel.Reply
+}
+
+// helper blocks: it suspends the thread it is handed.
+func helper(t kernel.Thread) {
+	if t != nil {
+		t.Block()
+	}
+}
+
+func sched(ck kernel.Clock, t kernel.Thread) {
+	ck.Schedule(5, func() {
+		t.Preempt() // want "scheduled callback must not block: kernel.Preempt"
+	})
+}
+
+// threadArg exercises the seam convention: passing the calling thread to
+// a kernel-layer API means it may suspend, so a handler may not do it.
+func (s *srv) threadArg(t kernel.Thread, acquire func(t kernel.Thread)) {
+	s.tr.Register(5, kernel.Service{
+		Handler: func(from kernel.NodeID, req any) (any, int, kernel.Verdict) {
+			acquire(t) // want "acquire takes the calling kernel.Thread"
+			return nil, 0, kernel.Reply
+		},
+	})
+}
+
+// good spawns a server thread; the spawned body may block freely — the
+// nested function literal runs in thread context, not node context.
+func (s *srv) good(ex kernel.Executor) {
+	s.tr.Register(3, kernel.Service{
+		Name: "good",
+		Handler: func(from kernel.NodeID, req any) (any, int, kernel.Verdict) {
+			ex.Spawn("worker", func(t kernel.Thread) {
+				t.Block()
+			})
+			return nil, 0, kernel.Drop
+		},
+	})
+}
+
+func (s *srv) allowedHandler(t kernel.Thread) {
+	s.tr.Register(4, kernel.Service{
+		Handler: func(from kernel.NodeID, req any) (any, int, kernel.Verdict) {
+			//dflint:allow handlernoblock startup barrier; runs before the monitor loop exists
+			_ = s.tr.Call(t, from, 1, req, 0, 0)
+			return nil, 0, kernel.Reply
+		},
+	})
+}

@@ -1,0 +1,54 @@
+// Package kernel is a hermetic stand-in for filaments/internal/kernel.
+// The analyzers accept the bare final import-path element, so this fake
+// exercises the same code paths as the real seam.
+package kernel
+
+type NodeID int
+
+type ServiceID int
+
+type Category int
+
+type Verdict int
+
+const (
+	Reply Verdict = iota
+	Drop
+)
+
+type Handle int
+
+type Service struct {
+	Name             string
+	Handler          func(from NodeID, req any) (reply any, size int, v Verdict)
+	Idempotent       bool
+	ModifiesCritical bool
+	Category         Category
+}
+
+type Thread interface {
+	Name() string
+	Block()
+	Yield()
+	Preempt()
+}
+
+type Transport interface {
+	Register(svc ServiceID, s Service)
+	RequestAsync(dst NodeID, svc ServiceID, req any, size int, cat Category, cb func(reply any)) Handle
+	RequestSized(dst NodeID, svc ServiceID, req any, size, expectedReply int, cat Category, cb func(reply any)) Handle
+	Call(t Thread, dst NodeID, svc ServiceID, req any, size int, cat Category) any
+	Send(dst NodeID, payload any, size int, cat Category)
+	HandleRaw(h func(from NodeID, payload any) bool)
+	Outstanding() int
+}
+
+type Clock interface {
+	Now() int64
+	Schedule(after int64, f func())
+}
+
+type Executor interface {
+	Spawn(name string, f func(t Thread))
+	Ready(t Thread, front bool)
+}

@@ -1,0 +1,21 @@
+//dflint:kernel
+
+package kernelspawn
+
+import "sync"
+
+func bad() {
+	go work()               // want "raw go statement in kernel-layer code"
+	var wg sync.WaitGroup   // want "sync.WaitGroup in kernel-layer code"
+	var mu sync.Mutex       // want "sync.Mutex in kernel-layer code"
+	var ro sync.Once        // want "sync.Once in kernel-layer code"
+	cv := sync.NewCond(&mu) // want "sync.NewCond in kernel-layer code"
+	_, _, _ = wg, ro, cv
+}
+
+func allowed() {
+	//dflint:allow kernelspawn host-side bench helper, never runs under a binding
+	go work()
+}
+
+func work() {}

@@ -1,0 +1,35 @@
+//dflint:kernel
+
+package kerneltime
+
+import "time"
+
+var epoch time.Time // type names are fine; only the clock calls are not
+
+func bad() {
+	_ = time.Now()        // want "time.Now in kernel-layer code"
+	time.Sleep(0)         // want "time.Sleep in kernel-layer code"
+	_ = time.Since(epoch) // want "time.Since in kernel-layer code"
+	select {
+	case <-time.After(0): // want "time.After in kernel-layer code"
+	case <-time.Tick(0): // want "time.Tick in kernel-layer code"
+	}
+	_ = time.NewTimer(0)             // want "time.NewTimer in kernel-layer code"
+	_ = time.NewTicker(0)            // want "time.NewTicker in kernel-layer code"
+	_ = time.AfterFunc(0, func() {}) // want "time.AfterFunc in kernel-layer code"
+	_ = time.Until(epoch)            // want "time.Until in kernel-layer code"
+}
+
+func allowed() {
+	//dflint:allow kerneltime wall-clock stamp for a log line, never feeds the schedule
+	_ = time.Now()
+}
+
+func allowedTrailing() {
+	time.Sleep(0) //dflint:allow kerneltime demonstration of a same-line allow
+}
+
+func missingReason() {
+	//dflint:allow kerneltime
+	time.Sleep(0) // want "needs a one-line reason"
+}

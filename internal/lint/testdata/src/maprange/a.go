@@ -1,0 +1,30 @@
+//dflint:kernel
+
+package maprange
+
+type waiters map[int]string
+
+func bad(m map[int]string, w waiters) {
+	for k := range m { // want "range over map"
+		_ = k
+	}
+	for k, v := range w { // want "range over map"
+		_, _ = k, v
+	}
+}
+
+func allowed(m map[int]int) int {
+	sum := 0
+	//dflint:allow maprange integer sum is commutative; order cannot leak
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func notMaps(s []int, c chan int) {
+	for range s {
+	}
+	for range c {
+	}
+}

@@ -1,0 +1,23 @@
+// Package nonkernel has no //dflint:kernel marker and is not a known
+// kernel-layer import path, so the kernel-gated analyzers stay silent on
+// wall-clock use, raw goroutines, sync primitives, and map ranges here.
+package nonkernel
+
+import (
+	"sync"
+	"time"
+)
+
+func hostSide(m map[int]int) {
+	time.Sleep(0)
+	_ = time.Now()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := range m {
+			_ = k
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,5 @@
+// Package rtnode is a hermetic stand-in for filaments/internal/rtnode's
+// wire-type registry, for the gobreg fixtures.
+package rtnode
+
+func RegisterWire(protos ...any) {}

@@ -1,0 +1,24 @@
+// Package sync is a hermetic stand-in for the standard library's sync
+// package, for the kernelspawn fixtures.
+package sync
+
+type WaitGroup struct{}
+
+func (*WaitGroup) Add(delta int) {}
+func (*WaitGroup) Done()         {}
+func (*WaitGroup) Wait()         {}
+
+type Mutex struct{}
+
+func (*Mutex) Lock()   {}
+func (*Mutex) Unlock() {}
+
+type RWMutex struct{}
+
+type Once struct{}
+
+type Map struct{}
+
+type Cond struct{ L *Mutex }
+
+func NewCond(l *Mutex) *Cond { return &Cond{L: l} }

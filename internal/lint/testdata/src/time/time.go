@@ -1,0 +1,24 @@
+// Package time is a hermetic stand-in for the standard library's time
+// package, carrying just enough surface for the kerneltime fixtures.
+package time
+
+type Time struct{}
+
+type Duration int64
+
+func Now() Time             { return Time{} }
+func Sleep(d Duration)      {}
+func Since(t Time) Duration { return 0 }
+func Until(t Time) Duration { return 0 }
+
+func After(d Duration) <-chan Time { return nil }
+func Tick(d Duration) <-chan Time  { return nil }
+
+type Timer struct{}
+
+func NewTimer(d Duration) *Timer            { return nil }
+func AfterFunc(d Duration, f func()) *Timer { return nil }
+
+type Ticker struct{}
+
+func NewTicker(d Duration) *Ticker { return nil }

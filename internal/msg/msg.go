@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"filaments/internal/kernel"
+	"filaments/internal/rtnode"
 )
 
 // Tag distinguishes message streams between the same pair of nodes.
@@ -19,6 +20,14 @@ type wire struct {
 	Tag  Tag
 	Data any
 	Size int
+}
+
+// The real-time binding serializes payloads with gob. The envelope was
+// missing from the registry until dflint's gobreg check caught it: every
+// simulated CG test passed, and the first UDP frame would have failed to
+// encode.
+func init() {
+	rtnode.RegisterWire(wire{})
 }
 
 type key struct {

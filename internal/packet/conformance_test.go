@@ -34,6 +34,16 @@ func (c *simCaller) Call(dst, svc int, req []byte) ([]byte, error) {
 	return b, nil
 }
 
+// Outstanding sums pending requests across endpoints. The engine is idle
+// when this is read (Run has returned), so the unlocked reads are safe.
+func (cl *simCluster) Outstanding() int {
+	n := 0
+	for _, ep := range cl.eps {
+		n += ep.Outstanding()
+	}
+	return n
+}
+
 func (cl *simCluster) Run(t *testing.T, workers ...transconf.Worker) {
 	remaining := len(workers)
 	cl.eng.Schedule(0, func() {

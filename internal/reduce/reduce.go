@@ -17,11 +17,11 @@
 package reduce
 
 import (
-	"encoding/gob"
 	"math"
 
 	"filaments/internal/dsm"
 	"filaments/internal/kernel"
+	"filaments/internal/rtnode"
 )
 
 // SvcArrive is the service ID for tournament arrive messages.
@@ -29,8 +29,7 @@ const SvcArrive kernel.ServiceID = 20
 
 // The real-time binding serializes payloads with gob.
 func init() {
-	gob.Register(arriveMsg{})
-	gob.Register(releaseMsg{})
+	rtnode.RegisterWire(arriveMsg{}, releaseMsg{})
 }
 
 // Op combines two reduction values. It must be commutative and

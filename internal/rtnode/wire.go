@@ -1,0 +1,52 @@
+package rtnode
+
+import (
+	"encoding/gob"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// The wire-type registry.
+//
+// The real-time transport gob-encodes every payload as an interface
+// value, and gob refuses to decode a concrete type it has not been told
+// about — an omission the simulation binding, which passes payloads by
+// reference, can never catch. Kernel-layer packages therefore declare
+// their wire types here, from an init in the same package that sends
+// them (the dflint gobreg analyzer checks exactly that pairing), and the
+// registry's test round-trips everything declared so a type that gob
+// cannot actually encode fails in CI rather than on the first real
+// message.
+
+var (
+	wireMu    sync.Mutex
+	wireTypes = make(map[reflect.Type]bool)
+)
+
+// RegisterWire registers each prototype's concrete type for gob transit
+// inside an interface and records it for WireTypes. Prototypes are
+// typically zero values: RegisterWire(pageReq{}, pageData{}).
+func RegisterWire(protos ...any) {
+	wireMu.Lock()
+	defer wireMu.Unlock()
+	for _, p := range protos {
+		if p == nil {
+			panic("rtnode.RegisterWire: nil prototype")
+		}
+		gob.Register(p)
+		wireTypes[reflect.TypeOf(p)] = true
+	}
+}
+
+// WireTypes returns every registered wire type, sorted by name.
+func WireTypes() []reflect.Type {
+	wireMu.Lock()
+	defer wireMu.Unlock()
+	out := make([]reflect.Type, 0, len(wireTypes))
+	for t := range wireTypes {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}

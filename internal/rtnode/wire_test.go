@@ -1,0 +1,56 @@
+package rtnode_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"filaments/internal/rtnode"
+
+	// Imported for their RegisterWire inits: every kernel-layer package
+	// that puts payloads on the wire declares them in the registry, and
+	// this test round-trips the lot.
+	_ "filaments/internal/apps/exprtree"
+	_ "filaments/internal/apps/jacobi"
+	_ "filaments/internal/apps/matmul"
+	_ "filaments/internal/apps/quadrature"
+	_ "filaments/internal/dsm"
+	_ "filaments/internal/filament"
+	_ "filaments/internal/msg"
+	_ "filaments/internal/reduce"
+)
+
+// TestWireTypesRoundTrip gob-encodes a value of every registered wire
+// type as an interface — exactly how the real-time transport frames
+// payloads — and decodes it back. A type that gob cannot handle (or that
+// a package forgot to register) fails here instead of on the first UDP
+// message.
+func TestWireTypesRoundTrip(t *testing.T) {
+	types := rtnode.WireTypes()
+	if len(types) == 0 {
+		t.Fatal("no wire types registered")
+	}
+	// Every protocol layer must have contributed: the DSM's four
+	// messages, the reducer's two, fork/join's four, msg's envelope, and
+	// the CG programs' payloads.
+	if len(types) < 12 {
+		t.Fatalf("only %d wire types registered: %v", len(types), types)
+	}
+	for _, typ := range types {
+		var buf bytes.Buffer
+		in := reflect.New(typ).Elem().Interface()
+		if err := gob.NewEncoder(&buf).Encode(&in); err != nil {
+			t.Errorf("%s: encode: %v", typ, err)
+			continue
+		}
+		var out any
+		if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&out); err != nil {
+			t.Errorf("%s: decode: %v", typ, err)
+			continue
+		}
+		if got := reflect.TypeOf(out); got != typ {
+			t.Errorf("round trip changed type: sent %s, got %s", typ, got)
+		}
+	}
+}

@@ -8,7 +8,10 @@ import (
 )
 
 // RunAll runs every conformance scenario as a subtest against the harness.
+// Every scenario's cluster is additionally checked for leaked request
+// state: after its workers finish, Cluster.Outstanding must be zero.
 func RunAll(t *testing.T, h Harness) {
+	h = checkedHarness(h)
 	t.Run("NoProblems", func(t *testing.T) { scenarioNoProblems(t, h) })
 	t.Run("RequestLost", func(t *testing.T) { scenarioRequestLost(t, h) })
 	t.Run("ReplyLost", func(t *testing.T) { scenarioReplyLost(t, h) })
@@ -19,6 +22,26 @@ func RunAll(t *testing.T, h Harness) {
 	t.Run("ConcurrentClients", func(t *testing.T) { scenarioConcurrentClients(t, h) })
 	t.Run("CrossCall", func(t *testing.T) { scenarioCrossCall(t, h) })
 }
+
+// checkedHarness wraps a harness so that every cluster it builds asserts
+// zero outstanding requests once its workers are done.
+func checkedHarness(h Harness) Harness {
+	return func(t *testing.T, cfg Config) Cluster {
+		return &checkedCluster{inner: h(t, cfg)}
+	}
+}
+
+type checkedCluster struct{ inner Cluster }
+
+func (c *checkedCluster) Run(t *testing.T, workers ...Worker) {
+	t.Helper()
+	c.inner.Run(t, workers...)
+	if n := c.inner.Outstanding(); n != 0 {
+		t.Errorf("%d outstanding requests after all workers returned: the transport leaked request state", n)
+	}
+}
+
+func (c *checkedCluster) Outstanding() int { return c.inner.Outstanding() }
 
 // Service ids shared by the scenarios.
 const (

@@ -72,6 +72,13 @@ type Cluster interface {
 	// Run executes the workers concurrently, each on its node, and returns
 	// once every body has completed. It is called exactly once per cluster.
 	Run(t *testing.T, workers ...Worker)
+	// Outstanding reports how many requests are still awaiting replies,
+	// summed across every endpoint in the cluster. Once Run has returned —
+	// every worker body finished, so every Call was answered — it must be
+	// zero; RunAll asserts that after each scenario. A residue means the
+	// transport leaked request state (a retransmit timer still armed, a
+	// pending-call entry never retired by its reply).
+	Outstanding() int
 }
 
 // Harness builds a transport's cluster for one scenario. Cleanup should be

@@ -28,6 +28,14 @@ func (c *udpCaller) Call(dst, svc int, req []byte) ([]byte, error) {
 	return c.ep.Call(c.cl.addrs[dst], uint16(svc), req)
 }
 
+func (cl *udpCluster) Outstanding() int {
+	n := 0
+	for _, ep := range cl.eps {
+		n += ep.Outstanding()
+	}
+	return n
+}
+
 func (cl *udpCluster) Run(t *testing.T, workers ...transconf.Worker) {
 	var wg sync.WaitGroup
 	for _, w := range workers {
