@@ -8,12 +8,15 @@
 //	dfbench                      # all experiments at paper scale
 //	dfbench -experiment fig5     # one experiment
 //	dfbench -quick               # reduced problem sizes (shape only)
+//	dfbench -json fig5           # also write BENCH_fig5.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"filaments/internal/bench"
@@ -21,9 +24,11 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("experiment", "", "experiment ID to run (default: all)")
-		quick = flag.Bool("quick", false, "reduced problem sizes for fast runs")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exp    = flag.String("experiment", "", "experiment ID to run (default: all)")
+		quick  = flag.Bool("quick", false, "reduced problem sizes for fast runs")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		emit   = flag.Bool("json", false, "write BENCH_<id>.json next to the prose output")
+		outdir = flag.String("outdir", ".", "directory for -json output files")
 	)
 	flag.Parse()
 	if *list {
@@ -36,16 +41,41 @@ func main() {
 	run := func(e bench.Experiment) {
 		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
 		t0 := time.Now()
-		e.Run(os.Stdout, opts)
+		if *emit {
+			// RunCaptured streams the prose to stdout while recording the
+			// machine-readable rows; the JSON cells are the same formatted
+			// strings that appear above, bit for bit.
+			res := bench.RunCaptured(e, opts, os.Stdout)
+			path := filepath.Join(*outdir, "BENCH_"+e.ID+".json")
+			b, err := json.MarshalIndent(res, "", "  ")
+			if err == nil {
+				err = os.WriteFile(path, append(b, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dfbench: write %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("    [wrote %s]\n", path)
+		} else {
+			e.Run(os.Stdout, opts)
+		}
 		fmt.Printf("    [%.1fs wall clock]\n\n", time.Since(t0).Seconds())
 	}
+	// Experiments may be named with -experiment or as positional
+	// arguments (dfbench -json fig5).
+	ids := flag.Args()
 	if *exp != "" {
-		e, ok := bench.Find(*exp)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "dfbench: unknown experiment %q (try -list)\n", *exp)
-			os.Exit(1)
+		ids = append(ids, *exp)
+	}
+	if len(ids) > 0 {
+		for _, id := range ids {
+			e, ok := bench.Find(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dfbench: unknown experiment %q (try -list)\n", id)
+				os.Exit(1)
+			}
+			run(e)
 		}
-		run(e)
 		return
 	}
 	for _, e := range bench.All() {

@@ -15,6 +15,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -http serves the standard profiling endpoints
 	"os"
 	"strings"
 
@@ -31,6 +33,7 @@ func main() {
 		n     = flag.Int("n", 64, "problem dimension")
 		iters = flag.Int("iters", 8, "jacobi iterations")
 		proto = flag.String("protocol", "", "DSM protocol override: migratory | wi | ii")
+		hAddr = flag.String("http", "", "serve pprof (/debug/pprof/) and live counters (/metrics) on this address, e.g. 127.0.0.1:6060")
 		v     = flag.Bool("v", false, "print per-node counters")
 	)
 	flag.Parse()
@@ -63,6 +66,22 @@ func main() {
 	})
 	if err != nil {
 		fail("%v", err)
+	}
+	if *hAddr != "" {
+		// The node's counters are lock-free atomics, so /metrics reads
+		// them live while the run is in progress. pprof registers itself
+		// on the default mux via the blank import.
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			for _, s := range u.Metrics() {
+				fmt.Fprintf(w, "df_%s %d\n", strings.ReplaceAll(s.Name, ".", "_"), s.Value)
+			}
+		})
+		go func() {
+			if err := http.ListenAndServe(*hAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "dfnode: http: %v\n", err)
+			}
+		}()
 	}
 	rep, mismatches, err := jacobi.DFNode(jacobi.Config{N: *n, Iters: *iters, Nodes: *nodes, Protocol: protocol}, u)
 	if err != nil {

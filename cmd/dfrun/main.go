@@ -37,9 +37,16 @@ func main() {
 		tol     = flag.Float64("tol", 0, "quadrature tolerance (0 = paper default)")
 		proto   = flag.String("protocol", "", "DSM protocol override: migratory | wi | ii")
 		trans   = flag.String("transport", "sim", "binding: sim (virtual time) | udp (real loopback endpoints)")
+		trace   = flag.String("trace", "", "write a Chrome trace-event JSON file (DF variants; load in about:tracing or Perfetto)")
+		metrics = flag.Bool("metrics", false, "print the cluster-wide metric aggregation after the run")
 		verbose = flag.Bool("v", false, "per-node counters")
 	)
 	flag.Parse()
+
+	var tracer *filaments.Tracer
+	if *trace != "" {
+		tracer = filaments.NewTracer()
+	}
 
 	protocol := filaments.Migratory // zero value: app defaults apply
 	switch *proto {
@@ -57,7 +64,7 @@ func main() {
 	switch *trans {
 	case "sim":
 	case "udp":
-		runUDP(*app, *variant, *nodes, *n, *iters, *tol, protocol, *verbose)
+		runUDP(*app, *variant, *nodes, *n, *iters, *tol, protocol, tracer, *trace, *metrics, *verbose)
 		return
 	default:
 		fail("unknown -transport %q (sim | udp)", *trans)
@@ -66,7 +73,7 @@ func main() {
 	var rep *filaments.Report
 	switch *app {
 	case "matmul":
-		cfg := matmul.Config{N: *n, Nodes: *nodes, Protocol: protocol}
+		cfg := matmul.Config{N: *n, Nodes: *nodes, Protocol: protocol, Tracer: tracer}
 		switch *variant {
 		case "seq":
 			rep, _ = matmul.Sequential(cfg)
@@ -78,7 +85,7 @@ func main() {
 			fail("matmul has variants seq|cg|df")
 		}
 	case "jacobi":
-		cfg := jacobi.Config{N: *n, Iters: *iters, Nodes: *nodes, Protocol: protocol}
+		cfg := jacobi.Config{N: *n, Iters: *iters, Nodes: *nodes, Protocol: protocol, Tracer: tracer}
 		switch *variant {
 		case "seq":
 			rep, _ = jacobi.Sequential(cfg)
@@ -90,7 +97,7 @@ func main() {
 			fail("jacobi has variants seq|cg|df")
 		}
 	case "quadrature":
-		cfg := quadrature.Config{Tol: *tol, Nodes: *nodes}
+		cfg := quadrature.Config{Tol: *tol, Nodes: *nodes, Tracer: tracer}
 		switch *variant {
 		case "seq":
 			rep, _ = quadrature.Sequential(cfg)
@@ -104,7 +111,7 @@ func main() {
 			fail("quadrature has variants seq|cg|df|bag")
 		}
 	case "exprtree":
-		cfg := exprtree.Config{Height: *height, N: *n, Nodes: *nodes}
+		cfg := exprtree.Config{Height: *height, N: *n, Nodes: *nodes, Tracer: tracer}
 		switch *variant {
 		case "seq":
 			rep, _ = exprtree.Sequential(cfg)
@@ -124,6 +131,12 @@ func main() {
 	fmt.Printf("network: %d frames, %.1f MB, medium busy %.1f s (utilization %.0f%%)\n",
 		rep.Net.FramesSent, float64(rep.Net.BytesSent)/(1<<20), rep.Net.Busy.Seconds(),
 		100*rep.Net.Utilization(rep.Elapsed))
+	if tracer != nil {
+		writeTrace(*trace, tracer)
+	}
+	if *metrics {
+		printMetrics(rep.Metrics)
+	}
 	if !*verbose {
 		return
 	}
@@ -149,21 +162,21 @@ func main() {
 // of jacobi and quadrature run over udp — the seq/cg variants are
 // single-address-space programs and the remaining apps have not been
 // ported to the real-time binding.
-func runUDP(app, variant string, nodes, n, iters int, tol float64, protocol filaments.Protocol, verbose bool) {
+func runUDP(app, variant string, nodes, n, iters int, tol float64, protocol filaments.Protocol, tracer *filaments.Tracer, trace string, metrics, verbose bool) {
 	if variant != "df" {
 		fail("-transport=udp runs only -variant df (got %q): seq and cg do not use the cluster", variant)
 	}
 	var rep *filaments.UDPReport
 	switch app {
 	case "jacobi":
-		cfg := jacobi.Config{N: n, Iters: iters, Nodes: nodes, Protocol: protocol}
+		cfg := jacobi.Config{N: n, Iters: iters, Nodes: nodes, Protocol: protocol, Tracer: tracer}
 		r, _, err := jacobi.DFUDP(cfg)
 		if err != nil {
 			fail("%v", err)
 		}
 		rep = r
 	case "quadrature":
-		cfg := quadrature.Config{Tol: tol, Nodes: nodes}
+		cfg := quadrature.Config{Tol: tol, Nodes: nodes, Tracer: tracer}
 		r, _, err := quadrature.DFUDP(cfg, true)
 		if err != nil {
 			fail("%v", err)
@@ -182,6 +195,12 @@ func runUDP(app, variant string, nodes, n, iters int, tol float64, protocol fila
 		faults += nr.DSM.ReadFaults + nr.DSM.WriteFaults
 	}
 	fmt.Printf("network: %d requests, %d retransmits, %d page faults\n", reqs, retrans, faults)
+	if tracer != nil {
+		writeTrace(trace, tracer)
+	}
+	if metrics {
+		printMetrics(rep.Metrics)
+	}
 	if !verbose {
 		return
 	}
@@ -195,6 +214,30 @@ func runUDP(app, variant string, nodes, n, iters int, tol float64, protocol fila
 			nr.Transport.RequestsSent,
 			nr.Transport.Retransmits,
 			nr.Runtime.StealsGranted)
+	}
+}
+
+// writeTrace exports the collected events as Chrome trace-event JSON.
+func writeTrace(path string, tr *filaments.Tracer) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		fail("trace: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fail("trace: %v", err)
+	}
+	fmt.Printf("trace: %d events -> %s\n", tr.Len(), path)
+}
+
+// printMetrics prints the aggregated cluster-wide counters.
+func printMetrics(samples []filaments.Sample) {
+	fmt.Printf("metrics (cluster-wide):\n")
+	for _, s := range samples {
+		fmt.Printf("  %-24s %d\n", s.Name, s.Value)
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"filaments/internal/dsm"
 	"filaments/internal/filament"
 	"filaments/internal/kernel"
+	"filaments/internal/obs"
 	"filaments/internal/packet"
 	"filaments/internal/reduce"
 	"filaments/internal/sim"
@@ -63,7 +64,18 @@ type (
 	Duration = sim.Duration
 	// CostModel is the calibrated machine model.
 	CostModel = cost.Model
+	// Tracer collects cluster-wide trace events and exports them as
+	// Chrome trace-event JSON (load in about:tracing or Perfetto).
+	// Sim-binding traces are stamped in virtual time, so identical runs
+	// produce byte-identical output.
+	Tracer = obs.Tracer
+	// Sample is one named metric value from a run.
+	Sample = obs.Sample
 )
+
+// NewTracer returns an empty trace sink. Install it with Config.Tracer
+// (or UDPConfig.Tracer) before Run, then WriteJSON after.
+func NewTracer() *Tracer { return obs.NewTracer() }
 
 // Page consistency protocols.
 const (
@@ -121,6 +133,10 @@ type Config struct {
 	// the ready queue (the fork/join setting; iterative programs use the
 	// back for fault frontloading).
 	WakeFront bool
+	// Tracer, when non-nil, records kernel events (page faults,
+	// invalidations, steals, barrier rounds, retransmits) from every node
+	// in virtual time.
+	Tracer *Tracer
 }
 
 // NodeReport is one node's accounting after a run.
@@ -142,6 +158,9 @@ type Report struct {
 	PerNode []NodeReport
 	// Net holds network totals.
 	Net simnet.Stats
+	// Metrics is the cluster-wide metric aggregation: every node's
+	// counters summed by name, sorted by name.
+	Metrics []Sample
 }
 
 // Seconds returns the elapsed virtual time in seconds.
@@ -190,6 +209,9 @@ func New(cfg Config) *Cluster {
 	c.space = dsm.NewSpace(cfg.SharedBytes)
 	for i := 0; i < cfg.Nodes; i++ {
 		node := threads.NewNode(c.nw, simnet.NodeID(i))
+		if cfg.Tracer != nil {
+			node.Obs().SetTracer(cfg.Tracer)
+		}
 		ep := packet.New(node)
 		d := dsm.New(node, ep, c.space, cfg.Protocol)
 		d.WakeFront = cfg.WakeFront
@@ -230,6 +252,28 @@ func (c *Cluster) Model() *CostModel { return &c.model }
 // Runtime returns node i's runtime (valid after New; useful for
 // inspecting stats after Run).
 func (c *Cluster) Runtime(i int) *Runtime { return c.rts[i] }
+
+// DSM returns node i's DSM instance (for inspecting stats).
+func (c *Cluster) DSM(i int) *dsm.DSM { return c.dsms[i] }
+
+// EnableTracing installs t as every node's trace sink. Equivalent to
+// setting Config.Tracer before New.
+func (c *Cluster) EnableTracing(t *Tracer) {
+	for _, n := range c.nodes {
+		n.Obs().SetTracer(t)
+	}
+}
+
+// Metrics aggregates every node's counter registry: values summed by
+// name, sorted by name. Safe to call at any time; counters are
+// race-free.
+func (c *Cluster) Metrics() []Sample {
+	regs := make([]*obs.Registry, len(c.nodes))
+	for i, n := range c.nodes {
+		regs[i] = n.Obs().Reg
+	}
+	return obs.Aggregate(regs...)
+}
 
 // Alloc reserves shared memory owned initially by node 0.
 func (c *Cluster) Alloc(size int64) Addr {
@@ -327,5 +371,6 @@ func (c *Cluster) Run(program Program) (*Report, error) {
 		rep.PerNode[i].Switches = c.nodes[i].Switches()
 	}
 	rep.Net = c.nw.Stats()
+	rep.Metrics = c.Metrics()
 	return rep, nil
 }

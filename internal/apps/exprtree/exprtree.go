@@ -46,6 +46,9 @@ type Config struct {
 	Stealing bool
 	// Seed for the simulation.
 	Seed int64
+	// Tracer, when non-nil, records kernel trace events from the DF
+	// variant.
+	Tracer *filaments.Tracer
 }
 
 func (c *Config) defaults() {
@@ -209,6 +212,7 @@ func DF(cfg Config) (*filaments.Report, [][]float64, *filaments.Cluster) {
 		Protocol:  filaments.Migratory,
 		Stealing:  cfg.Stealing,
 		WakeFront: true,
+		Tracer:    cfg.Tracer,
 	})
 	matBytes := int64(n) * int64(n) * 8
 	pagesPer := int((matBytes + dsm.PageSize - 1) / dsm.PageSize)

@@ -58,6 +58,9 @@ type Config struct {
 	LossRate float64
 	// Seed for the simulation.
 	Seed int64
+	// Tracer, when non-nil, records kernel trace events from the DF
+	// variants (sim and UDP).
+	Tracer *filaments.Tracer
 }
 
 func (c *Config) defaults() {
@@ -250,6 +253,7 @@ func DF(cfg Config) (*filaments.Report, [][]float64, *filaments.Cluster) {
 		Seed:     cfg.Seed,
 		Protocol: proto,
 		LossRate: cfg.LossRate,
+		Tracer:   cfg.Tracer,
 	})
 	ga := cl.AllocMatrixOwned(n, n, 0)
 	gb := cl.AllocMatrixOwned(n, n, 0)
@@ -376,6 +380,7 @@ func DFUDP(cfg Config) (*filaments.UDPReport, [][]float64, error) {
 	cl, err := filaments.NewUDPCluster(filaments.UDPConfig{
 		Nodes:    cfg.Nodes,
 		Protocol: proto,
+		Tracer:   cfg.Tracer,
 	})
 	if err != nil {
 		return nil, nil, err

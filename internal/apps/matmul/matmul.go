@@ -40,6 +40,9 @@ type Config struct {
 	Protocol filaments.Protocol
 	// Seed for the simulation (default 1).
 	Seed int64
+	// Tracer, when non-nil, records kernel trace events from the DF
+	// variant.
+	Tracer *filaments.Tracer
 }
 
 func (c *Config) defaults() {
@@ -195,7 +198,7 @@ func CoarseGrain(cfg Config) (*filaments.Report, [][]float64) {
 func DF(cfg Config) (*filaments.Report, [][]float64, *filaments.Cluster) {
 	cfg.defaults()
 	n, p := cfg.N, cfg.Nodes
-	cl := filaments.New(filaments.Config{Nodes: p, Seed: cfg.Seed, Protocol: cfg.Protocol})
+	cl := filaments.New(filaments.Config{Nodes: p, Seed: cfg.Seed, Protocol: cfg.Protocol, Tracer: cfg.Tracer})
 	a := cl.AllocMatrixOwned(n, n, 0)
 	b := cl.AllocMatrixOwned(n, n, 0)
 	cm := cl.AllocMatrixStriped(n, n)

@@ -45,6 +45,9 @@ type Config struct {
 	MaxDepth int
 	// Seed for the simulation.
 	Seed int64
+	// Tracer, when non-nil, records kernel trace events from the DF
+	// variants (sim and UDP).
+	Tracer *filaments.Tracer
 }
 
 func (c *Config) defaults() {
@@ -261,6 +264,7 @@ func dfRun(cfg Config, stealing bool) (*filaments.Report, float64, *filaments.Cl
 		Seed:      cfg.Seed,
 		Stealing:  stealing,
 		WakeFront: true,
+		Tracer:    cfg.Tracer,
 	})
 	var out float64
 	rep, err := cl.Run(dfProgram(cfg, &out))
@@ -280,6 +284,7 @@ func DFUDP(cfg Config, stealing bool) (*filaments.UDPReport, float64, error) {
 		Nodes:     cfg.Nodes,
 		Stealing:  stealing,
 		WakeFront: true,
+		Tracer:    cfg.Tracer,
 	})
 	if err != nil {
 		return nil, 0, err

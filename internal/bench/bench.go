@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
@@ -18,6 +19,10 @@ type Options struct {
 	Quick bool
 	// Nodes overrides the cluster sizes swept (default 1, 2, 4, 8).
 	Nodes []int
+
+	// result, when non-nil, collects the machine-readable form of every
+	// table the experiment prints (set by RunCaptured).
+	result *Result
 }
 
 func (o *Options) nodes() []int {
@@ -57,22 +62,80 @@ func Find(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// table prints a Nodes / CG / DF table in the paper's style.
-type table struct {
-	w        io.Writer
-	seq      float64
-	paperSeq string
+// Row is one machine-readable table row. The time and speedup cells are
+// the formatted strings that appear in the prose table — formatted once,
+// printed and recorded from the same value — so the JSON numbers match
+// the human-readable output bit for bit.
+type Row struct {
+	Nodes     int    `json:"nodes"`
+	CGTime    string `json:"cg_time_s"`
+	CGSpeedup string `json:"cg_speedup"`
+	DFTime    string `json:"df_time_s"`
+	DFSpeedup string `json:"df_speedup"`
+	PaperCG   string `json:"paper_cg_s"`
+	PaperDF   string `json:"paper_df_s"`
 }
 
-func newTable(w io.Writer, title string, seq float64, paperSeq string) *table {
+// Result is one experiment's machine-readable output.
+type Result struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Quick bool   `json:"quick"`
+	// Sequential is the sequential baseline in seconds, formatted as in
+	// the prose output; PaperSequential is the paper's published value.
+	Sequential      string `json:"sequential_s"`
+	PaperSequential string `json:"paper_sequential_s"`
+	// Rows holds every table row the experiment printed, in print order
+	// (experiments that print several tables append to the same slice).
+	Rows []Row `json:"rows"`
+	// Output is the full prose output, verbatim.
+	Output string `json:"output"`
+}
+
+// RunCaptured runs the experiment, streaming its prose output to w while
+// capturing both the machine-readable rows and the verbatim text.
+func RunCaptured(e Experiment, o Options, w io.Writer) *Result {
+	res := &Result{ID: e.ID, Title: e.Title, Quick: o.Quick}
+	o.result = res
+	var buf bytes.Buffer
+	e.Run(io.MultiWriter(w, &buf), o)
+	res.Output = buf.String()
+	return res
+}
+
+// table prints a Nodes / CG / DF table in the paper's style.
+type table struct {
+	w   io.Writer
+	seq float64
+	res *Result
+}
+
+func newTable(w io.Writer, o Options, title string, seq float64, paperSeq string) *table {
+	seqStr := fmt.Sprintf("%.1f", seq)
 	fmt.Fprintf(w, "%s\n", title)
-	fmt.Fprintf(w, "  Sequential program: %.1f sec (paper: %s)\n", seq, paperSeq)
+	fmt.Fprintf(w, "  Sequential program: %s sec (paper: %s)\n", seqStr, paperSeq)
 	fmt.Fprintf(w, "  %-6s %12s %12s %12s %12s %18s\n",
 		"Nodes", "CG Time(s)", "CG Speedup", "DF Time(s)", "DF Speedup", "paper CG/DF (s)")
-	return &table{w: w, seq: seq}
+	if o.result != nil {
+		o.result.Sequential = seqStr
+		o.result.PaperSequential = paperSeq
+	}
+	return &table{w: w, seq: seq, res: o.result}
 }
 
 func (t *table) row(nodes int, cg, df float64, paperCG, paperDF string) {
-	fmt.Fprintf(t.w, "  %-6d %12.1f %12.2f %12.1f %12.2f %11s/%s\n",
-		nodes, cg, t.seq/cg, df, t.seq/df, paperCG, paperDF)
+	r := Row{
+		Nodes:     nodes,
+		CGTime:    fmt.Sprintf("%.1f", cg),
+		CGSpeedup: fmt.Sprintf("%.2f", t.seq/cg),
+		DFTime:    fmt.Sprintf("%.1f", df),
+		DFSpeedup: fmt.Sprintf("%.2f", t.seq/df),
+		PaperCG:   paperCG,
+		PaperDF:   paperDF,
+	}
+	fmt.Fprintf(t.w, "  %-6d %12s %12s %12s %12s %11s/%s\n",
+		r.Nodes, r.CGTime, r.CGSpeedup, r.DFTime, r.DFSpeedup, r.PaperCG, r.PaperDF)
+	if t.res != nil {
+		t.res.Rows = append(t.res.Rows, r)
+	}
 }

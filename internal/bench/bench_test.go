@@ -54,6 +54,37 @@ func TestAllExperimentsQuick(t *testing.T) {
 	}
 }
 
+// The machine-readable result must agree with the prose output bit for
+// bit: every captured cell string appears verbatim in the text the same
+// run printed, and the streamed copy equals the captured copy.
+func TestRunCapturedMatchesProse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs an experiment")
+	}
+	e, ok := Find("fig5")
+	if !ok {
+		t.Fatal("fig5 not registered")
+	}
+	var stream strings.Builder
+	res := RunCaptured(e, Options{Quick: true, Nodes: []int{1, 2}}, &stream)
+	if res.Output != stream.String() {
+		t.Fatal("captured output differs from streamed output")
+	}
+	if res.Sequential == "" || len(res.Rows) == 0 {
+		t.Fatalf("result not populated: seq=%q rows=%d", res.Sequential, len(res.Rows))
+	}
+	if !strings.Contains(res.Output, "Sequential program: "+res.Sequential+" sec") {
+		t.Errorf("sequential baseline %q not verbatim in prose", res.Sequential)
+	}
+	for i, r := range res.Rows {
+		for _, cell := range []string{r.CGTime, r.CGSpeedup, r.DFTime, r.DFSpeedup} {
+			if !strings.Contains(res.Output, cell) {
+				t.Errorf("row %d cell %q not found verbatim in prose output", i, cell)
+			}
+		}
+	}
+}
+
 // Key quantitative checks against the paper, at quick scale where the
 // shapes (not absolutes) must hold.
 func TestHeadlineShapes(t *testing.T) {

@@ -194,7 +194,7 @@ func fig4(w io.Writer, o Options) {
 	if n == 0 {
 		n = 512
 	}
-	t := newTable(w, fmt.Sprintf("matrix multiplication, %dx%d", n, n), seq.Seconds(), "205")
+	t := newTable(w, o, fmt.Sprintf("matrix multiplication, %dx%d", n, n), seq.Seconds(), "205")
 	paperCG := map[int]string{1: "205", 2: "104", 4: "53.3", 8: "30.1"}
 	paperDF := map[int]string{1: "206", 2: "107", 4: "64.8", 8: "39.7"}
 	var served8 int64
@@ -222,7 +222,7 @@ func jacobiTable(w io.Writer, o Options, title string, dfCfg func(*jacobi.Config
 		cfg.Iters = 60
 	}
 	seq, _ := jacobi.Sequential(cfg)
-	t := newTable(w, title, seq.Seconds(), "215")
+	t := newTable(w, o, title, seq.Seconds(), "215")
 	paperCG := map[int]string{1: "215", 2: "98.1", 4: "53.1", 8: "35.8"}
 	for _, p := range o.nodes() {
 		c := cfg
@@ -250,7 +250,7 @@ func fig6(w io.Writer, o Options) {
 		cfg.Tol = 1e-4
 	}
 	seq, _ := quadrature.Sequential(cfg)
-	t := newTable(w, "adaptive quadrature, interval of length 24", seq.Seconds(), "203")
+	t := newTable(w, o, "adaptive quadrature, interval of length 24", seq.Seconds(), "203")
 	paperCG := map[int]string{1: "203", 2: "137", 4: "133", 8: "118"}
 	paperDF := map[int]string{1: "210", 2: "119", 4: "59.0", 8: "35.7"}
 	for _, p := range o.nodes() {
@@ -282,7 +282,7 @@ func fig7(w io.Writer, o Options) {
 		cfg.N = 24
 	}
 	seq, _ := exprtree.Sequential(cfg)
-	t := newTable(w, "binary expression trees, 70x70 matrices, height 7", seq.Seconds(), "92.1")
+	t := newTable(w, o, "binary expression trees, 70x70 matrices, height 7", seq.Seconds(), "92.1")
 	paperCG := map[int]string{1: "90.7", 2: "47.9", 4: "25.4", 8: "14.1"}
 	paperDF := map[int]string{1: "92.2", 2: "54.0", 4: "28.1", 8: "17.5"}
 	for _, p := range o.nodes() {

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"filaments/internal/kernel"
+	"filaments/internal/obs"
 	"filaments/internal/rtnode"
 )
 
@@ -118,14 +119,40 @@ type DSM struct {
 	outstanding int // fetches + invalidation rounds in flight
 	quiescers   []kernel.Thread
 
-	stats Stats
+	obs *obs.Obs
+	ctr counters
+}
+
+// counters caches this node's registered DSM counters. Updates are
+// atomic, so Stats() snapshots race-free from any goroutine — under the
+// real-time binding, transport handlers mutate these while foreign
+// goroutines read them.
+type counters struct {
+	readFaults, writeFaults, requests, served, redirected *obs.Counter
+	invalsSent, invalsRecved, mirageDrops, busyDrops      *obs.Counter
+	faultWaitNS, bytesIn, bytesOut                        *obs.Counter
 }
 
 // New creates the DSM instance for one node and registers its services on
 // the node's transport endpoint. All nodes must be created before the
 // first allocation.
 func New(node kernel.Node, ep kernel.Transport, space *Space, proto Protocol) *DSM {
-	d := &DSM{node: node, ep: ep, space: space, proto: proto}
+	o := obs.Of(node)
+	d := &DSM{node: node, ep: ep, space: space, proto: proto, obs: o}
+	d.ctr = counters{
+		readFaults:   o.Counter("dsm.read_faults"),
+		writeFaults:  o.Counter("dsm.write_faults"),
+		requests:     o.Counter("dsm.requests"),
+		served:       o.Counter("dsm.served"),
+		redirected:   o.Counter("dsm.redirected"),
+		invalsSent:   o.Counter("dsm.invals_sent"),
+		invalsRecved: o.Counter("dsm.invals_recved"),
+		mirageDrops:  o.Counter("dsm.mirage_drops"),
+		busyDrops:    o.Counter("dsm.busy_drops"),
+		faultWaitNS:  o.Counter("dsm.fault_wait_ns"),
+		bytesIn:      o.Counter("dsm.bytes_in"),
+		bytesOut:     o.Counter("dsm.bytes_out"),
+	}
 	if len(space.blockStart) != 0 {
 		panic("dsm: all DSMs must be created before the first Alloc")
 	}
@@ -154,8 +181,26 @@ func (d *DSM) Space() *Space { return d.space }
 // Protocol returns the page consistency protocol in use.
 func (d *DSM) Protocol() Protocol { return d.proto }
 
-// Stats returns a snapshot of this node's DSM counters.
-func (d *DSM) Stats() Stats { return d.stats }
+// Stats returns a snapshot of this node's DSM counters. The counters are
+// atomic, so the snapshot is safe to take from any goroutine while
+// handlers are live (each field is individually consistent; the struct is
+// not a single cut, which monotonic counters don't need).
+func (d *DSM) Stats() Stats {
+	return Stats{
+		ReadFaults:   d.ctr.readFaults.Load(),
+		WriteFaults:  d.ctr.writeFaults.Load(),
+		Requests:     d.ctr.requests.Load(),
+		Served:       d.ctr.served.Load(),
+		Redirected:   d.ctr.redirected.Load(),
+		InvalsSent:   d.ctr.invalsSent.Load(),
+		InvalsRecved: d.ctr.invalsRecved.Load(),
+		MirageDrops:  d.ctr.mirageDrops.Load(),
+		BusyDrops:    d.ctr.busyDrops.Load(),
+		FaultWait:    kernel.Duration(d.ctr.faultWaitNS.Load()),
+		BytesIn:      d.ctr.bytesIn.Load(),
+		BytesOut:     d.ctr.bytesOut.Load(),
+	}
+}
 
 // addBlock is called by Space.Alloc for every new block.
 func (d *DSM) addBlock(b int32, owner kernel.NodeID) {
@@ -252,9 +297,9 @@ func (d *DSM) fault(t kernel.Thread, b int, write bool) {
 		FaultTrace(d.node.ID(), b, write)
 	}
 	if write {
-		d.stats.WriteFaults++
+		d.ctr.writeFaults.Inc()
 	} else {
-		d.stats.ReadFaults++
+		d.ctr.readFaults.Inc()
 	}
 	d.node.Charge(kernel.CatData, d.node.Model().FaultHandle)
 	st := &d.blocks[b]
@@ -269,7 +314,16 @@ func (d *DSM) fault(t kernel.Thread, b int, write bool) {
 		st.waiting = append(st.waiting, waiter{t: t, write: write})
 		t.Block()
 	}
-	d.stats.FaultWait += d.node.Now().Sub(t0)
+	wait := d.node.Now().Sub(t0)
+	d.ctr.faultWaitNS.Add(int64(wait))
+	if d.obs.Enabled() {
+		var w int64
+		if write {
+			w = 1
+		}
+		d.obs.TraceSpan(int64(t0), int64(wait), "dsm", "fault",
+			obs.Arg{Key: "block", Val: int64(b)}, obs.Arg{Key: "write", Val: w})
+	}
 }
 
 // ensure starts whatever protocol action is needed to raise this block's
@@ -299,7 +353,7 @@ func (d *DSM) sendRequest(b int, write bool, dst kernel.NodeID) {
 	if dst == d.node.ID() {
 		panic(fmt.Sprintf("dsm: node %d would request block %d from itself", d.node.ID(), b))
 	}
-	d.stats.Requests++
+	d.ctr.requests.Inc()
 	req := pageReq{Block: int32(b), Write: write}
 	d.ep.RequestSized(dst, SvcPage, req, reqSize, d.space.blockSize(b), kernel.CatData, func(r any) {
 		d.onPageReply(b, write, r)
@@ -314,7 +368,7 @@ func (d *DSM) onPageReply(b int, write bool, r any) {
 	case redirect:
 		// Follow the probable-owner chain (path compression on the hint).
 		st.probOwner = m.Owner
-		d.stats.Redirected++
+		d.ctr.redirected.Inc()
 		d.sendRequest(b, write, m.Owner)
 	case pageData:
 		d.install(b, write, m)
@@ -327,7 +381,7 @@ func (d *DSM) onPageReply(b int, write bool, r any) {
 func (d *DSM) install(b int, write bool, m pageData) {
 	st := &d.blocks[b]
 	d.node.Charge(kernel.CatData, d.node.Model().PageInstall)
-	d.stats.BytesIn += int64(len(m.Data))
+	d.ctr.bytesIn.Add(int64(len(m.Data)))
 	if st.frame == nil {
 		st.frame = make([]byte, d.space.blockSize(b))
 	}
@@ -383,8 +437,10 @@ func (d *DSM) startInvalidation(b int) {
 	}
 	st.invals = len(targets)
 	d.outstanding++
+	d.obs.Trace(int64(d.node.Now()), "dsm", "inval",
+		obs.Arg{Key: "block", Val: int64(b)}, obs.Arg{Key: "copies", Val: int64(len(targets))})
 	for _, n := range targets {
-		d.stats.InvalsSent++
+		d.ctr.invalsSent.Inc()
 		d.ep.RequestAsync(n, SvcInval, invalReq{Block: int32(b)}, reqSize, kernel.CatData, func(any) {
 			// Re-lookup: d.blocks may have grown since the request went out.
 			bs := &d.blocks[b]
@@ -427,7 +483,7 @@ func (d *DSM) servePage(from kernel.NodeID, req any) (any, int, kernel.Verdict) 
 			// delivers in send order, so this never fires there). A
 			// redirect would point the requester at itself; drop instead,
 			// and its retransmission arrives after the grant installs.
-			d.stats.BusyDrops++
+			d.ctr.busyDrops.Inc()
 			return nil, 0, kernel.Drop
 		}
 		return redirect{Block: m.Block, Owner: st.probOwner}, reqSize, kernel.Reply
@@ -435,14 +491,16 @@ func (d *DSM) servePage(from kernel.NodeID, req any) (any, int, kernel.Verdict) 
 	if st.fetching || st.invals > 0 {
 		// Mid-transition (e.g. we just got ownership and are still
 		// invalidating); the requester retries.
-		d.stats.BusyDrops++
+		d.ctr.busyDrops.Inc()
 		return nil, 0, kernel.Drop
 	}
 	takesAway := d.proto == Migratory || m.Write
 	model := d.node.Model()
 	if takesAway && model.MirageWindow > 0 {
 		if held := d.node.Now().Sub(st.acquired); held < model.MirageWindow {
-			d.stats.MirageDrops++
+			d.ctr.mirageDrops.Inc()
+			d.obs.Trace(int64(d.node.Now()), "dsm", "mirage_drop",
+				obs.Arg{Key: "block", Val: int64(b)}, obs.Arg{Key: "from", Val: int64(from)})
 			return nil, 0, kernel.Drop
 		}
 	}
@@ -457,8 +515,8 @@ func (d *DSM) servePage(from kernel.NodeID, req any) (any, int, kernel.Verdict) 
 		copy(data, st.frame)
 		size = len(data) + reqSize
 	}
-	d.stats.Served++
-	d.stats.BytesOut += int64(len(data))
+	d.ctr.served.Inc()
+	d.ctr.bytesOut.Add(int64(len(data)))
 
 	switch {
 	case takesAway:
@@ -505,7 +563,7 @@ func appendUnique(s []kernel.NodeID, n kernel.NodeID) []kernel.NodeID {
 func (d *DSM) serveInval(from kernel.NodeID, req any) (any, int, kernel.Verdict) {
 	m := req.(invalReq)
 	st := &d.blocks[m.Block]
-	d.stats.InvalsRecved++
+	d.ctr.invalsRecved.Inc()
 	if !st.owner && st.access == accRO {
 		st.access = accNone
 		st.frame = nil

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"filaments/internal/kernel"
+	"filaments/internal/obs"
 	"filaments/internal/rtnode"
 )
 
@@ -183,7 +184,7 @@ func (rt *Runtime) Fork(e *Exec, j *Join, fnID int, args Args) {
 		fj.sendNext = false
 		dst := fj.children[fj.nextChild]
 		fj.nextChild++
-		rt.stats.ForksSent++
+		rt.ctr.forksSent.Inc()
 		e.Flush()
 		rt.ep.RequestAsync(dst, SvcFork, forkMsg{T: tk}, fjMsgSize, kernel.CatFilament, func(any) {})
 		return
@@ -192,14 +193,14 @@ func (rt *Runtime) Fork(e *Exec, j *Join, fnID int, args Args) {
 		fj.sendNext = true // this one is kept; the next is sent
 	} else if len(fj.pending) >= pruneThreshold {
 		// Pruning: the fork becomes a procedure call, the join a return.
-		rt.stats.ForksPruned++
+		rt.ctr.forksPruned.Inc()
 		v := fj.funcs[fnID](e, args)
 		e.Flush()
 		j.deliver(v)
 		return
 	}
-	rt.stats.ForksKept++
-	rt.stats.FilamentsCreated++
+	rt.ctr.forksKept.Inc()
+	rt.ctr.created.Inc()
 	e.overhead(rt.node.Model().FilamentCreate)
 	rt.enqueue(tk)
 }
@@ -274,8 +275,8 @@ func (rt *Runtime) dequeueFront() (task, bool) {
 
 // execTask runs one filament and routes its result to the join.
 func (rt *Runtime) execTask(e *Exec, tk task) {
-	rt.stats.TasksExecuted++
-	rt.stats.FilamentsRun++
+	rt.ctr.tasksExecuted.Inc()
+	rt.ctr.run.Inc()
 	e.overhead(rt.node.Model().FilamentSwitch)
 	v := rt.fj.funcs[tk.Fn](e, tk.Args)
 	e.Flush()
@@ -412,15 +413,21 @@ func (rt *Runtime) trySteal(e *Exec) bool {
 				return false
 			}
 		}
-		rt.stats.StealsAttempted++
+		rt.ctr.stealsAttempted.Inc()
 		reply := rt.ep.Call(e.t, kernel.NodeID(victim), SvcSteal, nil, fjMsgSize, kernel.CatFilament)
 		m := reply.(stealReply)
+		var granted int64
 		if m.Granted {
-			rt.stats.StealsGranted++
+			granted = 1
+		}
+		rt.obs.Trace(int64(rt.node.Now()), "fil", "steal",
+			obs.Arg{Key: "victim", Val: int64(victim)}, obs.Arg{Key: "granted", Val: granted})
+		if m.Granted {
+			rt.ctr.stealsGranted.Inc()
 			rt.enqueue(m.T)
 			return true
 		}
-		rt.stats.StealsDenied++
+		rt.ctr.stealsDenied.Inc()
 	}
 	return false
 }

@@ -36,6 +36,7 @@ import (
 
 	"filaments/internal/dsm"
 	"filaments/internal/kernel"
+	"filaments/internal/obs"
 	"filaments/internal/reduce"
 )
 
@@ -92,12 +93,24 @@ type Runtime struct {
 
 	fj fjState
 
-	stats Stats
+	obs *obs.Obs
+	ctr counters
+}
+
+// counters caches this node's registered runtime counters. Updates are
+// atomic, so Stats() snapshots race-free from any goroutine while
+// transport handlers (fork grants, steal replies) are live.
+type counters struct {
+	created, run, inlined                        *obs.Counter
+	forksSent, forksKept, forksPruned            *obs.Counter
+	stealsAttempted, stealsGranted, stealsDenied *obs.Counter
+	tasksExecuted                                *obs.Counter
 }
 
 // New creates the runtime for one node. All subsystems (endpoint, DSM,
 // reducer) must already be wired to the node.
 func New(node kernel.Node, ep kernel.Transport, d *dsm.DSM, red *reduce.Reducer, n int) *Runtime {
+	o := obs.Of(node)
 	rt := &Runtime{
 		node:       node,
 		ep:         ep,
@@ -106,6 +119,19 @@ func New(node kernel.Node, ep kernel.Transport, d *dsm.DSM, red *reduce.Reducer,
 		n:          n,
 		MaxWorkers: 16,
 		autoPools:  make(map[string]*Pool),
+		obs:        o,
+	}
+	rt.ctr = counters{
+		created:         o.Counter("fil.created"),
+		run:             o.Counter("fil.run"),
+		inlined:         o.Counter("fil.inlined"),
+		forksSent:       o.Counter("fil.forks_sent"),
+		forksKept:       o.Counter("fil.forks_kept"),
+		forksPruned:     o.Counter("fil.forks_pruned"),
+		stealsAttempted: o.Counter("fil.steals_attempted"),
+		stealsGranted:   o.Counter("fil.steals_granted"),
+		stealsDenied:    o.Counter("fil.steals_denied"),
+		tasksExecuted:   o.Counter("fil.tasks_executed"),
 	}
 	rt.initForkJoin()
 	return rt
@@ -130,8 +156,22 @@ func (rt *Runtime) Nodes() int { return rt.n }
 // ID returns this node's rank.
 func (rt *Runtime) ID() int { return int(rt.node.ID()) }
 
-// Stats returns a snapshot of runtime counters.
-func (rt *Runtime) Stats() Stats { return rt.stats }
+// Stats returns a snapshot of runtime counters. The counters are atomic,
+// so the snapshot is safe to take from any goroutine during a live run.
+func (rt *Runtime) Stats() Stats {
+	return Stats{
+		FilamentsCreated: rt.ctr.created.Load(),
+		FilamentsRun:     rt.ctr.run.Load(),
+		InlinedRun:       rt.ctr.inlined.Load(),
+		ForksSent:        rt.ctr.forksSent.Load(),
+		ForksKept:        rt.ctr.forksKept.Load(),
+		ForksPruned:      rt.ctr.forksPruned.Load(),
+		StealsAttempted:  rt.ctr.stealsAttempted.Load(),
+		StealsGranted:    rt.ctr.stealsGranted.Load(),
+		StealsDenied:     rt.ctr.stealsDenied.Load(),
+		TasksExecuted:    rt.ctr.tasksExecuted.Load(),
+	}
+}
 
 // Exec is the execution context a filament runs in: the server thread plus
 // an accumulator that batches virtual-time charges so that very small
@@ -285,7 +325,7 @@ func (p *Pool) Size() int { return len(p.fils) }
 func (p *Pool) Add(e *Exec, fn Func, args Args) {
 	p.recognize(fn, args)
 	p.fils = append(p.fils, fil{fn: fn, args: args})
-	p.rt.stats.FilamentsCreated++
+	p.rt.ctr.created.Inc()
 	e.overhead(p.rt.node.Model().FilamentCreate)
 	if e.filPend >= flushQuantum {
 		e.Flush()
@@ -356,8 +396,8 @@ func (p *Pool) run(e *Exec) {
 			a[1] += int64(k % w)
 			e.overhead(model.FilamentSwitchInlined)
 			p.patFn(e, a)
-			p.rt.stats.FilamentsRun++
-			p.rt.stats.InlinedRun++
+			p.rt.ctr.run.Inc()
+			p.rt.ctr.inlined.Inc()
 			if e.pending+e.filPend >= flushQuantum {
 				e.Flush()
 			}
@@ -368,7 +408,7 @@ func (p *Pool) run(e *Exec) {
 	for _, f := range p.fils {
 		e.overhead(model.FilamentSwitch)
 		f.fn(e, f.args)
-		p.rt.stats.FilamentsRun++
+		p.rt.ctr.run.Inc()
 		if e.pending+e.filPend >= flushQuantum {
 			e.Flush()
 		}

@@ -115,6 +115,7 @@ var kernelPkgPaths = map[string]bool{
 	"filaments/internal/reduce":   true,
 	"filaments/internal/filament": true,
 	"filaments/internal/msg":      true,
+	"filaments/internal/obs":      true,
 }
 
 const kernelPkgPrefix = "filaments/internal/apps/"

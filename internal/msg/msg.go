@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"filaments/internal/kernel"
+	"filaments/internal/obs"
 	"filaments/internal/rtnode"
 )
 
@@ -46,14 +47,17 @@ type Endpoint struct {
 	anyFIFO    map[Tag][]kernel.NodeID
 	anyWaiters map[Tag]kernel.Thread
 
-	sent, received int64
+	sent, received *obs.Counter
 }
 
 // New wires an endpoint into the transport's raw-datagram chain.
 func New(node kernel.Node, tr kernel.Transport) *Endpoint {
+	o := obs.Of(node)
 	m := &Endpoint{
 		node:       node,
 		tr:         tr,
+		sent:       o.Counter("msg.sent"),
+		received:   o.Counter("msg.received"),
 		queues:     make(map[key][]wire),
 		waiters:    make(map[key]kernel.Thread),
 		anyFIFO:    make(map[Tag][]kernel.NodeID),
@@ -63,20 +67,21 @@ func New(node kernel.Node, tr kernel.Transport) *Endpoint {
 	return m
 }
 
-// Sent and Received report message counters.
-func (m *Endpoint) Sent() int64     { return m.sent }
-func (m *Endpoint) Received() int64 { return m.received }
+// Sent and Received report message counters. The counters are atomic, so
+// the reads are safe from any goroutine.
+func (m *Endpoint) Sent() int64     { return m.sent.Load() }
+func (m *Endpoint) Received() int64 { return m.received.Load() }
 
 // Send transmits payload to dst. Unreliable: a lost frame is lost.
 func (m *Endpoint) Send(dst kernel.NodeID, tag Tag, payload any, size int) {
-	m.sent++
+	m.sent.Inc()
 	m.tr.Send(dst, wire{Tag: tag, Data: payload, Size: size}, size, kernel.CatData)
 }
 
 // Broadcast transmits payload to every other node in one frame (the CG
 // matrix-multiplication program broadcasts the B matrix this way).
 func (m *Endpoint) Broadcast(tag Tag, payload any, size int) {
-	m.sent++
+	m.sent.Inc()
 	m.tr.Send(kernel.Broadcast, wire{Tag: tag, Data: payload, Size: size}, size, kernel.CatData)
 }
 
@@ -94,7 +99,7 @@ func (m *Endpoint) Recv(t kernel.Thread, src kernel.NodeID, tag Tag) any {
 	q := m.queues[k]
 	w := q[0]
 	m.queues[k] = q[1:]
-	m.received++
+	m.received.Inc()
 	return w.Data
 }
 
@@ -115,7 +120,7 @@ func (m *Endpoint) RecvAny(t kernel.Thread, tag Tag) (kernel.NodeID, any) {
 	q := m.queues[k]
 	w := q[0]
 	m.queues[k] = q[1:]
-	m.received++
+	m.received.Inc()
 	return src, w.Data
 }
 

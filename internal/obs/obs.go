@@ -1,0 +1,80 @@
+// Package obs is the cluster observability layer: race-safe named
+// counters with cluster-wide aggregation, and an event tracer exporting
+// Chrome trace-event JSON.
+//
+// The package is deliberately dependency-free (standard library only) so
+// the standalone UDP transport can use it without pulling in the kernel
+// seam. It also never reads a clock: every timestamp is an int64
+// nanosecond count supplied by the caller from its binding's
+// kernel.Clock — virtual time under the simulation, which is what makes
+// sim traces deterministic, and wall time under the real-time binding.
+// Node identities are plain ints for the same reason.
+//
+// The package is kernel-layer code (dsm, filament, reduce, and msg call
+// it from node context), so dflint's kernel rules apply to it; the two
+// mutexes it owns are the deliberate, annotated exceptions.
+package obs
+
+import "sync/atomic"
+
+// Obs is one node's handle on the observability layer: a per-node
+// counter registry plus an optional shared tracer. Bindings create one
+// per node; kernel packages reach it through Of.
+type Obs struct {
+	NodeID int
+	Reg    *Registry
+	tracer atomic.Pointer[Tracer]
+}
+
+// New returns an Obs for the given node id with an empty registry and
+// no tracer attached.
+func New(node int) *Obs {
+	return &Obs{NodeID: node, Reg: NewRegistry()}
+}
+
+// Counter returns the named counter from this node's registry.
+func (o *Obs) Counter(name string) *Counter { return o.Reg.Counter(name) }
+
+// SetTracer attaches (or, with nil, detaches) a trace sink. Safe to call
+// concurrently with emission.
+func (o *Obs) SetTracer(t *Tracer) { o.tracer.Store(t) }
+
+// Tracer returns the attached trace sink, or nil.
+func (o *Obs) Tracer() *Tracer { return o.tracer.Load() }
+
+// Enabled reports whether a tracer is attached; hot paths check it
+// before assembling event arguments.
+func (o *Obs) Enabled() bool { return o.tracer.Load() != nil }
+
+// Trace emits an instant event if a tracer is attached; otherwise it is
+// a no-op.
+func (o *Obs) Trace(ts int64, cat, name string, args ...Arg) {
+	if t := o.tracer.Load(); t != nil {
+		t.Emit(o.NodeID, ts, cat, name, args...)
+	}
+}
+
+// TraceSpan emits a complete [ts, ts+dur] span if a tracer is attached.
+func (o *Obs) TraceSpan(ts, dur int64, cat, name string, args ...Arg) {
+	if t := o.tracer.Load(); t != nil {
+		t.Span(o.NodeID, ts, dur, cat, name, args...)
+	}
+}
+
+// Provider is implemented by bindings whose nodes carry an Obs
+// (threads.Node and rtnode.Node).
+type Provider interface {
+	Obs() *Obs
+}
+
+// Of returns v's Obs when v implements Provider, or a fresh orphan Obs
+// otherwise. The fallback keeps test fakes working: counters still
+// count, they are just not aggregated or traced anywhere.
+func Of(v any) *Obs {
+	if p, ok := v.(Provider); ok {
+		if o := p.Obs(); o != nil {
+			return o
+		}
+	}
+	return New(-1)
+}

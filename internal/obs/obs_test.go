@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounterSetMax(t *testing.T) {
+	var c Counter
+	c.SetMax(5)
+	c.SetMax(3)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("SetMax: got %d, want 5", got)
+	}
+	c.SetMax(9)
+	if got := c.Load(); got != 9 {
+		t.Fatalf("SetMax: got %d, want 9", got)
+	}
+}
+
+func TestRegistrySnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zeta").Add(3)
+	r.Counter("alpha").Inc()
+	r.Counter("mid").Add(2)
+	if c := r.Counter("alpha"); c != r.Counter("alpha") {
+		t.Fatal("Counter is not stable per name")
+	}
+	got := r.Snapshot()
+	want := []Sample{{"alpha", 1}, {"mid", 2}, {"zeta", 3}}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot has %d samples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("snapshot[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("x").Add(2)
+	a.Counter("only_a").Inc()
+	b.Counter("x").Add(5)
+	b.Counter("only_b").Add(7)
+	got := Aggregate(a, nil, b)
+	want := []Sample{{"only_a", 1}, {"only_b", 7}, {"x", 7}}
+	if len(got) != len(want) {
+		t.Fatalf("aggregate has %d samples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("aggregate[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestConcurrentCountersAndSnapshots is the package's own race check:
+// many writers bump counters while a reader snapshots — run with -race.
+func TestConcurrentCountersAndSnapshots(t *testing.T) {
+	r := NewRegistry()
+	//dflint:allow kernelspawn this test deliberately races foreign goroutines against the registry
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		//dflint:allow kernelspawn this test deliberately races foreign goroutines against the registry
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hits")
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				r.Counter("hwm").SetMax(int64(i))
+			}
+		}()
+	}
+	done := make(chan struct{})
+	//dflint:allow kernelspawn this test deliberately races foreign goroutines against the registry
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			_ = r.Snapshot()
+			_ = Aggregate(r, r)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := r.Counter("hits").Load(); got != 4000 {
+		t.Fatalf("hits = %d, want 4000", got)
+	}
+}
+
+func TestTracerJSONShape(t *testing.T) {
+	tr := NewTracer()
+	tr.Emit(1, 1500, "net", "retransmit", Arg{"svc", 7}, Arg{"attempt", 2})
+	tr.Span(0, 2_000_000, 500_000, "dsm", "fault", Arg{"block", 3})
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Valid JSON with the Chrome trace-event envelope.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// 2 process_name metadata records + 2 events.
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d trace events, want 4:\n%s", len(doc.TraceEvents), buf.String())
+	}
+	inst := doc.TraceEvents[2]
+	if inst["ph"] != "i" || inst["ts"] != 1.5 || inst["pid"] != 1.0 {
+		t.Fatalf("instant event malformed: %v", inst)
+	}
+	span := doc.TraceEvents[3]
+	if span["ph"] != "X" || span["ts"] != 2000.0 || span["dur"] != 500.0 {
+		t.Fatalf("span event malformed: %v", span)
+	}
+}
+
+// TestTracerDeterministicBytes re-emits the same event sequence and
+// requires byte-identical serialization — the property the sim binding
+// relies on for reproducible traces.
+func TestTracerDeterministicBytes(t *testing.T) {
+	emit := func() []byte {
+		tr := NewTracer()
+		for i := 0; i < 50; i++ {
+			tr.Emit(i%3, int64(i)*1000, "dsm", "inval", Arg{"block", int64(i)})
+			tr.Span(i%3, int64(i)*2000, 700, "sync", "barrier", Arg{"epoch", int64(i)})
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(emit(), emit()) {
+		t.Fatal("identical event sequences serialized to different bytes")
+	}
+}
+
+func TestOfFallback(t *testing.T) {
+	o := Of(42) // not a Provider
+	if o == nil || o.NodeID != -1 {
+		t.Fatalf("Of fallback: %+v", o)
+	}
+	o.Counter("x").Inc() // must not panic
+	o.Trace(0, "c", "n") // no tracer: no-op
+}
+
+type fakeProvider struct{ o *Obs }
+
+func (f fakeProvider) Obs() *Obs { return f.o }
+
+func TestOfProvider(t *testing.T) {
+	o := New(3)
+	if got := Of(fakeProvider{o}); got != o {
+		t.Fatal("Of did not return the provider's Obs")
+	}
+	if got := Of(fakeProvider{nil}); got == nil || got.NodeID != -1 {
+		t.Fatal("Of with nil Obs should fall back to an orphan")
+	}
+}

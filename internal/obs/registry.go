@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is one race-safe cumulative metric. All operations are
+// lock-free atomics, so kernel code may bump a counter from node context
+// while a metrics endpoint or a test probe reads it from a foreign
+// goroutine.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// SetMax raises the counter to n if n exceeds the current value — the
+// update rule for high-water marks (in-flight requests, request sizes).
+func (c *Counter) SetMax(n int64) {
+	for {
+		cur := c.v.Load()
+		if n <= cur || c.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Sample is one named counter value in a snapshot.
+type Sample struct {
+	Name  string
+	Value int64
+}
+
+// Registry is a set of named counters, one per node (or per transport
+// endpoint). Registration is locked; the counters themselves are
+// lock-free, so the registry's lock is never on a hot path.
+type Registry struct {
+	// The mutex guards only name→counter registration. Counter updates
+	// never take it, and snapshots are read from outside node context
+	// (metrics endpoints, probes), so binding-owned serialization cannot
+	// be the discipline here.
+	mu       sync.Mutex //dflint:allow kernelspawn registry is read concurrently from outside node context (metrics endpoints, probes); counters stay lock-free
+	names    []string   // insertion order; iterated instead of the map
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*Counter)}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. The returned pointer is stable: callers cache it once and
+// update it lock-free afterwards.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	r.names = append(r.names, name)
+	return c
+}
+
+// Snapshot returns every counter's current value, sorted by name. The
+// values are individually atomic (the snapshot is not a consistent cut,
+// which is fine for monotonic counters).
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	counters := make([]*Counter, len(names))
+	for i, n := range names {
+		counters[i] = r.counters[n]
+	}
+	r.mu.Unlock()
+	out := make([]Sample, len(names))
+	for i, n := range names {
+		out[i] = Sample{Name: n, Value: counters[i].Load()}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Aggregate sums the snapshots of several registries by counter name —
+// the cluster-wide view over per-node registries. The result is sorted
+// by name; a counter missing from some registries contributes zero.
+func Aggregate(regs ...*Registry) []Sample {
+	var order []string
+	idx := make(map[string]int)
+	var totals []int64
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		for _, s := range r.Snapshot() {
+			i, ok := idx[s.Name]
+			if !ok {
+				i = len(order)
+				idx[s.Name] = i
+				order = append(order, s.Name)
+				totals = append(totals, 0)
+			}
+			totals[i] += s.Value
+		}
+	}
+	out := make([]Sample, len(order))
+	for i, n := range order {
+		out[i] = Sample{Name: n, Value: totals[i]}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Arg is one key/value pair attached to a trace event. Events carry an
+// ordered slice rather than a map so serialization is deterministic.
+type Arg struct {
+	Key string
+	Val int64
+}
+
+// Event is one recorded trace event: an instant (Dur < 0) or a complete
+// span. TS and Dur are nanoseconds on the emitting binding's clock —
+// virtual time under the simulation, wall time under the real-time
+// binding. The tracer itself never reads a clock.
+type Event struct {
+	Node int
+	TS   int64
+	Dur  int64 // span length; negative means instant event
+	Cat  string
+	Name string
+	Args []Arg
+}
+
+// Tracer is a cluster-wide trace sink. One tracer is shared by every
+// node in a run; emission order is the recording order, which under the
+// single-threaded simulation engine is deterministic (two identical sim
+// runs serialize to identical bytes).
+type Tracer struct {
+	// Under the real-time binding events arrive from many goroutines
+	// (node monitors, transport workers), so the sink must carry its own
+	// lock; no single node context exists that could serialize it.
+	mu     sync.Mutex //dflint:allow kernelspawn shared cross-node trace sink; events arrive from any goroutine under the real-time binding
+	events []Event
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Emit records an instant event.
+func (t *Tracer) Emit(node int, ts int64, cat, name string, args ...Arg) {
+	t.mu.Lock()
+	t.events = append(t.events, Event{Node: node, TS: ts, Dur: -1, Cat: cat, Name: name, Args: args})
+	t.mu.Unlock()
+}
+
+// Span records a complete event covering [ts, ts+dur].
+func (t *Tracer) Span(node int, ts, dur int64, cat, name string, args ...Arg) {
+	if dur < 0 {
+		dur = 0
+	}
+	t.mu.Lock()
+	t.events = append(t.events, Event{Node: node, TS: ts, Dur: dur, Cat: cat, Name: name, Args: args})
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the recorded events in emission order.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// WriteJSON serializes the trace in Chrome trace-event format (the JSON
+// object form, loadable in chrome://tracing and Perfetto). Each node
+// appears as one process. Serialization is hand-rolled so the byte
+// output is a pure function of the event sequence: timestamps are
+// microseconds printed as <µs>.<ns remainder> with no float formatting
+// involved, and args keep their emission order.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	events := t.Events()
+
+	// Name each node's process once, in node order. Membership is
+	// map-tested but iteration stays on slices (determinism).
+	var nodes []int
+	seen := make(map[int]bool)
+	for _, e := range events {
+		if !seen[e.Node] {
+			seen[e.Node] = true
+			nodes = append(nodes, e.Node)
+		}
+	}
+	sort.Ints(nodes)
+
+	var buf bytes.Buffer
+	buf.WriteString("{\"traceEvents\":[")
+	first := true
+	for _, n := range nodes {
+		if !first {
+			buf.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&buf, "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"node %d\"}}", n, n)
+	}
+	for _, e := range events {
+		if !first {
+			buf.WriteByte(',')
+		}
+		first = false
+		buf.WriteString("\n{")
+		fmt.Fprintf(&buf, "\"name\":%q,\"cat\":%q,", e.Name, e.Cat)
+		if e.Dur < 0 {
+			fmt.Fprintf(&buf, "\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,", usec(e.TS))
+		} else {
+			fmt.Fprintf(&buf, "\"ph\":\"X\",\"ts\":%s,\"dur\":%s,", usec(e.TS), usec(e.Dur))
+		}
+		fmt.Fprintf(&buf, "\"pid\":%d,\"tid\":0,\"args\":{", e.Node)
+		for i, a := range e.Args {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			fmt.Fprintf(&buf, "%q:%d", a.Key, a.Val)
+		}
+		buf.WriteString("}}")
+	}
+	buf.WriteString("\n]}\n")
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// usec renders a nanosecond count as fractional microseconds (the trace
+// format's unit) without going through floating point.
+func usec(ns int64) string {
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)
+}

@@ -20,6 +20,7 @@ type simCluster struct {
 	nw    *simnet.Network
 	nodes []*threads.Node
 	eps   []*Endpoint
+	probe bool // read every endpoint's Stats() while workers run
 }
 
 // simCaller issues blocking calls from one server thread.
@@ -45,6 +46,20 @@ func (cl *simCluster) Outstanding() int {
 }
 
 func (cl *simCluster) Run(t *testing.T, workers ...transconf.Worker) {
+	if cl.probe {
+		// The engine is single-threaded, so the probe runs as scheduled
+		// events interleaved with the traffic — a bounded batch, so the
+		// run still terminates once the queue drains. (True concurrent
+		// probing is exercised by the UDP harness under -race; here the
+		// point is that mid-traffic snapshots are coherent and legal.)
+		for k := 1; k <= 64; k++ {
+			cl.eng.Schedule(sim.Duration(k)*sim.Millisecond, func() {
+				for _, ep := range cl.eps {
+					_ = ep.Stats()
+				}
+			})
+		}
+	}
 	remaining := len(workers)
 	cl.eng.Schedule(0, func() {
 		for i, w := range workers {
@@ -130,7 +145,7 @@ func simHarness(t *testing.T, cfg transconf.Config) transconf.Cluster {
 	eng := sim.New(7)
 	m := cost.Default()
 	nw := simnet.New(eng, &m, cfg.Nodes)
-	cl := &simCluster{eng: eng, nw: nw}
+	cl := &simCluster{eng: eng, nw: nw, probe: cfg.StatsProbe}
 	for i := 0; i < cfg.Nodes; i++ {
 		node := threads.NewNode(nw, simnet.NodeID(i))
 		cl.nodes = append(cl.nodes, node)

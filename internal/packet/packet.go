@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"filaments/internal/kernel"
+	"filaments/internal/obs"
 	"filaments/internal/sim"
 	"filaments/internal/simnet"
 	"filaments/internal/threads"
@@ -156,11 +157,22 @@ type Endpoint struct {
 
 	rawChain []func(from simnet.NodeID, payload any) bool
 
-	stats Stats
+	obs *obs.Obs
+	ctr counters
+}
+
+// counters caches the endpoint's registered transport counters in the
+// node's registry. Updates are atomic; Stats() snapshots race-free. The
+// names match internal/udptrans so sim and UDP metrics line up under
+// cluster aggregation.
+type counters struct {
+	requestsSent, retransmits, repliesSent, repliesReceived *obs.Counter
+	dropped, dupSuppressed, maxRequestSize                  *obs.Counter
 }
 
 // New creates the endpoint for node and installs it as the node's handler.
 func New(node *threads.Node) *Endpoint {
+	o := node.Obs()
 	ep := &Endpoint{
 		node:       node,
 		services:   make(map[ServiceID]*Service),
@@ -168,6 +180,16 @@ func New(node *threads.Node) *Endpoint {
 		replyCache: make(map[cacheKey]*list.Element),
 		cacheLRU:   list.New(),
 		cacheCap:   replyCacheSize,
+		obs:        o,
+		ctr: counters{
+			requestsSent:    o.Counter("net.requests_sent"),
+			retransmits:     o.Counter("net.retransmits"),
+			repliesSent:     o.Counter("net.replies_sent"),
+			repliesReceived: o.Counter("net.replies_received"),
+			dropped:         o.Counter("net.dropped"),
+			dupSuppressed:   o.Counter("net.dup_suppressed"),
+			maxRequestSize:  o.Counter("net.max_request_size"),
+		},
 	}
 	node.SetHandler(ep.handle)
 	return ep
@@ -176,8 +198,19 @@ func New(node *threads.Node) *Endpoint {
 // Node returns the endpoint's node.
 func (ep *Endpoint) Node() *threads.Node { return ep.node }
 
-// Stats returns a snapshot of protocol counters.
-func (ep *Endpoint) Stats() Stats { return ep.stats }
+// Stats returns a snapshot of protocol counters. The counters are
+// atomic, so the snapshot is safe to take from any goroutine.
+func (ep *Endpoint) Stats() Stats {
+	return Stats{
+		RequestsSent:    ep.ctr.requestsSent.Load(),
+		Retransmits:     ep.ctr.retransmits.Load(),
+		RepliesSent:     ep.ctr.repliesSent.Load(),
+		RepliesReceived: ep.ctr.repliesReceived.Load(),
+		Dropped:         ep.ctr.dropped.Load(),
+		DupSuppressed:   ep.ctr.dupSuppressed.Load(),
+		MaxRequestSize:  int(ep.ctr.maxRequestSize.Load()),
+	}
+}
 
 // Register installs a service. Registering the same ID twice panics.
 func (ep *Endpoint) Register(id ServiceID, s Service) {
@@ -211,10 +244,8 @@ func (ep *Endpoint) RequestSized(dst simnet.NodeID, svc ServiceID, req any, size
 		expect: expectedReply,
 	}
 	ep.pending[p.seq] = p
-	ep.stats.RequestsSent++
-	if size > ep.stats.MaxRequestSize {
-		ep.stats.MaxRequestSize = size
-	}
+	ep.ctr.requestsSent.Inc()
+	ep.ctr.maxRequestSize.SetMax(int64(size))
 	ep.node.Send(dst, p.req, size, cat)
 	ep.armTimer(p)
 	return &Handle{ep: ep, p: p}
@@ -312,13 +343,13 @@ func (ep *Endpoint) handleRequest(from simnet.NodeID, m wireRequest) {
 	ep.node.Charge(svc.Category, model.RecvCost(m.Size))
 
 	if svc.ModifiesCritical && ep.node.InCritical() {
-		ep.stats.Dropped++
+		ep.ctr.dropped.Inc()
 		return
 	}
 	key := cacheKey{src: from, seq: m.Seq}
 	if !svc.Idempotent {
 		if el, dup := ep.replyCache[key]; dup {
-			ep.stats.DupSuppressed++
+			ep.ctr.dupSuppressed.Inc()
 			ent := el.Value.(*cacheEntry)
 			ep.cacheLRU.MoveToFront(el)
 			// Resend the cached reply only if the previous copy has had
@@ -331,21 +362,21 @@ func (ep *Endpoint) handleRequest(from simnet.NodeID, m wireRequest) {
 				return
 			}
 			ent.lastSent = now
-			ep.stats.RepliesSent++
+			ep.ctr.repliesSent.Inc()
 			ep.node.Send(from, ent.wr, ent.wr.Size, svc.Category)
 			return
 		}
 	}
 	reply, size, v := svc.Handler(from, m.Data)
 	if v == Drop {
-		ep.stats.Dropped++
+		ep.ctr.dropped.Inc()
 		return
 	}
 	wr := wireReply{Seq: m.Seq, Data: reply, Size: size}
 	if !svc.Idempotent {
 		ep.cacheReply(key, wr)
 	}
-	ep.stats.RepliesSent++
+	ep.ctr.repliesSent.Inc()
 	ep.node.Send(from, wr, size, svc.Category)
 }
 
@@ -371,7 +402,7 @@ func (ep *Endpoint) handleReply(m wireReply) {
 		return
 	}
 	ep.node.Charge(p.cat, model.RecvCost(m.Size))
-	ep.stats.RepliesReceived++
+	ep.ctr.repliesReceived.Inc()
 	ep.complete(p, m.Data)
 }
 
@@ -380,8 +411,11 @@ func (ep *Endpoint) retransmit(seq uint64) {
 	if !ok || p.done {
 		return
 	}
-	ep.stats.Retransmits++
+	ep.ctr.retransmits.Inc()
 	p.attempts++
+	ep.obs.Trace(int64(ep.node.Now()), "net", "retransmit",
+		obs.Arg{Key: "dst", Val: int64(p.dst)}, obs.Arg{Key: "svc", Val: int64(p.req.Svc)},
+		obs.Arg{Key: "attempt", Val: int64(p.attempts)})
 	ep.node.Send(p.dst, p.req, p.req.Size, p.cat)
 	ep.armTimer(p)
 }

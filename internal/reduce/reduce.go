@@ -21,6 +21,7 @@ import (
 
 	"filaments/internal/dsm"
 	"filaments/internal/kernel"
+	"filaments/internal/obs"
 	"filaments/internal/rtnode"
 )
 
@@ -109,7 +110,8 @@ type Reducer struct {
 	// retransmitted arrive reaches us.
 	results map[int64]float64
 
-	barriers int64
+	obs      *obs.Obs
+	barriers *obs.Counter
 }
 
 const resultHistory = 8
@@ -117,14 +119,17 @@ const resultHistory = 8
 // New creates the reducer for one node of an n-node cluster. d may be nil
 // when the program does not use the DSM.
 func New(node kernel.Node, ep kernel.Transport, d *dsm.DSM, n int) *Reducer {
+	o := obs.Of(node)
 	r := &Reducer{
-		node:    node,
-		ep:      ep,
-		d:       d,
-		id:      int(node.ID()),
-		n:       n,
-		states:  make(map[int64]*epochState),
-		results: make(map[int64]float64),
+		node:     node,
+		ep:       ep,
+		d:        d,
+		id:       int(node.ID()),
+		n:        n,
+		states:   make(map[int64]*epochState),
+		results:  make(map[int64]float64),
+		obs:      o,
+		barriers: o.Counter("reduce.barriers"),
 	}
 	ep.Register(SvcArrive, kernel.Service{
 		Name:       "reduce-arrive",
@@ -136,8 +141,9 @@ func New(node kernel.Node, ep kernel.Transport, d *dsm.DSM, n int) *Reducer {
 	return r
 }
 
-// Count returns how many reductions/barriers completed on this node.
-func (r *Reducer) Count() int64 { return r.barriers }
+// Count returns how many reductions/barriers completed on this node. The
+// counter is atomic, so the read is safe from any goroutine.
+func (r *Reducer) Count() int64 { return r.barriers.Load() }
 
 func (r *Reducer) state(e int64) *epochState {
 	st, ok := r.states[e]
@@ -160,6 +166,7 @@ func (r *Reducer) Barrier(t kernel.Thread) {
 // returns the combined value (identical on every node).
 func (r *Reducer) Reduce(t kernel.Thread, x float64, op Op) float64 {
 	model := r.node.Model()
+	t0 := r.node.Now()
 	// Synchronization-point duties (paper §3): drain outstanding page
 	// operations, then implicitly invalidate read-only copies.
 	if r.d != nil {
@@ -191,7 +198,11 @@ func (r *Reducer) Reduce(t kernel.Thread, x float64, op Op) float64 {
 	r.results[e] = result
 	delete(r.results, e-resultHistory)
 	r.epoch++
-	r.barriers++
+	r.barriers.Inc()
+	if r.obs.Enabled() {
+		r.obs.TraceSpan(int64(t0), int64(r.node.Now().Sub(t0)), "sync", "barrier",
+			obs.Arg{Key: "epoch", Val: e})
+	}
 	return result
 }
 

@@ -26,6 +26,7 @@ import (
 
 	"filaments/internal/cost"
 	"filaments/internal/kernel"
+	"filaments/internal/obs"
 )
 
 // Node is one real-time node: an identity, a monitor, and a CPU-time
@@ -44,13 +45,20 @@ type Node struct {
 	acct   kernel.Account
 
 	threads sync.WaitGroup
+
+	obs *obs.Obs
 }
 
 // NewNode creates a node. The cost model is used for ledger accounting
 // only; real operations take the time they take.
 func NewNode(id kernel.NodeID, model *cost.Model) *Node {
-	return &Node{id: id, model: model, start: time.Now()}
+	return &Node{id: id, model: model, start: time.Now(), obs: obs.New(int(id))}
 }
+
+// Obs returns the node's observability handle (obs.Provider). Its
+// counters are atomic and its tracer carries its own lock, so it is safe
+// to use from any goroutine, in or out of node context.
+func (n *Node) Obs() *obs.Obs { return n.obs }
 
 // ID returns the node's identity.
 func (n *Node) ID() kernel.NodeID { return n.id }

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"filaments/internal/kernel"
+	"filaments/internal/obs"
 	"filaments/internal/udptrans"
 )
 
@@ -40,6 +41,14 @@ type Transport struct {
 func NewTransport(node *Node, ep *udptrans.Endpoint) *Transport {
 	tr := &Transport{node: node, ep: ep, ids: make(map[string]kernel.NodeID)}
 	ep.SetEventHandler(tr.handleEvent)
+	// Surface transport retransmissions in the node's trace. Now() and
+	// the trace sink are goroutine-safe, so the hook may run on any
+	// caller goroutine.
+	o := node.Obs()
+	ep.SetRetransmitHook(func(svc uint16, attempt int) {
+		o.Trace(int64(node.Now()), "net", "retransmit",
+			obs.Arg{Key: "svc", Val: int64(svc)}, obs.Arg{Key: "attempt", Val: int64(attempt)})
+	})
 	return tr
 }
 

@@ -23,6 +23,7 @@ import (
 
 	"filaments/internal/cost"
 	"filaments/internal/kernel"
+	"filaments/internal/obs"
 	"filaments/internal/sim"
 	"filaments/internal/simnet"
 )
@@ -77,6 +78,8 @@ type Node struct {
 	switches int64
 	started  sim.Time
 	finished sim.Time
+
+	obs *obs.Obs
 }
 
 // NewNode creates a node attached to the network and registers its delivery
@@ -88,10 +91,14 @@ func NewNode(nw *simnet.Network, id simnet.NodeID) *Node {
 		eng:   nw.Engine(),
 		nw:    nw,
 		model: nw.Model(),
+		obs:   obs.New(int(id)),
 	}
 	nw.Register(id, n.deliver)
 	return n
 }
+
+// Obs returns the node's observability handle (obs.Provider).
+func (n *Node) Obs() *obs.Obs { return n.obs }
 
 // ID returns the node's network identity.
 func (n *Node) ID() simnet.NodeID { return n.id }

@@ -21,6 +21,7 @@ func RunAll(t *testing.T, h Harness) {
 	t.Run("LossSweep", func(t *testing.T) { scenarioLossSweep(t, h) })
 	t.Run("ConcurrentClients", func(t *testing.T) { scenarioConcurrentClients(t, h) })
 	t.Run("CrossCall", func(t *testing.T) { scenarioCrossCall(t, h) })
+	t.Run("StatsUnderLoad", func(t *testing.T) { scenarioStatsUnderLoad(t, h) })
 }
 
 // checkedHarness wraps a harness so that every cluster it builds asserts
@@ -281,6 +282,35 @@ func scenarioConcurrentClients(t *testing.T, h Harness) {
 	}
 	recs[1].assertExactlyOnce(t, recs[1].distinct())
 	recs[2].assertExactlyOnce(t, recs[2].distinct())
+}
+
+// Stats snapshots must be safe to take while traffic is in flight. The
+// harness probes every endpoint's Stats() concurrently with the workers
+// (StatsProbe); loss and duplication keep the retransmission and
+// dup-suppression counters moving while the probe reads them. The UDP
+// harness runs under -race, so a torn or unsynchronized snapshot fails
+// the build's race job even though the payload assertions here are mild.
+func scenarioStatsUnderLoad(t *testing.T, h Harness) {
+	cl := h(t, Config{
+		Nodes:      3,
+		Faults:     Faults{Loss: 0.05, Dup: 0.1},
+		Services:   map[int]func(int) Service{svcEcho: echoService("s:")},
+		StatsProbe: true,
+	})
+	var workers []Worker
+	for w := 0; w < 4; w++ {
+		w := w
+		workers = append(workers, Worker{Node: 0, Body: func(c Caller) {
+			for i := 0; i < 8; i++ {
+				dst := 1 + (w+i)%2
+				msg := fmt.Sprintf("w%d-%d", w, i)
+				if got := mustCall(t, c, dst, svcEcho, []byte(msg)); string(got) != "s:"+msg {
+					t.Errorf("got %q want %q", got, "s:"+msg)
+				}
+			}
+		}})
+	}
+	cl.Run(t, workers...)
 }
 
 // Symmetric cross-call: both nodes call a service on the other whose

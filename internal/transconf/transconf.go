@@ -59,6 +59,12 @@ type Config struct {
 	// Services maps service id to a per-node factory, so handlers can hold
 	// per-node state. Every service is registered on every node.
 	Services map[int]func(node int) Service
+	// StatsProbe asks the harness to read every endpoint's Stats()
+	// snapshot repeatedly while the workers run. A transport whose
+	// counters are not safe to snapshot during live traffic fails this
+	// under the race detector (or, in the simulation, violates its
+	// single-threaded engine model).
+	StatsProbe bool
 }
 
 // Worker is one client body, pinned to a node.

@@ -17,6 +17,7 @@ type udpCluster struct {
 	eps   []*Endpoint
 	addrs []*net.UDPAddr
 	ids   map[string]int // addr string → node id
+	probe bool           // read every endpoint's Stats() while workers run
 }
 
 type udpCaller struct {
@@ -37,6 +38,32 @@ func (cl *udpCluster) Outstanding() int {
 }
 
 func (cl *udpCluster) Run(t *testing.T, workers ...transconf.Worker) {
+	if cl.probe {
+		// Hammer every endpoint's Stats() from a foreign goroutine for
+		// the whole run; with -race this fails on any snapshot that
+		// isn't properly synchronized with the datagram paths.
+		stop := make(chan struct{})
+		var pw sync.WaitGroup
+		pw.Add(1)
+		go func() {
+			defer pw.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, ep := range cl.eps {
+					_ = ep.Stats()
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+		}()
+		defer func() {
+			close(stop)
+			pw.Wait()
+		}()
+	}
 	var wg sync.WaitGroup
 	for _, w := range workers {
 		w := w
@@ -95,7 +122,7 @@ func udpHarness(t *testing.T, cfg transconf.Config) transconf.Cluster {
 		},
 	}
 
-	cl := &udpCluster{ids: make(map[string]int)}
+	cl := &udpCluster{ids: make(map[string]int), probe: cfg.StatsProbe}
 	for i := 0; i < cfg.Nodes; i++ {
 		ep, err := Listen("127.0.0.1:0", opts)
 		if err != nil {

@@ -10,6 +10,7 @@ import (
 	"filaments/internal/dsm"
 	"filaments/internal/filament"
 	"filaments/internal/kernel"
+	"filaments/internal/obs"
 	"filaments/internal/reduce"
 	"filaments/internal/rtnode"
 	"filaments/internal/udptrans"
@@ -45,6 +46,9 @@ type UDPConfig struct {
 	// Model overrides the cost model used for ledger accounting; nil uses
 	// cost.Default.
 	Model *CostModel
+	// Tracer, when non-nil, records kernel events from every node in wall
+	// time.
+	Tracer *Tracer
 }
 
 // UDPNodeReport is one node's accounting after a real-time run.
@@ -62,6 +66,9 @@ type UDPReport struct {
 	Elapsed time.Duration
 	// PerNode holds each node's counters.
 	PerNode []UDPNodeReport
+	// Metrics is the cluster-wide metric aggregation: every node's and
+	// endpoint's counters summed by name, sorted by name.
+	Metrics []Sample
 }
 
 // UDPCluster runs a DF program across UDP endpoints on loopback, every
@@ -127,6 +134,9 @@ func NewUDPCluster(cfg UDPConfig) (*UDPCluster, error) {
 	// before the first allocation.
 	for i := 0; i < cfg.Nodes; i++ {
 		node := rtnode.NewNode(kernel.NodeID(i), &c.model)
+		if cfg.Tracer != nil {
+			node.Obs().SetTracer(cfg.Tracer)
+		}
 		tr := rtnode.NewTransport(node, eps[i])
 		tr.SetPeers(addrs)
 		d := dsm.New(node, tr, c.space, cfg.Protocol)
@@ -152,6 +162,25 @@ func (c *UDPCluster) Runtime(i int) *Runtime { return c.rts[i] }
 
 // DSM returns node i's DSM instance (for inspecting stats after Run).
 func (c *UDPCluster) DSM(i int) *dsm.DSM { return c.dsms[i] }
+
+// EnableTracing installs t as every node's trace sink. Equivalent to
+// setting UDPConfig.Tracer before NewUDPCluster.
+func (c *UDPCluster) EnableTracing(t *Tracer) {
+	for _, n := range c.nodes {
+		n.Obs().SetTracer(t)
+	}
+}
+
+// Metrics aggregates every node's and endpoint's counter registries:
+// values summed by name, sorted by name. Safe to call at any time from
+// any goroutine; counters are race-free.
+func (c *UDPCluster) Metrics() []Sample {
+	var regs []*obs.Registry
+	for i, n := range c.nodes {
+		regs = append(regs, n.Obs().Reg, c.trs[i].Endpoint().Metrics())
+	}
+	return obs.Aggregate(regs...)
+}
 
 // Alloc reserves shared memory owned initially by node 0.
 func (c *UDPCluster) Alloc(size int64) Addr {
@@ -213,6 +242,7 @@ func (c *UDPCluster) Run(program Program) (*UDPReport, error) {
 			Runtime:   c.rts[i].Stats(),
 		}
 	}
+	rep.Metrics = c.Metrics()
 	return rep, nil
 }
 
@@ -335,6 +365,16 @@ func NewUDPNode(cfg UDPNodeConfig) (*UDPNode, error) {
 
 // Runtime returns the node's runtime.
 func (u *UDPNode) Runtime() *Runtime { return u.rt }
+
+// EnableTracing installs t as the node's trace sink (wall-time stamps).
+func (u *UDPNode) EnableTracing(t *Tracer) { u.node.Obs().SetTracer(t) }
+
+// Metrics aggregates this node's counter registry with its endpoint's.
+// Safe to call live from any goroutine (e.g. an HTTP metrics handler);
+// counters are race-free.
+func (u *UDPNode) Metrics() []Sample {
+	return obs.Aggregate(u.node.Obs().Reg, u.tr.Endpoint().Metrics())
+}
 
 // Alloc reserves shared memory owned initially by node 0. Every process
 // must perform identical allocations in identical order.
