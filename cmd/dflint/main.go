@@ -33,6 +33,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"filaments/internal/lint"
@@ -164,16 +165,19 @@ type listUnit struct {
 }
 
 func runStandalone(patterns []string) int {
+	if len(patterns) > 0 && patterns[0] == "-allowlist" {
+		return runAllowlist(patterns[1:])
+	}
 	for _, p := range patterns {
 		if strings.HasPrefix(p, "-") {
-			fmt.Fprintf(os.Stderr, "usage: dflint [packages]\n       go vet -vettool=$(which dflint) [packages]\n")
+			fmt.Fprintf(os.Stderr, "usage: dflint [-allowlist] [packages]\n       go vet -vettool=$(which dflint) [packages]\n")
 			return 2
 		}
 	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	units, err := goList(patterns)
+	units, err := goList("", patterns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dflint: %v\n", err)
 		return 1
@@ -222,12 +226,13 @@ func runStandalone(patterns []string) int {
 	return exit
 }
 
-func goList(patterns []string) ([]*listUnit, error) {
+func goList(dir string, patterns []string) ([]*listUnit, error) {
 	args := append([]string{
 		"list", "-e", "-deps", "-test", "-export",
 		"-json=ImportPath,Dir,GoFiles,ImportMap,Export,Standard,DepOnly,ForTest",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
 	cmd.Stderr = os.Stderr
 	out, err := cmd.StdoutPipe()
 	if err != nil {
@@ -278,6 +283,80 @@ func analyzeUnit(u *listUnit, byPath map[string]*listUnit) ([]lint.Diagnostic, e
 		return nil, err
 	}
 	return lint.Run(lint.Analyzers(), fset, files, pkg, info), nil
+}
+
+// --- allowlist mode: audit the //dflint:allow escape hatches. ---
+
+// runAllowlist prints every //dflint:allow comment in the matched
+// packages, one per line, sorted. The output is diffed against a
+// checked-in baseline (internal/lint/allow-baseline.txt) in CI, so
+// adding an escape hatch requires a reviewed baseline change.
+func runAllowlist(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	lines, err := allowlistLines("", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dflint: %v\n", err)
+		return 1
+	}
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	return 0
+}
+
+// allowlistLines collects the allow hatches of the packages matched from
+// dir ("" = cwd) as "relpath:line: rule: reason" lines, sorted. File
+// paths are relative to dir so the output is stable across checkouts.
+func allowlistLines(dir string, patterns []string) ([]string, error) {
+	units, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	root := dir
+	if root == "" {
+		if root, err = os.Getwd(); err != nil {
+			return nil, err
+		}
+	}
+	fset := token.NewFileSet()
+	seen := make(map[string]bool)
+	var files []*ast.File
+	for _, u := range units {
+		if u.Standard || u.DepOnly || strings.HasSuffix(u.ImportPath, ".test") {
+			continue
+		}
+		for _, f := range u.GoFiles {
+			p := filepath.Join(u.Dir, f)
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			parsed, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, parsed)
+		}
+	}
+	allows := lint.CollectAllows(fset, files)
+	sort.Slice(allows, func(i, j int) bool {
+		a, b := allows[i].Pos, allows[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	lines := make([]string, 0, len(allows))
+	for _, a := range allows {
+		rel, err := filepath.Rel(root, a.Pos.Filename)
+		if err != nil {
+			rel = a.Pos.Filename
+		}
+		lines = append(lines, fmt.Sprintf("%s:%d: %s: %s", filepath.ToSlash(rel), a.Pos.Line, a.Rule, a.Reason))
+	}
+	return lines, nil
 }
 
 // --- shared ---

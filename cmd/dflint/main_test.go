@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAllowBaseline keeps internal/lint/allow-baseline.txt in lockstep
+// with the //dflint:allow hatches actually present in the tree: the
+// hatches are contract exceptions, so adding (or moving) one must show
+// up as a reviewed baseline change, not slip in silently. Regenerate
+// with:
+//
+//	go run ./cmd/dflint -allowlist ./... > internal/lint/allow-baseline.txt
+func TestAllowBaseline(t *testing.T) {
+	root := moduleRoot(t)
+	got, err := allowlistLines(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("collecting allows: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(root, "internal", "lint", "allow-baseline.txt"))
+	if err != nil {
+		t.Fatalf("reading baseline: %v", err)
+	}
+	want := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(data) == 0 {
+		want = nil
+	}
+	for i := 0; i < len(got) || i < len(want); i++ {
+		switch {
+		case i >= len(want):
+			t.Errorf("hatch not in baseline: %s", got[i])
+		case i >= len(got):
+			t.Errorf("baseline entry no longer in tree: %s", want[i])
+		case got[i] != want[i]:
+			t.Errorf("baseline drift at line %d:\n  tree:     %s\n  baseline: %s", i+1, got[i], want[i])
+		}
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test working directory")
+		}
+		dir = parent
+	}
+}

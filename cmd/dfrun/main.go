@@ -170,7 +170,7 @@ func runUDP(app, variant string, nodes, n, iters int, tol float64, protocol fila
 	switch app {
 	case "jacobi":
 		cfg := jacobi.Config{N: n, Iters: iters, Nodes: nodes, Protocol: protocol, Tracer: tracer}
-		r, _, err := jacobi.DFUDP(cfg)
+		r, _, _, err := jacobi.DFUDP(cfg)
 		if err != nil {
 			fail("%v", err)
 		}

@@ -71,6 +71,17 @@ type (
 	Tracer = obs.Tracer
 	// Sample is one named metric value from a run.
 	Sample = obs.Sample
+	// Monitor observes DSM accesses, page transfers, and synchronization
+	// events on every node (see internal/dsm). Install one with
+	// Config.Monitor (or UDPConfig.Monitor); internal/check builds its
+	// happens-before race detector on this seam.
+	Monitor = dsm.Monitor
+	// Range is a half-open [Lo, Hi) shared-address interval, used by the
+	// access-annotation API (Exec.NoteRead / Exec.NoteWrite) and by fork/
+	// join range describers.
+	Range = dsm.Range
+	// TaskKey identifies one fork/join task shipment for monitor pairing.
+	TaskKey = dsm.TaskKey
 )
 
 // NewTracer returns an empty trace sink. Install it with Config.Tracer
@@ -137,6 +148,15 @@ type Config struct {
 	// invalidations, steals, barrier rounds, retransmits) from every node
 	// in virtual time.
 	Tracer *Tracer
+	// Monitor, when non-nil, observes every node's DSM accesses, page
+	// transfers, and synchronization events (see internal/check for the
+	// memory-model checker built on it). Callbacks run synchronously in
+	// node context and must not block or re-enter the DSM.
+	Monitor Monitor
+	// MirageWindow overrides the cost model's Mirage anti-thrashing
+	// window: 0 keeps the model's default, a negative value disables the
+	// window, and a positive value replaces it.
+	MirageWindow Duration
 }
 
 // NodeReport is one node's accounting after a run.
@@ -203,10 +223,19 @@ func New(cfg Config) *Cluster {
 	} else {
 		c.model = cost.Default()
 	}
+	switch {
+	case cfg.MirageWindow > 0:
+		c.model.MirageWindow = cfg.MirageWindow
+	case cfg.MirageWindow < 0:
+		c.model.MirageWindow = 0
+	}
 	c.eng = sim.New(cfg.Seed)
 	c.nw = simnet.New(c.eng, &c.model, cfg.Nodes)
 	c.nw.LossRate = cfg.LossRate
 	c.space = dsm.NewSpace(cfg.SharedBytes)
+	if cfg.Monitor != nil {
+		c.space.SetMonitor(cfg.Monitor)
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		node := threads.NewNode(c.nw, simnet.NodeID(i))
 		if cfg.Tracer != nil {
@@ -252,6 +281,17 @@ func (c *Cluster) Model() *CostModel { return &c.model }
 // Runtime returns node i's runtime (valid after New; useful for
 // inspecting stats after Run).
 func (c *Cluster) Runtime(i int) *Runtime { return c.rts[i] }
+
+// Outstanding sums the requests still awaiting replies across every
+// node's endpoint. After Run returns it must be zero: a nonzero value
+// means a protocol layer leaked an in-flight request past its barrier.
+func (c *Cluster) Outstanding() int {
+	n := 0
+	for _, rt := range c.rts {
+		n += rt.Endpoint().Outstanding()
+	}
+	return n
+}
 
 // DSM returns node i's DSM instance (for inspecting stats).
 func (c *Cluster) DSM(i int) *dsm.DSM { return c.dsms[i] }

@@ -44,11 +44,20 @@ type Config struct {
 	// paper argues it does not pay for balanced trees, so the default is
 	// off.
 	Stealing bool
+	// Protocol for the DF variant. The zero value selects the paper's
+	// choice for this program, migratory.
+	Protocol filaments.Protocol
 	// Seed for the simulation.
 	Seed int64
 	// Tracer, when non-nil, records kernel trace events from the DF
 	// variant.
 	Tracer *filaments.Tracer
+	// Monitor, when non-nil, observes the DF variant's DSM accesses and
+	// synchronization events (the cmd/dfcheck seam).
+	Monitor filaments.Monitor
+	// MirageWindow overrides the Mirage anti-thrashing window in the DF
+	// variant: 0 keeps the model default, negative disables it.
+	MirageWindow filaments.Duration
 }
 
 func (c *Config) defaults() {
@@ -207,12 +216,14 @@ func DF(cfg Config) (*filaments.Report, [][]float64, *filaments.Cluster) {
 	cfg.defaults()
 	n, h, p := cfg.N, cfg.Height, cfg.Nodes
 	cl := filaments.New(filaments.Config{
-		Nodes:     p,
-		Seed:      cfg.Seed,
-		Protocol:  filaments.Migratory,
-		Stealing:  cfg.Stealing,
-		WakeFront: true,
-		Tracer:    cfg.Tracer,
+		Nodes:        p,
+		Seed:         cfg.Seed,
+		Protocol:     cfg.Protocol, // zero value is Migratory, the app default
+		Stealing:     cfg.Stealing,
+		WakeFront:    true,
+		Tracer:       cfg.Tracer,
+		Monitor:      cfg.Monitor,
+		MirageWindow: cfg.MirageWindow,
 	})
 	matBytes := int64(n) * int64(n) * 8
 	pagesPer := int((matBytes + dsm.PageSize - 1) / dsm.PageSize)
@@ -222,9 +233,13 @@ func DF(cfg Config) (*filaments.Report, [][]float64, *filaments.Cluster) {
 		slots[k] = filaments.Matrix{Base: base, Rows: n, Cols: n}
 	}
 	rep, err := cl.Run(func(rt *filaments.Runtime, e *filaments.Exec) {
+		slotRange := func(k int) filaments.Range {
+			return filaments.Range{Lo: slots[k].Addr(0, 0), Hi: slots[k].Addr(n-1, n-1) + 8}
+		}
 		if rt.ID() == 0 {
 			// Master initializes the leaf matrices (local writes).
 			for k := 1 << h; k < 1<<(h+1); k++ {
+				e.NoteWrite(slotRange(k))
 				for i := 0; i < n; i++ {
 					for j := 0; j < n; j++ {
 						rt.DSM().WriteF64(e.Thread(), slots[k].Addr(i, j), leaf(k, i, j, n))
@@ -259,6 +274,17 @@ func DF(cfg Config) (*filaments.Report, [][]float64, *filaments.Cluster) {
 			return 1
 		}
 		rt.RegisterFJ(fnEval, eval)
+		// Exact access describer for the memory-model checker: an interior
+		// filament reads its children's slots and writes its own; a leaf
+		// filament (hh == 0) touches nothing.
+		rt.RegisterFJRanges(fnEval, func(a filaments.Args) (reads, writes []filaments.Range) {
+			k, hh := int(a[0]), int(a[1])
+			if hh == 0 {
+				return nil, nil
+			}
+			return []filaments.Range{slotRange(2 * k), slotRange(2*k + 1)},
+				[]filaments.Range{slotRange(k)}
+		})
 		// The initial barrier ensures the leaves exist before traversal.
 		e.Barrier()
 		rt.RunForkJoin(e, fnEval, filaments.Args{1, int64(h)})

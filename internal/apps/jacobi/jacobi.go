@@ -61,6 +61,12 @@ type Config struct {
 	// Tracer, when non-nil, records kernel trace events from the DF
 	// variants (sim and UDP).
 	Tracer *filaments.Tracer
+	// Monitor, when non-nil, observes the DF variants' DSM accesses and
+	// synchronization events (the cmd/dfcheck seam).
+	Monitor filaments.Monitor
+	// MirageWindow overrides the Mirage anti-thrashing window in the DF
+	// variants: 0 keeps the model default, negative disables it.
+	MirageWindow filaments.Duration
 }
 
 func (c *Config) defaults() {
@@ -249,11 +255,13 @@ func DF(cfg Config) (*filaments.Report, [][]float64, *filaments.Cluster) {
 		proto = filaments.Migratory
 	}
 	cl := filaments.New(filaments.Config{
-		Nodes:    p,
-		Seed:     cfg.Seed,
-		Protocol: proto,
-		LossRate: cfg.LossRate,
-		Tracer:   cfg.Tracer,
+		Nodes:        p,
+		Seed:         cfg.Seed,
+		Protocol:     proto,
+		LossRate:     cfg.LossRate,
+		Tracer:       cfg.Tracer,
+		Monitor:      cfg.Monitor,
+		MirageWindow: cfg.MirageWindow,
 	})
 	ga := cl.AllocMatrixOwned(n, n, 0)
 	gb := cl.AllocMatrixOwned(n, n, 0)
@@ -277,6 +285,8 @@ func dfProgram(cfg Config, ga, gb filaments.Matrix) filaments.Program {
 		me := rt.ID()
 		d := rt.DSM()
 		if me == 0 {
+			e.NoteWrite(filaments.Range{Lo: ga.Addr(0, 0), Hi: ga.Addr(n-1, n-1) + 8})
+			e.NoteWrite(filaments.Range{Lo: gb.Addr(0, 0), Hi: gb.Addr(n-1, n-1) + 8})
 			for i := 0; i < n; i++ {
 				for j := 0; j < n; j++ {
 					v := boundary(i, j, n)
@@ -354,6 +364,11 @@ func dfProgram(cfg Config, ga, gb filaments.Matrix) filaments.Program {
 		}
 		for it := 0; it < iters; it++ {
 			state.maxDiff = 0
+			// Declared extents for the memory-model checker: this sweep
+			// reads its strip plus the neighbours' edge rows of src and
+			// writes its own strip of dst.
+			e.NoteRead(filaments.Range{Lo: state.src.Addr(lo-1, 0), Hi: state.src.Addr(hi, n-1) + 8})
+			e.NoteWrite(filaments.Range{Lo: state.dst.Addr(lo, 0), Hi: state.dst.Addr(hi-1, n-1) + 8})
 			rt.RunPools(e)
 			// The convergence reduction doubles as the barrier (and, under
 			// implicit-invalidate, drops the edge-page copies). The paper's
@@ -371,32 +386,34 @@ func dfProgram(cfg Config, ga, gb filaments.Matrix) filaments.Program {
 // loopback. The returned grid is bitwise-identical to Reference's (both
 // evaluate 0.25*(up+down+left+right) over identical inputs in identical
 // order), so callers verify with exact comparison.
-func DFUDP(cfg Config) (*filaments.UDPReport, [][]float64, error) {
+func DFUDP(cfg Config) (*filaments.UDPReport, [][]float64, *filaments.UDPCluster, error) {
 	cfg.defaults()
 	proto := cfg.Protocol
 	if cfg.UseMigratory {
 		proto = filaments.Migratory
 	}
 	cl, err := filaments.NewUDPCluster(filaments.UDPConfig{
-		Nodes:    cfg.Nodes,
-		Protocol: proto,
-		Tracer:   cfg.Tracer,
+		Nodes:        cfg.Nodes,
+		Protocol:     proto,
+		Tracer:       cfg.Tracer,
+		Monitor:      cfg.Monitor,
+		MirageWindow: cfg.MirageWindow,
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	n := cfg.N
 	ga := cl.AllocMatrixOwned(n, n, 0)
 	gb := cl.AllocMatrixOwned(n, n, 0)
 	rep, err := cl.Run(dfProgram(cfg, ga, gb))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	final := ga
 	if cfg.Iters%2 == 1 {
 		final = gb
 	}
-	return rep, cl.PeekMatrix(final), nil
+	return rep, cl.PeekMatrix(final), cl, nil
 }
 
 // DFNode runs the same DF program as one node of a multi-process cluster

@@ -38,11 +38,20 @@ type Config struct {
 	// Protocol for the DF variant. The zero value selects the paper's
 	// choice, write-invalidate.
 	Protocol filaments.Protocol
+	// UseMigratory forces the migratory protocol (the Protocol field's
+	// zero value means "app default", i.e. write-invalidate).
+	UseMigratory bool
 	// Seed for the simulation (default 1).
 	Seed int64
 	// Tracer, when non-nil, records kernel trace events from the DF
 	// variant.
 	Tracer *filaments.Tracer
+	// Monitor, when non-nil, observes the DF variants' DSM accesses and
+	// synchronization events (the cmd/dfcheck seam).
+	Monitor filaments.Monitor
+	// MirageWindow overrides the Mirage anti-thrashing window in the DF
+	// variants: 0 keeps the model default, negative disables it.
+	MirageWindow filaments.Duration
 }
 
 func (c *Config) defaults() {
@@ -198,17 +207,41 @@ func CoarseGrain(cfg Config) (*filaments.Report, [][]float64) {
 func DF(cfg Config) (*filaments.Report, [][]float64, *filaments.Cluster) {
 	cfg.defaults()
 	n, p := cfg.N, cfg.Nodes
-	cl := filaments.New(filaments.Config{Nodes: p, Seed: cfg.Seed, Protocol: cfg.Protocol, Tracer: cfg.Tracer})
+	proto := cfg.Protocol
+	if cfg.UseMigratory {
+		proto = filaments.Migratory
+	}
+	cl := filaments.New(filaments.Config{
+		Nodes:        p,
+		Seed:         cfg.Seed,
+		Protocol:     proto,
+		Tracer:       cfg.Tracer,
+		Monitor:      cfg.Monitor,
+		MirageWindow: cfg.MirageWindow,
+	})
 	a := cl.AllocMatrixOwned(n, n, 0)
 	b := cl.AllocMatrixOwned(n, n, 0)
 	cm := cl.AllocMatrixStriped(n, n)
-	rep, err := cl.Run(func(rt *filaments.Runtime, e *filaments.Exec) {
+	rep, err := cl.Run(dfProgram(cfg, a, b, cm))
+	if err != nil {
+		panic(err)
+	}
+	return rep, cl.PeekMatrix(cm), cl
+}
+
+// dfProgram is the DF node program shared by the simulated cluster (DF)
+// and the real-time UDP cluster (DFUDP). cfg must already be defaulted.
+func dfProgram(cfg Config, a, b, cm filaments.Matrix) filaments.Program {
+	n, p := cfg.N, cfg.Nodes
+	return func(rt *filaments.Runtime, e *filaments.Exec) {
 		me := rt.ID()
 		d := rt.DSM()
 		if me == 0 {
 			// Master initializes A and B (local writes; untimed fill, as
 			// initialization is excluded from the paper's sequential
 			// figure too).
+			e.NoteWrite(filaments.Range{Lo: a.Addr(0, 0), Hi: a.Addr(n-1, n-1) + 8})
+			e.NoteWrite(filaments.Range{Lo: b.Addr(0, 0), Hi: b.Addr(n-1, n-1) + 8})
 			for i := 0; i < n; i++ {
 				for j := 0; j < n; j++ {
 					d.WriteF64(e.Thread(), a.Addr(i, j), initA(i, j))
@@ -219,6 +252,11 @@ func DF(cfg Config) (*filaments.Report, [][]float64, *filaments.Cluster) {
 		// Barrier 1: A and B initialized before anyone computes.
 		e.Barrier()
 		lo, hi := strip(me, n, p)
+		// Declared extents for the memory-model checker: every node reads
+		// all of A and B and writes its own strip of C.
+		e.NoteRead(filaments.Range{Lo: a.Addr(0, 0), Hi: a.Addr(n-1, n-1) + 8})
+		e.NoteRead(filaments.Range{Lo: b.Addr(0, 0), Hi: b.Addr(n-1, n-1) + 8})
+		e.NoteWrite(filaments.Range{Lo: cm.Addr(lo, 0), Hi: cm.Addr(hi-1, n-1) + 8})
 		pool := rt.NewPool("cpoints")
 		fn := func(e *filaments.Exec, args filaments.Args) {
 			i, j := int(args[0]), int(args[1])
@@ -237,11 +275,38 @@ func DF(cfg Config) (*filaments.Report, [][]float64, *filaments.Cluster) {
 		rt.RunPools(e)
 		// Barrier 2: all of C computed before the master would print it.
 		e.Barrier()
+	}
+}
+
+// DFUDP runs the same DF program on a single-process real-time cluster:
+// every node is a set of goroutines with its own UDP endpoint on loopback.
+// The result is bitwise-identical to Reference's (identical inner-product
+// evaluation order), so callers verify with exact comparison.
+func DFUDP(cfg Config) (*filaments.UDPReport, [][]float64, *filaments.UDPCluster, error) {
+	cfg.defaults()
+	proto := cfg.Protocol
+	if cfg.UseMigratory {
+		proto = filaments.Migratory
+	}
+	cl, err := filaments.NewUDPCluster(filaments.UDPConfig{
+		Nodes:        cfg.Nodes,
+		Protocol:     proto,
+		Tracer:       cfg.Tracer,
+		Monitor:      cfg.Monitor,
+		MirageWindow: cfg.MirageWindow,
 	})
 	if err != nil {
-		panic(err)
+		return nil, nil, nil, err
 	}
-	return rep, cl.PeekMatrix(cm), cl
+	n := cfg.N
+	a := cl.AllocMatrixOwned(n, n, 0)
+	b := cl.AllocMatrixOwned(n, n, 0)
+	cm := cl.AllocMatrixStriped(n, n)
+	rep, err := cl.Run(dfProgram(cfg, a, b, cm))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return rep, cl.PeekMatrix(cm), cl, nil
 }
 
 // strip returns the row range [lo, hi) node k computes.

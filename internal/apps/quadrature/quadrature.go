@@ -45,9 +45,18 @@ type Config struct {
 	MaxDepth int
 	// Seed for the simulation.
 	Seed int64
+	// Protocol for the DF variants. The program never touches the DSM, so
+	// this only matters to harnesses (cmd/dfcheck) that sweep protocols.
+	Protocol filaments.Protocol
 	// Tracer, when non-nil, records kernel trace events from the DF
 	// variants (sim and UDP).
 	Tracer *filaments.Tracer
+	// Monitor, when non-nil, observes the DF variants' DSM accesses and
+	// synchronization events (the cmd/dfcheck seam).
+	Monitor filaments.Monitor
+	// MirageWindow overrides the Mirage anti-thrashing window in the DF
+	// variants: 0 keeps the model default, negative disables it.
+	MirageWindow filaments.Duration
 }
 
 func (c *Config) defaults() {
@@ -260,11 +269,14 @@ func DFWithStealing(cfg Config, stealing bool) (*filaments.Report, float64) {
 func dfRun(cfg Config, stealing bool) (*filaments.Report, float64, *filaments.Cluster) {
 	cfg.defaults()
 	cl := filaments.New(filaments.Config{
-		Nodes:     cfg.Nodes,
-		Seed:      cfg.Seed,
-		Stealing:  stealing,
-		WakeFront: true,
-		Tracer:    cfg.Tracer,
+		Nodes:        cfg.Nodes,
+		Seed:         cfg.Seed,
+		Protocol:     cfg.Protocol,
+		Stealing:     stealing,
+		WakeFront:    true,
+		Tracer:       cfg.Tracer,
+		Monitor:      cfg.Monitor,
+		MirageWindow: cfg.MirageWindow,
 	})
 	var out float64
 	rep, err := cl.Run(dfProgram(cfg, &out))
@@ -281,10 +293,13 @@ func dfRun(cfg Config, stealing bool) (*filaments.Report, float64, *filaments.Cl
 func DFUDP(cfg Config, stealing bool) (*filaments.UDPReport, float64, error) {
 	cfg.defaults()
 	cl, err := filaments.NewUDPCluster(filaments.UDPConfig{
-		Nodes:     cfg.Nodes,
-		Stealing:  stealing,
-		WakeFront: true,
-		Tracer:    cfg.Tracer,
+		Nodes:        cfg.Nodes,
+		Protocol:     cfg.Protocol,
+		Stealing:     stealing,
+		WakeFront:    true,
+		Tracer:       cfg.Tracer,
+		Monitor:      cfg.Monitor,
+		MirageWindow: cfg.MirageWindow,
 	})
 	if err != nil {
 		return nil, 0, err

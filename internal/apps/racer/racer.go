@@ -1,0 +1,119 @@
+// Package racer is a deliberately broken DF program: cmd/dfcheck's
+// self-test (and the dflint analyzer fixtures mirroring it) must detect
+// every bug seeded here. It is not an experiment from the paper.
+//
+// The dynamic bug: after a barrier, node 0 rewrites a shared array in the
+// same phase in which node 1 reads it — no barrier, reduction, or
+// fork/join edge orders the two, so whichever interleaving the scheduler
+// picks, the accesses race. Under write-invalidate (the default here) the
+// reader works from a cached read-only copy, so the race is also a real
+// stale-value hazard; under migratory every conflicting pair is ordered
+// by the page's ownership transfer, which is why the checker documents
+// migratory races as undetectable by construction.
+//
+// The static bugs, one per dflint analyzer seeded below with documented
+// allow hatches: a filament body that indexes shared memory through a
+// captured loop-shared variable (sharedrange), a filament closure
+// capturing an assigned loop variable (loopcapture), and a DSM write
+// distributed to filaments without an intervening barrier (barrierphase).
+package racer
+
+import (
+	"filaments"
+)
+
+// Words is the length of the shared array the racing phase touches.
+const Words = 64
+
+// Config parameterizes a run.
+type Config struct {
+	// Nodes is the cluster size (>= 2 for the race to exist).
+	Nodes int
+	// Protocol defaults to write-invalidate; the seeded race is invisible
+	// under migratory (see the package comment).
+	Protocol filaments.Protocol
+	// Seed for the simulation.
+	Seed int64
+	// Monitor, when non-nil, observes the run (the cmd/dfcheck seam).
+	Monitor filaments.Monitor
+	// MirageWindow overrides the Mirage anti-thrashing window: 0 keeps
+	// the model default, negative disables it.
+	MirageWindow filaments.Duration
+	// Tracer, when non-nil, records kernel trace events.
+	Tracer *filaments.Tracer
+}
+
+func (c *Config) defaults() {
+	if c.Nodes == 0 {
+		c.Nodes = 2
+	}
+	if c.Protocol == filaments.Migratory {
+		c.Protocol = filaments.WriteInvalidate
+	}
+}
+
+// DF runs the seeded-race program and returns the run report and the sum
+// node 1 read during the racing phase (its value depends on the
+// interleaving — that is the point).
+func DF(cfg Config) (*filaments.Report, float64, *filaments.Cluster) {
+	cfg.defaults()
+	cl := filaments.New(filaments.Config{
+		Nodes:        cfg.Nodes,
+		Seed:         cfg.Seed,
+		Protocol:     cfg.Protocol,
+		Tracer:       cfg.Tracer,
+		Monitor:      cfg.Monitor,
+		MirageWindow: cfg.MirageWindow,
+	})
+	data := cl.AllocOwned(Words*8, 0)
+	var racySum float64
+	rep, err := cl.Run(func(rt *filaments.Runtime, e *filaments.Exec) {
+		me := rt.ID()
+		d := rt.DSM()
+		e.Barrier()
+		// Phase 1 — the seeded data race: node 0 writes the array while
+		// node 1 sums it, with no synchronization between them.
+		if me == 1 {
+			for i := 0; i < Words; i++ {
+				racySum += e.ReadF64(data + filaments.Addr(i*8))
+			}
+		}
+		if me == 0 {
+			for i := 0; i < Words; i++ {
+				d.WriteF64(e.Thread(), data+filaments.Addr(i*8), float64(i))
+			}
+		}
+		e.Barrier()
+		// Phase 2 — the seeded static bugs, run by node 0 only, after a
+		// barrier so they add no further dynamic races.
+		if me == 0 {
+			// sharedrange: the filament body indexes shared memory through
+			// a captured plain int that every filament instance shares,
+			// instead of deriving the index from its Args record.
+			base := 4
+			body := func(e *filaments.Exec, a filaments.Args) {
+				_ = e.ReadF64(data + filaments.Addr(base*8)) //dflint:allow sharedrange seeded bug: captured index, dfcheck self-test
+			}
+			pool := rt.NewPool("seeded")
+			pool.Add(e, body, filaments.Args{})
+			// loopcapture: i is assigned, not declared, by the for
+			// statement, so every closure added to the pool shares the
+			// loop's final value.
+			var i int
+			for i = 0; i < 4; i++ {
+				pool.Add(e, func(e *filaments.Exec, a filaments.Args) { //dflint:allow loopcapture seeded bug: assigned loop variable, dfcheck self-test
+					_ = e.ReadF64(data + filaments.Addr(i%Words)*8) //dflint:allow sharedrange seeded bug: captured index, dfcheck self-test
+				}, filaments.Args{})
+			}
+			// barrierphase: a DSM write followed by pool distribution with
+			// no barrier between the write and the filaments that read it.
+			d.WriteF64(e.Thread(), data, 1)
+			rt.RunPools(e) //dflint:allow barrierphase seeded bug: write distributed without barrier, dfcheck self-test
+		}
+		e.Barrier()
+	})
+	if err != nil {
+		panic(err)
+	}
+	return rep, racySum, cl
+}

@@ -1,0 +1,103 @@
+package check
+
+import (
+	"filaments"
+	"filaments/internal/apps/exprtree"
+	"filaments/internal/apps/jacobi"
+	"filaments/internal/apps/matmul"
+	"filaments/internal/apps/quadrature"
+	"filaments/internal/apps/racer"
+)
+
+// Apps returns the four shipped applications wired to small checkable
+// problem sizes. The checker observes every typed access, so dfcheck
+// trades scale for exhaustive coverage; the DF programs themselves are
+// the shipped ones, unchanged.
+func Apps() []App {
+	// The grid/matrix sizes are chosen so that, on power-of-two clusters,
+	// each node's write strip covers whole pages (64 rows × 64 cols × 8 B
+	// = 8 rows per 4 KB page): write false sharing would otherwise
+	// livelock the window-off legs of the sweep (see App.MirageOffSafe).
+	alignedWrites := func(nodes int) bool {
+		return nodes > 0 && 64%nodes == 0 && (64/nodes)%8 == 0
+	}
+	// Read-sharing under migratory thrashes without the window (reads
+	// take the page away); replicated read-only copies under the other
+	// two protocols do not.
+	invalidateSafe := func(proto filaments.Protocol, nodes int) bool {
+		return proto != filaments.Migratory && alignedWrites(nodes)
+	}
+	return []App{
+		{Name: "jacobi", UsesDSM: true, MirageOffSafe: invalidateSafe, Run: func(c AppConfig) {
+			cfg := jacobi.Config{
+				N: 64, Iters: 3,
+				Nodes: c.Nodes, Seed: 1,
+				Monitor: c.Monitor, MirageWindow: c.MirageWindow,
+			}
+			// The app's Protocol zero value means "app default"; the only
+			// way to ask for migratory is the explicit flag.
+			if c.Protocol == filaments.Migratory {
+				cfg.UseMigratory = true
+			} else {
+				cfg.Protocol = c.Protocol
+			}
+			jacobi.DF(cfg)
+		}},
+		{Name: "matmul", UsesDSM: true, MirageOffSafe: invalidateSafe, Run: func(c AppConfig) {
+			cfg := matmul.Config{
+				N:     64,
+				Nodes: c.Nodes, Seed: 1,
+				Monitor: c.Monitor, MirageWindow: c.MirageWindow,
+			}
+			if c.Protocol == filaments.Migratory {
+				cfg.UseMigratory = true
+			} else {
+				cfg.Protocol = c.Protocol
+			}
+			matmul.DF(cfg)
+		}},
+		{Name: "exprtree", UsesDSM: true, Run: func(c AppConfig) {
+			exprtree.DF(exprtree.Config{
+				Height: 3, N: 8,
+				Nodes: c.Nodes, Seed: 1,
+				Stealing: true,
+				Protocol: c.Protocol, // zero value is migratory, the app default
+				Monitor:  c.Monitor, MirageWindow: c.MirageWindow,
+			})
+		}},
+		{Name: "quadrature", UsesDSM: false, Run: func(c AppConfig) {
+			quadrature.DF(quadrature.Config{
+				Tol: 5e-3, MaxDepth: 10,
+				Nodes: c.Nodes, Seed: 1,
+				Protocol: c.Protocol,
+				Monitor:  c.Monitor, MirageWindow: c.MirageWindow,
+			})
+		}},
+	}
+}
+
+// Racer returns the seeded-race application: CheckApp on it must report
+// races (under write-invalidate or implicit-invalidate), which is
+// cmd/dfcheck's self-test.
+func Racer() App {
+	return App{Name: "racer", UsesDSM: true, Run: func(c AppConfig) {
+		racer.DF(racer.Config{
+			Nodes: c.Nodes, Seed: 1,
+			Protocol: c.Protocol,
+			Monitor:  c.Monitor, MirageWindow: c.MirageWindow,
+		})
+	}}
+}
+
+// AppByName finds a shipped app (or the racer) by name.
+func AppByName(name string) (App, bool) {
+	if name == "racer" {
+		return Racer(), true
+	}
+	for _, a := range Apps() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return App{}, false
+}

@@ -1,0 +1,539 @@
+// Package check is the DSM memory-model checker behind cmd/dfcheck. It
+// attaches to the dsm.Monitor seam and runs a vector-clock happens-before
+// race detector over every typed access of a run, plus a sequential-
+// consistency oracle that compares per-epoch page digests of a p-node run
+// against a single-node run of the same program.
+//
+// The happens-before model mirrors the kernel's real synchronization:
+//
+//   - Barrier/reduction epochs: every arrive happens-before every release
+//     of the same epoch (the reducer's fold reads all arrivals before any
+//     node resumes).
+//   - Page-ownership transfers: a serve that grants ownership
+//     happens-before the matching install. Read-only copy grants are
+//     deliberately NOT edges — a node that keeps reading a cached copy
+//     while the owner writes is exactly the stale-read race the checker
+//     exists to catch under write-invalidate and implicit-invalidate.
+//   - Fork/join shipment: forking a task to another node (or granting a
+//     steal) happens-before the task starts there; a remote task's result
+//     ship happens-before its delivery at the join's origin.
+//
+// Within one node all events are totally ordered (one virtual CPU), so
+// races are only reported between different nodes. Under the migratory
+// protocol every conflicting access pair is ordered by an ownership
+// transfer, so data races are, by construction, undetectable there; run
+// the checker under write-invalidate or implicit-invalidate to see them.
+//
+// Detection is at word granularity (8-byte cells, the DSM's typed-access
+// unit), which is finer than the page-and-range granularity the reports
+// aggregate to: each reported race names the block and both accesses, and
+// coalesces all further conflicts of the same (block, node pair, kind).
+package check
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"filaments/internal/dsm"
+	"filaments/internal/kernel"
+)
+
+// vclock is a fixed-width vector clock, one component per node.
+type vclock []uint64
+
+func (v vclock) clone() vclock {
+	c := make(vclock, len(v))
+	copy(c, v)
+	return c
+}
+
+// join folds other into v component-wise (max).
+func (v vclock) join(other vclock) {
+	for i, o := range other {
+		if o > v[i] {
+			v[i] = o
+		}
+	}
+}
+
+// Access describes one side of a reported race.
+type Access struct {
+	Node  int
+	Write bool
+	Time  kernel.Time
+	// Label is the fork/join filament the access ran in ("" when it ran
+	// outside any labelled filament, e.g. on a pool or the main thread).
+	Label string
+}
+
+func (a Access) kind() string {
+	if a.Write {
+		return "write"
+	}
+	return "read"
+}
+
+func (a Access) String() string {
+	s := fmt.Sprintf("%s by node %d at t=%v", a.kind(), a.Node, a.Time)
+	if a.Label != "" {
+		s += " in " + a.Label
+	}
+	return s
+}
+
+// Race is one detected happens-before violation. Further conflicts on the
+// same (block, node pair, access kinds) are coalesced into Count.
+type Race struct {
+	Addr          dsm.Addr // first conflicting word
+	Page          int
+	Block         int
+	First, Second Access
+	Count         int // conflicting word pairs coalesced into this report
+}
+
+func (r Race) String() string {
+	return fmt.Sprintf("race on addr %#x (page %d, block %d): %s is concurrent with %s (%d word pair(s) on this block)",
+		int64(r.Addr), r.Page, r.Block, r.First, r.Second, r.Count)
+}
+
+// Violation is an access outside every range its node declared with
+// NoteRead/NoteWrite (or its filament's registered range describer) for
+// the current barrier phase.
+type Violation struct {
+	Addr dsm.Addr
+	Acc  Access
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("undeclared %s of addr %#x (node %d, t=%v, label %q)",
+		v.Acc.kind(), int64(v.Addr), v.Acc.Node, v.Acc.Time, v.Acc.Label)
+}
+
+// EpochDigest is the content digest of every block at one quiescent
+// barrier epoch.
+type EpochDigest struct {
+	Epoch   int64
+	Digests []uint64
+}
+
+// Report is the checker's accumulated findings after a run.
+type Report struct {
+	Races      []Race
+	Violations []Violation
+	// Epochs holds per-epoch block digests (Config.CollectDigests).
+	Epochs []EpochDigest
+	// Accesses is the number of typed accesses observed.
+	Accesses int64
+	// Notes is the number of declared ranges observed.
+	Notes int64
+}
+
+// Config parameterizes a Checker.
+type Config struct {
+	// CollectDigests snapshots every block's digest at each quiescent
+	// epoch, for the sequential-consistency oracle. Simulation binding
+	// only: under the UDP binding the digest would race with the owner.
+	CollectDigests bool
+	// CheckDeclared enforces that, once a node has declared any range for
+	// the current barrier phase, all its accesses of that kind fall inside
+	// a declared range.
+	CheckDeclared bool
+	// MaxReports caps the race and violation lists (default 100 each).
+	MaxReports int
+}
+
+// Checker implements dsm.Monitor. Install it with filaments.Config.Monitor
+// (or an app Config's Monitor field) before the run, then read Report
+// after. It is internally locked, so it works under both bindings.
+type Checker struct {
+	cfg Config
+
+	mu    sync.Mutex
+	space *dsm.Space
+	n     int
+
+	clocks []vclock // one per node; component [i][i] starts at 1
+
+	transfers map[transferKey][]vclock
+	tasks     map[taskKey][]vclock
+	results   map[dsm.TaskKey][]vclock
+	epochs    map[int64]*epochState
+
+	cells map[dsm.Addr]*cell
+
+	frames   [][]frame   // per-node filament frame stack
+	declared []phaseDecl // per-node declared ranges for the current phase
+
+	raceKeys map[raceKey]int // index into report.Races
+	report   Report
+}
+
+type transferKey struct {
+	from, to kernel.NodeID
+	block    int
+}
+
+type taskKey struct {
+	k    dsm.TaskKey
+	from kernel.NodeID
+}
+
+type epochState struct {
+	arrive   vclock
+	released int
+}
+
+// cell is the happens-before state of one 8-byte word: the last write
+// epoch and, per node, the last read epoch (FastTrack-style, but keeping
+// the full read vector since reads are checked against writes only).
+type cell struct {
+	wNode  int
+	wClock uint64 // writer's own component at the write; 0 = never written
+	wAcc   Access
+	rClock []uint64 // per-node own-component at last read; 0 = never
+	rAcc   []Access
+}
+
+type frame struct {
+	label  string
+	reads  []dsm.Range
+	writes []dsm.Range
+}
+
+type phaseDecl struct {
+	reads  []dsm.Range
+	writes []dsm.Range
+}
+
+type raceKey struct {
+	block          int
+	nodeA, nodeB   int
+	writeA, writeB bool
+}
+
+// New creates a Checker.
+func New(cfg Config) *Checker {
+	if cfg.MaxReports == 0 {
+		cfg.MaxReports = 100
+	}
+	return &Checker{
+		cfg:       cfg,
+		transfers: make(map[transferKey][]vclock),
+		tasks:     make(map[taskKey][]vclock),
+		results:   make(map[dsm.TaskKey][]vclock),
+		epochs:    make(map[int64]*epochState),
+		cells:     make(map[dsm.Addr]*cell),
+		raceKeys:  make(map[raceKey]int),
+	}
+}
+
+// Report returns the findings. Call after the run completes.
+func (c *Checker) Report() *Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.report
+	sort.Slice(r.Epochs, func(i, j int) bool { return r.Epochs[i].Epoch < r.Epochs[j].Epoch })
+	return &r
+}
+
+// OnAttach sizes the per-node state lazily: the space knows its node count
+// only once every DSM is constructed, so the real sizing happens on the
+// first callback.
+func (c *Checker) OnAttach(s *dsm.Space) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.space = s
+}
+
+// ensure sizes per-node state once the cluster size is known.
+func (c *Checker) ensure() {
+	if c.n != 0 {
+		return
+	}
+	c.n = c.space.Nodes()
+	if c.n == 0 {
+		c.n = 1
+	}
+	c.clocks = make([]vclock, c.n)
+	for i := range c.clocks {
+		c.clocks[i] = make(vclock, c.n)
+		c.clocks[i][i] = 1
+	}
+	c.frames = make([][]frame, c.n)
+	c.declared = make([]phaseDecl, c.n)
+}
+
+// tick advances a node's own component after it attaches its clock to an
+// outgoing edge, so later events are distinguishable from the edge.
+func (c *Checker) tick(node kernel.NodeID) {
+	c.clocks[node][node]++
+}
+
+func (c *Checker) label(node kernel.NodeID) string {
+	st := c.frames[node]
+	if len(st) == 0 {
+		return ""
+	}
+	return st[len(st)-1].label
+}
+
+// OnAccess runs the race check for one typed access.
+func (c *Checker) OnAccess(node kernel.NodeID, a dsm.Addr, size int, write bool, now kernel.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensure()
+	c.report.Accesses++
+	acc := Access{Node: int(node), Write: write, Time: now, Label: c.label(node)}
+	word := a &^ 7
+	cl := c.cells[word]
+	if cl == nil {
+		cl = &cell{wNode: -1, rClock: make([]uint64, c.n), rAcc: make([]Access, c.n)}
+		c.cells[word] = cl
+	}
+	me := int(node)
+	vc := c.clocks[node]
+	if write {
+		// Write-write and write-after-read conflicts.
+		if cl.wClock != 0 && cl.wNode != me && cl.wClock > vc[cl.wNode] {
+			c.race(word, cl.wAcc, acc)
+		}
+		for rn := 0; rn < c.n; rn++ {
+			if rn != me && cl.rClock[rn] != 0 && cl.rClock[rn] > vc[rn] {
+				c.race(word, cl.rAcc[rn], acc)
+			}
+		}
+		cl.wNode = me
+		cl.wClock = vc[me]
+		cl.wAcc = acc
+	} else {
+		// Read-after-write conflict.
+		if cl.wClock != 0 && cl.wNode != me && cl.wClock > vc[cl.wNode] {
+			c.race(word, cl.wAcc, acc)
+		}
+		cl.rClock[me] = vc[me]
+		cl.rAcc[me] = acc
+	}
+	if c.cfg.CheckDeclared {
+		c.checkDeclared(node, a, write, acc)
+	}
+}
+
+// race records a conflict, coalescing repeats on the same block/pair/kind.
+func (c *Checker) race(word dsm.Addr, first, second Access) {
+	b := c.space.BlockOf(word)
+	key := raceKey{block: b, nodeA: first.Node, nodeB: second.Node, writeA: first.Write, writeB: second.Write}
+	if i, ok := c.raceKeys[key]; ok {
+		c.report.Races[i].Count++
+		return
+	}
+	if len(c.report.Races) >= c.cfg.MaxReports {
+		return
+	}
+	c.raceKeys[key] = len(c.report.Races)
+	c.report.Races = append(c.report.Races, Race{
+		Addr:   word,
+		Page:   dsm.PageOf(word),
+		Block:  b,
+		First:  first,
+		Second: second,
+		Count:  1,
+	})
+}
+
+// checkDeclared reports accesses outside every declared range of the
+// matching kind. A write must fall in a declared write range; a read may
+// fall in a declared read or write range. Enforcement is armed per node
+// and kind only once the node declares at least one range this phase, so
+// undeclared programs (and phases) are not flagged.
+func (c *Checker) checkDeclared(node kernel.NodeID, a dsm.Addr, write bool, acc Access) {
+	covered, armed := false, false
+	scan := func(reads, writes []dsm.Range) {
+		if write {
+			armed = armed || len(writes) > 0
+			for _, r := range writes {
+				if r.Contains(a) {
+					covered = true
+				}
+			}
+			return
+		}
+		armed = armed || len(reads) > 0 || len(writes) > 0
+		for _, r := range reads {
+			if r.Contains(a) {
+				covered = true
+			}
+		}
+		for _, r := range writes {
+			if r.Contains(a) {
+				covered = true
+			}
+		}
+	}
+	d := &c.declared[node]
+	scan(d.reads, d.writes)
+	for _, f := range c.frames[node] {
+		scan(f.reads, f.writes)
+	}
+	if armed && !covered && len(c.report.Violations) < c.cfg.MaxReports {
+		c.report.Violations = append(c.report.Violations, Violation{Addr: a, Acc: acc})
+	}
+}
+
+// OnNote records a declared range for the node's current phase.
+func (c *Checker) OnNote(node kernel.NodeID, r dsm.Range, write bool, now kernel.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensure()
+	c.report.Notes++
+	d := &c.declared[node]
+	if write {
+		d.writes = append(d.writes, r)
+	} else {
+		d.reads = append(d.reads, r)
+	}
+}
+
+// OnPageServe pushes the server's clock on ownership grants.
+func (c *Checker) OnPageServe(from, to kernel.NodeID, b int, grantOwner bool, now kernel.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensure()
+	if !grantOwner {
+		return
+	}
+	k := transferKey{from: from, to: to, block: b}
+	c.transfers[k] = append(c.transfers[k], c.clocks[from].clone())
+	c.tick(from)
+}
+
+// OnPageInstall joins the granting owner's clock into the receiver.
+func (c *Checker) OnPageInstall(node, from kernel.NodeID, b int, grantOwner bool, now kernel.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensure()
+	if !grantOwner {
+		return
+	}
+	k := transferKey{from: from, to: node, block: b}
+	if q := c.transfers[k]; len(q) > 0 {
+		c.clocks[node].join(q[0])
+		c.transfers[k] = q[1:]
+	}
+}
+
+// OnBarrierArrive folds the node's clock into the epoch and ticks it.
+func (c *Checker) OnBarrierArrive(node kernel.NodeID, epoch int64, now kernel.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensure()
+	e := c.epochs[epoch]
+	if e == nil {
+		e = &epochState{arrive: make(vclock, c.n)}
+		c.epochs[epoch] = e
+	}
+	e.arrive.join(c.clocks[node])
+	c.tick(node)
+}
+
+// OnBarrierRelease joins the epoch's accumulated arrivals into the node:
+// the release only happens after every node arrived, so by now the epoch
+// clock dominates all pre-barrier events, and the node also starts a fresh
+// declared-range phase.
+func (c *Checker) OnBarrierRelease(node kernel.NodeID, epoch int64, now kernel.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensure()
+	if e := c.epochs[epoch]; e != nil {
+		c.clocks[node].join(e.arrive)
+		e.released++
+		if e.released == c.n {
+			delete(c.epochs, epoch)
+		}
+	}
+	c.declared[node] = phaseDecl{}
+}
+
+// OnEpochQuiesced snapshots every block's digest at the fold's globally
+// quiescent instant.
+func (c *Checker) OnEpochQuiesced(node kernel.NodeID, epoch int64, now kernel.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensure()
+	if !c.cfg.CollectDigests {
+		return
+	}
+	nb := c.space.Blocks()
+	ed := EpochDigest{Epoch: epoch, Digests: make([]uint64, nb)}
+	for b := 0; b < nb; b++ {
+		ed.Digests[b], _ = c.space.BlockDigest(b)
+	}
+	c.report.Epochs = append(c.report.Epochs, ed)
+}
+
+// OnTaskShip pushes the sender's clock for a fork or granted steal.
+func (c *Checker) OnTaskShip(from, to kernel.NodeID, k dsm.TaskKey, now kernel.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensure()
+	tk := taskKey{k: k, from: from}
+	c.tasks[tk] = append(c.tasks[tk], c.clocks[from].clone())
+	c.tick(from)
+}
+
+// OnTaskStart joins the shipper's clock into the executing node.
+func (c *Checker) OnTaskStart(node kernel.NodeID, k dsm.TaskKey, now kernel.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensure()
+	// The start does not know which node shipped the task (a steal may
+	// re-route it), so join every pending shipment of this key: joining
+	// more than the true sender only strengthens ordering.
+	for from := 0; from < c.n; from++ {
+		tk := taskKey{k: k, from: kernel.NodeID(from)}
+		if q := c.tasks[tk]; len(q) > 0 {
+			c.clocks[node].join(q[0])
+			c.tasks[tk] = q[1:]
+		}
+	}
+}
+
+// OnResultShip pushes the executing node's clock for a remote result.
+func (c *Checker) OnResultShip(from, to kernel.NodeID, k dsm.TaskKey, now kernel.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensure()
+	c.results[k] = append(c.results[k], c.clocks[from].clone())
+	c.tick(from)
+}
+
+// OnResultDeliver joins the executor's clock into the join's origin node.
+func (c *Checker) OnResultDeliver(node kernel.NodeID, k dsm.TaskKey, now kernel.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensure()
+	if q := c.results[k]; len(q) > 0 {
+		c.clocks[node].join(q[0])
+		c.results[k] = q[1:]
+	}
+}
+
+// OnFilamentBegin pushes a frame carrying the describer's declared ranges.
+func (c *Checker) OnFilamentBegin(node kernel.NodeID, label string, reads, writes []dsm.Range, now kernel.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensure()
+	c.frames[node] = append(c.frames[node], frame{label: label, reads: reads, writes: writes})
+}
+
+// OnFilamentEnd pops the node's frame stack.
+func (c *Checker) OnFilamentEnd(node kernel.NodeID, now kernel.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensure()
+	if st := c.frames[node]; len(st) > 0 {
+		c.frames[node] = st[:len(st)-1]
+	}
+}
+
+var _ dsm.Monitor = (*Checker)(nil)

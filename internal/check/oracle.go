@@ -1,0 +1,147 @@
+package check
+
+import (
+	"fmt"
+
+	"filaments"
+)
+
+// This file is the sequential-consistency oracle: it runs an app's DF
+// program twice in the simulator — once on p nodes, once on one node —
+// with digest collection on, and asserts the shared pages are bitwise
+// equal at every quiescent barrier epoch. The comparison is meaningful
+// because the allocator's block layout is node-count-invariant (Alloc
+// advances the brk identically regardless of ownership, and striping only
+// changes owners), and because OnEpochQuiesced fires at the reduction
+// fold, when every node has arrived and no node has resumed, so exactly
+// one owner holds each block.
+//
+// The tournament and centralized barriers both have that global instant;
+// the dissemination barrier does not (no node ever holds the whole fold),
+// so the oracle reports zero comparable epochs there and the caller must
+// treat Dissemination as unsupported.
+
+// Mismatch is one block whose content differs between the parallel and
+// sequential runs at a quiescent epoch.
+type Mismatch struct {
+	Epoch int64
+	Block int
+	Par   uint64
+	Seq   uint64
+}
+
+func (m Mismatch) String() string {
+	return fmt.Sprintf("epoch %d block %d: parallel digest %#x != sequential digest %#x",
+		m.Epoch, m.Block, m.Par, m.Seq)
+}
+
+// CompareEpochs diffs two runs' per-epoch digests. It returns the
+// mismatches, the number of epochs compared, and an error if the epoch
+// sequences themselves disagree (different barrier structure).
+func CompareEpochs(par, seq []EpochDigest) ([]Mismatch, int, error) {
+	if len(par) != len(seq) {
+		return nil, 0, fmt.Errorf("check: %d quiescent epochs in parallel run, %d in sequential run", len(par), len(seq))
+	}
+	var out []Mismatch
+	for i := range par {
+		if par[i].Epoch != seq[i].Epoch {
+			return nil, 0, fmt.Errorf("check: epoch sequence diverges at %d: %d vs %d", i, par[i].Epoch, seq[i].Epoch)
+		}
+		if len(par[i].Digests) != len(seq[i].Digests) {
+			return nil, 0, fmt.Errorf("check: epoch %d: %d blocks in parallel run, %d in sequential run",
+				par[i].Epoch, len(par[i].Digests), len(seq[i].Digests))
+		}
+		for b := range par[i].Digests {
+			if par[i].Digests[b] != seq[i].Digests[b] {
+				out = append(out, Mismatch{Epoch: par[i].Epoch, Block: b, Par: par[i].Digests[b], Seq: seq[i].Digests[b]})
+			}
+		}
+	}
+	return out, len(par), nil
+}
+
+// AppConfig parameterizes one checked app run.
+type AppConfig struct {
+	Nodes    int
+	Protocol filaments.Protocol
+	// MirageWindow: 0 keeps the model default, negative disables it.
+	MirageWindow filaments.Duration
+	Monitor      filaments.Monitor
+}
+
+// An App is a checkable application: Run executes its DF program in the
+// simulator under the given configuration. The shipped apps use small
+// problem sizes here — the checker observes every access, so dfcheck
+// trades scale for full coverage.
+type App struct {
+	Name string
+	// UsesDSM is false for programs that never touch shared memory
+	// (quadrature); the oracle still compares their (empty) digests.
+	UsesDSM bool
+	// MirageOffSafe reports whether the app terminates on this cluster
+	// size under proto with the Mirage anti-thrashing window disabled.
+	// With the window off, migratory read-sharing (and any write false
+	// sharing, e.g. strips that don't align to page boundaries) hands the
+	// page back and forth forever before the woken thread can touch it —
+	// the livelock the window exists to prevent — so those legs of the
+	// sweep are skipped by design, not by oversight. nil means always
+	// safe.
+	MirageOffSafe func(proto filaments.Protocol, nodes int) bool
+	Run           func(cfg AppConfig)
+}
+
+// Result is the outcome of checking one app under one configuration.
+type Result struct {
+	App      string
+	Nodes    int
+	Protocol filaments.Protocol
+	Mirage   bool
+	// Parallel is the p-node run's report.
+	Parallel *Report
+	// Epochs is how many quiescent epochs the oracle compared.
+	Epochs int
+	// Mismatches are oracle failures (parallel vs sequential digests).
+	Mismatches []Mismatch
+	// Err reports structural oracle failures (epoch sequences diverged).
+	Err error
+}
+
+// Ok reports whether the run was race-free and oracle-clean.
+func (r *Result) Ok() bool {
+	return r.Err == nil && len(r.Mismatches) == 0 &&
+		len(r.Parallel.Races) == 0 && len(r.Parallel.Violations) == 0
+}
+
+// Sweep checks app on nodes under every protocol, with the Mirage window
+// on and (where the app declares it safe — see App.MirageOffSafe) off.
+func Sweep(app App, nodes int) []*Result {
+	var out []*Result
+	for _, proto := range []filaments.Protocol{
+		filaments.Migratory, filaments.WriteInvalidate, filaments.ImplicitInvalidate,
+	} {
+		for _, mirage := range []bool{true, false} {
+			if !mirage && app.MirageOffSafe != nil && !app.MirageOffSafe(proto, nodes) {
+				continue
+			}
+			out = append(out, CheckApp(app, nodes, proto, mirage))
+		}
+	}
+	return out
+}
+
+// CheckApp runs app on nodes under proto (with the Mirage window on or
+// off), with the happens-before checker attached, then replays it on a
+// single node and compares per-epoch digests.
+func CheckApp(app App, nodes int, proto filaments.Protocol, mirage bool) *Result {
+	window := filaments.Duration(0)
+	if !mirage {
+		window = -1
+	}
+	par := New(Config{CollectDigests: true, CheckDeclared: true})
+	app.Run(AppConfig{Nodes: nodes, Protocol: proto, MirageWindow: window, Monitor: par})
+	seq := New(Config{CollectDigests: true})
+	app.Run(AppConfig{Nodes: 1, Protocol: proto, MirageWindow: window, Monitor: seq})
+	res := &Result{App: app.Name, Nodes: nodes, Protocol: proto, Mirage: mirage, Parallel: par.Report()}
+	res.Mismatches, res.Epochs, res.Err = CompareEpochs(res.Parallel.Epochs, seq.Report().Epochs)
+	return res
+}

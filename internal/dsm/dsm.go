@@ -230,6 +230,9 @@ func (d *DSM) ReadF64(t kernel.Thread, a Addr) float64 {
 	if st.access == accNone {
 		d.fault(t, int(b), false)
 	}
+	if m := d.space.monitor; m != nil {
+		m.OnAccess(d.node.ID(), a, 8, false, d.node.Now())
+	}
 	off := a - Addr(d.space.blockStart[b])<<pageShift
 	return math.Float64frombits(binary.LittleEndian.Uint64(st.frame[off:]))
 }
@@ -240,6 +243,9 @@ func (d *DSM) WriteF64(t kernel.Thread, a Addr, v float64) {
 	st := &d.blocks[b]
 	if st.access != accRW {
 		d.fault(t, int(b), true)
+	}
+	if m := d.space.monitor; m != nil {
+		m.OnAccess(d.node.ID(), a, 8, true, d.node.Now())
 	}
 	off := a - Addr(d.space.blockStart[b])<<pageShift
 	binary.LittleEndian.PutUint64(st.frame[off:], math.Float64bits(v))
@@ -252,6 +258,9 @@ func (d *DSM) ReadI64(t kernel.Thread, a Addr) int64 {
 	if st.access == accNone {
 		d.fault(t, int(b), false)
 	}
+	if m := d.space.monitor; m != nil {
+		m.OnAccess(d.node.ID(), a, 8, false, d.node.Now())
+	}
 	off := a - Addr(d.space.blockStart[b])<<pageShift
 	return int64(binary.LittleEndian.Uint64(st.frame[off:]))
 }
@@ -262,6 +271,9 @@ func (d *DSM) WriteI64(t kernel.Thread, a Addr, v int64) {
 	st := &d.blocks[b]
 	if st.access != accRW {
 		d.fault(t, int(b), true)
+	}
+	if m := d.space.monitor; m != nil {
+		m.OnAccess(d.node.ID(), a, 8, true, d.node.Now())
 	}
 	off := a - Addr(d.space.blockStart[b])<<pageShift
 	binary.LittleEndian.PutUint64(st.frame[off:], uint64(v))
@@ -356,13 +368,13 @@ func (d *DSM) sendRequest(b int, write bool, dst kernel.NodeID) {
 	d.ctr.requests.Inc()
 	req := pageReq{Block: int32(b), Write: write}
 	d.ep.RequestSized(dst, SvcPage, req, reqSize, d.space.blockSize(b), kernel.CatData, func(r any) {
-		d.onPageReply(b, write, r)
+		d.onPageReply(b, write, dst, r)
 	})
 }
 
 // onPageReply handles the reply to one of our page requests. It runs in
 // node context (kernel or a preempting thread).
-func (d *DSM) onPageReply(b int, write bool, r any) {
+func (d *DSM) onPageReply(b int, write bool, from kernel.NodeID, r any) {
 	st := &d.blocks[b]
 	switch m := r.(type) {
 	case redirect:
@@ -371,14 +383,14 @@ func (d *DSM) onPageReply(b int, write bool, r any) {
 		d.ctr.redirected.Inc()
 		d.sendRequest(b, write, m.Owner)
 	case pageData:
-		d.install(b, write, m)
+		d.install(b, write, from, m)
 	default:
 		panic(fmt.Sprintf("dsm: unexpected page reply %T", r))
 	}
 }
 
 // install places received page data, completing or continuing the fetch.
-func (d *DSM) install(b int, write bool, m pageData) {
+func (d *DSM) install(b int, write bool, from kernel.NodeID, m pageData) {
 	st := &d.blocks[b]
 	d.node.Charge(kernel.CatData, d.node.Model().PageInstall)
 	d.ctr.bytesIn.Add(int64(len(m.Data)))
@@ -397,6 +409,9 @@ func (d *DSM) install(b int, write bool, m pageData) {
 		st.touched = true // conservative: we may write without faulting
 		st.probOwner = d.node.ID()
 		st.copyset = append(st.copyset[:0], m.Copyset...)
+	}
+	if mon := d.space.monitor; mon != nil {
+		mon.OnPageInstall(d.node.ID(), from, b, m.GrantOwner, d.node.Now())
 	}
 	switch {
 	case m.GrantOwner && write && d.proto == WriteInvalidate && len(st.copyset) > 0:
@@ -517,6 +532,9 @@ func (d *DSM) servePage(from kernel.NodeID, req any) (any, int, kernel.Verdict) 
 	}
 	d.ctr.served.Inc()
 	d.ctr.bytesOut.Add(int64(len(data)))
+	if mon := d.space.monitor; mon != nil {
+		mon.OnPageServe(d.node.ID(), from, b, takesAway, d.node.Now())
+	}
 
 	switch {
 	case takesAway:

@@ -6,6 +6,7 @@ import (
 
 	"filaments/internal/cost"
 	"filaments/internal/kernel"
+	"filaments/internal/obs"
 	"filaments/internal/packet"
 	"filaments/internal/sim"
 	"filaments/internal/simnet"
@@ -361,6 +362,69 @@ func TestMirageWindowDropsAndRetries(t *testing.T) {
 	}
 	if elapsed < m.MirageWindow {
 		t.Fatalf("page obtained after %v, inside the %v window", elapsed, m.MirageWindow)
+	}
+}
+
+// TestMirageDropCounterAndTraceAgree pins down that a window drop is
+// observable through BOTH channels the observability layer offers: the
+// dsm.mirage_drops counter and a "mirage_drop" trace instant naming the
+// block and the rejected requester. Dashboards read the counter and the
+// trace viewer reads the instant; a drop that shows up in one but not
+// the other would make the two tell different stories about the same
+// run.
+func TestMirageDropCounterAndTraceAgree(t *testing.T) {
+	fx := newFixture(t, 2, Migratory)
+	m := fx.nodes[0].Model()
+	m.MirageWindow = 50 * sim.Millisecond
+	tr := obs.NewTracer()
+	for _, n := range fx.nodes {
+		n.Obs().SetTracer(tr)
+	}
+	a := fx.space.Alloc(PageSize, AllocOpts{Owner: 0})
+	b := fx.space.BlockOf(a)
+	fx.run(t, map[int]func(*threads.Thread){
+		0: func(th *threads.Thread) {
+			fx.dsms[0].WriteF64(th, a, 5)
+		},
+		1: func(th *threads.Thread) {
+			_ = fx.dsms[1].ReadF64(th, a)
+		},
+	})
+	drops := fx.dsms[0].Stats().MirageDrops
+	if drops == 0 {
+		t.Fatal("window never dropped a request")
+	}
+	var instants int64
+	for _, ev := range tr.Events() {
+		if ev.Cat != "dsm" || ev.Name != "mirage_drop" {
+			continue
+		}
+		instants++
+		if ev.Dur >= 0 {
+			t.Errorf("mirage_drop must be an instant event, got span of %d", ev.Dur)
+		}
+		if ev.Node != 0 {
+			t.Errorf("drop emitted by node %d; only node 0 holds the page", ev.Node)
+		}
+		want := []obs.Arg{{Key: "block", Val: int64(b)}, {Key: "from", Val: 1}}
+		for _, w := range want {
+			found := false
+			for _, arg := range ev.Args {
+				if arg.Key != w.Key {
+					continue
+				}
+				found = true
+				if arg.Val != w.Val {
+					t.Errorf("mirage_drop arg %s = %d, want %d", arg.Key, arg.Val, w.Val)
+				}
+			}
+			if !found {
+				t.Errorf("mirage_drop instant missing arg %q", w.Key)
+			}
+		}
+	}
+	if instants != int64(drops) {
+		t.Errorf("counter recorded %d drops but the trace has %d mirage_drop instants", drops, instants)
 	}
 }
 

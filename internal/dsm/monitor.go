@@ -1,0 +1,129 @@
+package dsm
+
+import (
+	"filaments/internal/kernel"
+)
+
+// Range is a half-open byte range [Lo, Hi) of the shared address space,
+// used by the access-annotation API (NoteRead/NoteWrite) to declare the
+// extent a phase or filament touches.
+type Range struct {
+	Lo, Hi Addr
+}
+
+// Contains reports whether a lies in the range.
+func (r Range) Contains(a Addr) bool { return a >= r.Lo && a < r.Hi }
+
+// TaskKey identifies one fork/join task across nodes: the join it reports
+// to (origin node and join id), the registered function, and a hash of
+// its arguments. It is defined here, not in internal/filament, so the
+// whole Monitor seam lives in one package without an import cycle.
+type TaskKey struct {
+	Origin kernel.NodeID
+	Join   int64
+	Fn     int32
+	Sum    uint64
+}
+
+// A Monitor observes the memory-model-relevant events of a run: every
+// typed access, the declared access ranges, page-ownership transfers,
+// barrier/reduction epochs, and fork/join task and result shipment. It is
+// the seam cmd/dfcheck's happens-before checker attaches to.
+//
+// All callbacks run synchronously in node context (under the simulation,
+// on the single scheduler goroutine; under the real-time binding, on the
+// calling node's monitor goroutine), so a Monitor shared by several nodes
+// must synchronize internally for the UDP binding. Callbacks must not
+// block and must not call back into the DSM. A nil monitor costs one
+// pointer load per access.
+type Monitor interface {
+	// OnAttach is called once when the monitor is installed on a Space.
+	OnAttach(s *Space)
+	// OnAccess reports one typed access of size bytes at a.
+	OnAccess(node kernel.NodeID, a Addr, size int, write bool, now kernel.Time)
+	// OnNote reports a declared access range (NoteRead/NoteWrite).
+	OnNote(node kernel.NodeID, r Range, write bool, now kernel.Time)
+	// OnPageServe reports that node from served block b to node to.
+	// grantOwner is true when ownership moved with the data.
+	OnPageServe(from, to kernel.NodeID, b int, grantOwner bool, now kernel.Time)
+	// OnPageInstall reports that node installed block b received from from.
+	OnPageInstall(node, from kernel.NodeID, b int, grantOwner bool, now kernel.Time)
+	// OnBarrierArrive/OnBarrierRelease bracket one node's passage through
+	// barrier (or reduction) epoch.
+	OnBarrierArrive(node kernel.NodeID, epoch int64, now kernel.Time)
+	OnBarrierRelease(node kernel.NodeID, epoch int64, now kernel.Time)
+	// OnEpochQuiesced fires once per epoch, on the node that completed the
+	// global fold, at an instant when every node has arrived and quiesced:
+	// a safe point to snapshot page contents. The dissemination barrier
+	// has no such global instant and never fires this.
+	OnEpochQuiesced(node kernel.NodeID, epoch int64, now kernel.Time)
+	// OnTaskShip/OnTaskStart pair a fork/join task's shipment to another
+	// node (a fork send or a granted steal) with its arrival there.
+	OnTaskShip(from, to kernel.NodeID, k TaskKey, now kernel.Time)
+	OnTaskStart(node kernel.NodeID, k TaskKey, now kernel.Time)
+	// OnResultShip/OnResultDeliver pair a remotely executed task's result
+	// with its delivery at the join's origin node.
+	OnResultShip(from, to kernel.NodeID, k TaskKey, now kernel.Time)
+	OnResultDeliver(node kernel.NodeID, k TaskKey, now kernel.Time)
+	// OnFilamentBegin/OnFilamentEnd bracket one fork/join filament body,
+	// with the ranges its registered describer declared (nil when the
+	// function has no describer). Bodies nest: a filament that waits on a
+	// join runs pending tasks inline.
+	OnFilamentBegin(node kernel.NodeID, label string, reads, writes []Range, now kernel.Time)
+	OnFilamentEnd(node kernel.NodeID, now kernel.Time)
+}
+
+// SetMonitor installs m as the space's monitor (nil detaches). It must be
+// called before the run starts; the DSM layer never synchronizes with it.
+func (s *Space) SetMonitor(m Monitor) {
+	s.monitor = m
+	if m != nil {
+		m.OnAttach(s)
+	}
+}
+
+// Monitor returns the installed monitor, or nil.
+func (s *Space) Monitor() Monitor { return s.monitor }
+
+// Nodes returns how many node DSMs share this space.
+func (s *Space) Nodes() int { return len(s.dsms) }
+
+// NoteRead declares that this node is about to read the range, at
+// range granularity, for the memory-model checker. A no-op without a
+// monitor.
+func (d *DSM) NoteRead(r Range) {
+	if m := d.space.monitor; m != nil {
+		m.OnNote(d.node.ID(), r, false, d.node.Now())
+	}
+}
+
+// NoteWrite declares that this node is about to write the range.
+func (d *DSM) NoteWrite(r Range) {
+	if m := d.space.monitor; m != nil {
+		m.OnNote(d.node.ID(), r, true, d.node.Now())
+	}
+}
+
+// BlockDigest returns an FNV-1a digest of block b's content as held by
+// its current owner. It is meaningful only at globally quiescent instants
+// (OnEpochQuiesced, or after the run), when exactly one node owns the
+// block and no transfer is in flight; the second result is false if no
+// owner frame was found.
+func (s *Space) BlockDigest(b int) (uint64, bool) {
+	for _, d := range s.dsms {
+		st := &d.blocks[b]
+		if st.owner && st.frame != nil {
+			const (
+				offset64 = 14695981039346656037
+				prime64  = 1099511628211
+			)
+			h := uint64(offset64)
+			for _, c := range st.frame {
+				h ^= uint64(c)
+				h *= prime64
+			}
+			return h, true
+		}
+	}
+	return 0, false
+}

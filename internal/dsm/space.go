@@ -73,6 +73,10 @@ type Space struct {
 	home []kernel.NodeID // initial owner per block
 
 	dsms []*DSM // every node's DSM, for initial-state setup
+
+	// monitor, when non-nil, observes accesses, transfers, and sync events
+	// on every node (see Monitor in monitor.go).
+	monitor Monitor
 }
 
 // NewSpace creates a shared address space of at most maxBytes (rounded up

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"filaments/internal/dsm"
 	"filaments/internal/kernel"
 	"filaments/internal/obs"
 	"filaments/internal/rtnode"
@@ -55,6 +56,11 @@ type forkMsg struct{ T task }
 type resultMsg struct {
 	JoinID int64
 	Value  float64
+	// Fn and Sum echo the task's identity so the memory-model monitor can
+	// pair this delivery with its OnResultShip event. The wire charge stays
+	// fjMsgSize, so simulated timings are unchanged.
+	Fn  int32
+	Sum uint64
 }
 
 // A steal request carries no payload (the request itself is the probe);
@@ -88,8 +94,15 @@ type worker struct {
 	timedIdx int64 // nonzero while a timed wake is armed
 }
 
+// RangeFunc describes the shared-memory ranges one fork/join filament
+// will touch, as a function of its arguments. Registered describers let
+// the distributor auto-emit NoteRead/NoteWrite annotations for every
+// filament it runs, at the filament's declared index range.
+type RangeFunc func(a Args) (reads, writes []dsm.Range)
+
 type fjState struct {
-	funcs []FJFunc
+	funcs  []FJFunc
+	ranges []RangeFunc
 
 	children  []kernel.NodeID // binomial-tree children, nearest first
 	nextChild int
@@ -162,6 +175,65 @@ func (rt *Runtime) RegisterFJ(id int, fn FJFunc) {
 	fj.funcs[id] = fn
 }
 
+// RegisterFJRanges registers the range describer for the fork/join
+// function with the given ID (identically on every node, like
+// RegisterFJ). When a memory-model monitor is attached, every execution
+// of the function is bracketed with the describer's declared ranges.
+func (rt *Runtime) RegisterFJRanges(id int, fn RangeFunc) {
+	fj := &rt.fj
+	for len(fj.ranges) <= id {
+		fj.ranges = append(fj.ranges, nil)
+	}
+	fj.ranges[id] = fn
+}
+
+// taskKey is the monitor identity of tk.
+func taskKey(tk task) dsm.TaskKey {
+	return dsm.TaskKey{Origin: tk.Origin, Join: tk.JoinID, Fn: tk.Fn, Sum: argsSum(tk.Args)}
+}
+
+// argsSum is an FNV-1a hash of the task arguments, used only to pair
+// monitor events for tasks that share an origin, join, and function.
+func argsSum(a Args) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range a {
+		for i := 0; i < 8; i++ {
+			h ^= uint64(v>>(8*i)) & 0xff
+			h *= prime64
+		}
+	}
+	return h
+}
+
+// callFJ invokes a fork/join body, bracketing it for the memory-model
+// monitor with the ranges its registered describer declares. Without a
+// monitor it is a plain call.
+func (rt *Runtime) callFJ(e *Exec, fnID int32, args Args) float64 {
+	m := rt.monitor()
+	if m == nil {
+		return rt.fj.funcs[fnID](e, args)
+	}
+	var reads, writes []dsm.Range
+	if int(fnID) < len(rt.fj.ranges) && rt.fj.ranges[fnID] != nil {
+		reads, writes = rt.fj.ranges[fnID](args)
+	}
+	now := rt.node.Now()
+	m.OnFilamentBegin(rt.node.ID(), fmt.Sprintf("fj/%d%v", fnID, args), reads, writes, now)
+	for _, r := range reads {
+		m.OnNote(rt.node.ID(), r, false, now)
+	}
+	for _, r := range writes {
+		m.OnNote(rt.node.ID(), r, true, now)
+	}
+	v := rt.fj.funcs[fnID](e, args)
+	m.OnFilamentEnd(rt.node.ID(), rt.node.Now())
+	return v
+}
+
 // NewJoin creates an empty join.
 func (rt *Runtime) NewJoin() *Join {
 	rt.fj.nextID++
@@ -186,6 +258,9 @@ func (rt *Runtime) Fork(e *Exec, j *Join, fnID int, args Args) {
 		fj.nextChild++
 		rt.ctr.forksSent.Inc()
 		e.Flush()
+		if m := rt.monitor(); m != nil {
+			m.OnTaskShip(rt.node.ID(), dst, taskKey(tk), rt.node.Now())
+		}
 		rt.ep.RequestAsync(dst, SvcFork, forkMsg{T: tk}, fjMsgSize, kernel.CatFilament, func(any) {})
 		return
 	}
@@ -194,7 +269,7 @@ func (rt *Runtime) Fork(e *Exec, j *Join, fnID int, args Args) {
 	} else if len(fj.pending) >= pruneThreshold {
 		// Pruning: the fork becomes a procedure call, the join a return.
 		rt.ctr.forksPruned.Inc()
-		v := fj.funcs[fnID](e, args)
+		v := rt.callFJ(e, int32(fnID), args)
 		e.Flush()
 		j.deliver(v)
 		return
@@ -278,13 +353,17 @@ func (rt *Runtime) execTask(e *Exec, tk task) {
 	rt.ctr.tasksExecuted.Inc()
 	rt.ctr.run.Inc()
 	e.overhead(rt.node.Model().FilamentSwitch)
-	v := rt.fj.funcs[tk.Fn](e, tk.Args)
+	v := rt.callFJ(e, tk.Fn, tk.Args)
 	e.Flush()
 	if tk.Origin == rt.node.ID() {
 		rt.joinDeliver(tk.JoinID, v)
 		return
 	}
-	rt.ep.RequestAsync(tk.Origin, SvcResult, resultMsg{JoinID: tk.JoinID, Value: v},
+	k := taskKey(tk)
+	if m := rt.monitor(); m != nil {
+		m.OnResultShip(rt.node.ID(), tk.Origin, k, rt.node.Now())
+	}
+	rt.ep.RequestAsync(tk.Origin, SvcResult, resultMsg{JoinID: tk.JoinID, Value: v, Fn: k.Fn, Sum: k.Sum},
 		fjMsgSize, kernel.CatFilament, func(any) {})
 }
 
@@ -424,6 +503,9 @@ func (rt *Runtime) trySteal(e *Exec) bool {
 			obs.Arg{Key: "victim", Val: int64(victim)}, obs.Arg{Key: "granted", Val: granted})
 		if m.Granted {
 			rt.ctr.stealsGranted.Inc()
+			if mon := rt.monitor(); mon != nil {
+				mon.OnTaskStart(rt.node.ID(), taskKey(m.T), rt.node.Now())
+			}
 			rt.enqueue(m.T)
 			return true
 		}
@@ -438,6 +520,9 @@ func (rt *Runtime) serveFork(from kernel.NodeID, req any) (any, int, kernel.Verd
 	if rt.fj.done {
 		return nil, 8, kernel.Reply
 	}
+	if mon := rt.monitor(); mon != nil {
+		mon.OnTaskStart(rt.node.ID(), taskKey(m.T), rt.node.Now())
+	}
 	rt.enqueue(m.T)
 	return nil, 8, kernel.Reply
 }
@@ -445,6 +530,10 @@ func (rt *Runtime) serveFork(from kernel.NodeID, req any) (any, int, kernel.Verd
 // serveResult receives a child's result.
 func (rt *Runtime) serveResult(from kernel.NodeID, req any) (any, int, kernel.Verdict) {
 	m := req.(resultMsg)
+	if mon := rt.monitor(); mon != nil {
+		k := dsm.TaskKey{Origin: rt.node.ID(), Join: m.JoinID, Fn: m.Fn, Sum: m.Sum}
+		mon.OnResultDeliver(rt.node.ID(), k, rt.node.Now())
+	}
 	rt.joinDeliver(m.JoinID, m.Value)
 	return nil, 8, kernel.Reply
 }
@@ -457,6 +546,9 @@ func (rt *Runtime) serveSteal(from kernel.NodeID, req any) (any, int, kernel.Ver
 	// Steal from the front: the oldest filament is highest in the
 	// recursion tree and so the biggest piece of work.
 	if tk, ok := rt.dequeueFront(); ok {
+		if mon := rt.monitor(); mon != nil {
+			mon.OnTaskShip(rt.node.ID(), from, taskKey(tk), rt.node.Now())
+		}
 		return stealReply{Granted: true, T: tk}, fjMsgSize, kernel.Reply
 	}
 	return stealReply{}, fjMsgSize, kernel.Reply
@@ -500,7 +592,7 @@ func (rt *Runtime) RunForkJoin(e *Exec, fnID int, args Args) float64 {
 	fj := &rt.fj
 	if rt.ID() == 0 {
 		// The root filament runs here; its forks fan out down the tree.
-		v := fj.funcs[fnID](e, args)
+		v := rt.callFJ(e, int32(fnID), args)
 		e.Flush()
 		rt.finish(v)
 		if rt.n > 1 {

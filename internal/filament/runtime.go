@@ -156,6 +156,15 @@ func (rt *Runtime) Nodes() int { return rt.n }
 // ID returns this node's rank.
 func (rt *Runtime) ID() int { return int(rt.node.ID()) }
 
+// monitor returns the memory-model monitor attached to the shared space,
+// or nil (the common case; programs without a DSM never have one).
+func (rt *Runtime) monitor() dsm.Monitor {
+	if rt.d == nil {
+		return nil
+	}
+	return rt.d.Space().Monitor()
+}
+
 // Stats returns a snapshot of runtime counters. The counters are atomic,
 // so the snapshot is safe to take from any goroutine during a live run.
 func (rt *Runtime) Stats() Stats {
@@ -268,6 +277,13 @@ func (e *Exec) WriteI64(a dsm.Addr, v int64) {
 	}
 	e.rt.d.WriteI64(e.t, a, v)
 }
+
+// NoteRead declares a shared range this node is about to read, for the
+// memory-model checker (see dsm.Monitor). A no-op without a monitor.
+func (e *Exec) NoteRead(r dsm.Range) { e.rt.d.NoteRead(r) }
+
+// NoteWrite declares a shared range this node is about to write.
+func (e *Exec) NoteWrite(r dsm.Range) { e.rt.d.NoteWrite(r) }
 
 // Reduce flushes and performs a cluster-wide reduction (a barrier point).
 func (e *Exec) Reduce(x float64, op reduce.Op) float64 {

@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BarrierPhase flags filament distribution that follows a DSM write with
+// no barrier in between.
+//
+// The DF memory model publishes writes at barriers (and reductions,
+// which ride the barrier): a master that writes shared pages and then
+// calls RunPools or RunForkJoin in the same phase races the distributed
+// filaments against its own unpublished writes — under write-invalidate
+// or implicit-invalidate the filaments can read stale page copies. This
+// is exactly the stale-copy hazard dfcheck's dynamic prong detects, and
+// the third seeded bug in internal/apps/racer; this rule catches the
+// shape at compile time.
+//
+// The analysis is a per-function abstract interpretation of one bit:
+// "a typed DSM write has happened since the last barrier". WriteF64 and
+// WriteI64 (on Exec or DSM) set it; Barrier and Reduce clear it;
+// RunPools and RunForkJoin while it is set are reported. Fork is
+// deliberately NOT a trigger: shipping a fork/join task is itself a
+// happens-before edge (the task carries its origin's clock), so
+// write-then-Fork is ordered. If branches merge pessimistically (dirty
+// if either arm is), and loop bodies are evaluated twice so a write at
+// the bottom of one iteration reaches a distribution at the top of the
+// next. Each function literal is analyzed independently: a filament
+// body's writes belong to its own execution, not to the phase of the
+// function that created it.
+var BarrierPhase = &Analyzer{
+	Name: "barrierphase",
+	Doc: "forbid RunPools/RunForkJoin while a DSM write from the same phase has " +
+		"not been published by a barrier or reduction",
+	Run: runBarrierPhase,
+}
+
+func runBarrierPhase(pass *Pass) {
+	if !pass.Kernel() {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					bp := &bpWalk{pass: pass, reported: make(map[token.Pos]bool)}
+					bp.block(fn.Body, bpState{})
+				}
+			case *ast.FuncLit:
+				bp := &bpWalk{pass: pass, reported: make(map[token.Pos]bool)}
+				bp.block(fn.Body, bpState{})
+			}
+			return true
+		})
+	}
+}
+
+// bpState is the abstract state: whether an unpublished DSM write exists
+// and where the most recent one was.
+type bpState struct {
+	dirty bool
+	write token.Pos
+}
+
+func merge(a, b bpState) bpState {
+	switch {
+	case a.dirty:
+		return a
+	case b.dirty:
+		return b
+	}
+	return bpState{}
+}
+
+type bpWalk struct {
+	pass     *Pass
+	reported map[token.Pos]bool
+}
+
+func (w *bpWalk) block(b *ast.BlockStmt, s bpState) bpState {
+	for _, st := range b.List {
+		s = w.stmt(st, s)
+	}
+	return s
+}
+
+func (w *bpWalk) stmt(st ast.Stmt, s bpState) bpState {
+	switch n := st.(type) {
+	case *ast.BlockStmt:
+		return w.block(n, s)
+	case *ast.IfStmt:
+		if n.Init != nil {
+			s = w.stmt(n.Init, s)
+		}
+		s = w.scan(n.Cond, s)
+		then := w.block(n.Body, s)
+		alt := s
+		if n.Else != nil {
+			alt = w.stmt(n.Else, s)
+		}
+		return merge(then, alt)
+	case *ast.ForStmt:
+		if n.Init != nil {
+			s = w.stmt(n.Init, s)
+		}
+		// Two trips around the loop so a write at the bottom of one
+		// iteration reaches a distribution at the top of the next.
+		once := s
+		for i := 0; i < 2; i++ {
+			once = w.scan(n.Cond, once)
+			once = w.block(n.Body, once)
+			if n.Post != nil {
+				once = w.stmt(n.Post, once)
+			}
+		}
+		return merge(s, once)
+	case *ast.RangeStmt:
+		s = w.scan(n.X, s)
+		once := s
+		for i := 0; i < 2; i++ {
+			once = w.block(n.Body, once)
+		}
+		return merge(s, once)
+	case *ast.SwitchStmt:
+		if n.Init != nil {
+			s = w.stmt(n.Init, s)
+		}
+		s = w.scan(n.Tag, s)
+		return w.cases(n.Body, s)
+	case *ast.TypeSwitchStmt:
+		if n.Init != nil {
+			s = w.stmt(n.Init, s)
+		}
+		return w.cases(n.Body, s)
+	case *ast.SelectStmt:
+		return w.cases(n.Body, s)
+	case *ast.LabeledStmt:
+		return w.stmt(n.Stmt, s)
+	default:
+		// Straight-line statements: classify every call in the subtree.
+		return w.scan(st, s)
+	}
+}
+
+// cases merges a switch/select body: any clause may run.
+func (w *bpWalk) cases(body *ast.BlockStmt, s bpState) bpState {
+	out := s
+	for _, c := range body.List {
+		clause := s
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, st := range cc.Body {
+				clause = w.stmt(st, clause)
+			}
+		case *ast.CommClause:
+			for _, st := range cc.Body {
+				clause = w.stmt(st, clause)
+			}
+		}
+		out = merge(out, clause)
+	}
+	return out
+}
+
+// scan classifies the calls in an expression or straight-line statement,
+// skipping nested function literals (each is analyzed on its own).
+func (w *bpWalk) scan(root ast.Node, s bpState) bpState {
+	if root == nil {
+		return s
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch classifyPhaseCall(w.pass.Info, call) {
+		case bpWrite:
+			s = bpState{dirty: true, write: call.Pos()}
+		case bpClear:
+			s = bpState{}
+		case bpDistribute:
+			if s.dirty && !w.reported[call.Pos()] {
+				w.reported[call.Pos()] = true
+				w.pass.Reportf(call.Pos(),
+					"filaments distributed while the DSM write at %s has not been published by a barrier; remote filaments may read stale pages — put a Barrier or Reduce between the write and the distribution",
+					w.pass.Fset.Position(s.write))
+			}
+		}
+		return true
+	})
+	return s
+}
+
+type bpKind int
+
+const (
+	bpOther bpKind = iota
+	bpWrite
+	bpClear
+	bpDistribute
+)
+
+func classifyPhaseCall(info *types.Info, call *ast.CallExpr) bpKind {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return bpOther
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return bpOther
+	}
+	switch fn.Name() {
+	case "WriteF64", "WriteI64":
+		if recvNamed(fn, "Exec", "DSM") {
+			return bpWrite
+		}
+	case "Barrier", "Reduce":
+		if recvNamed(fn, "Exec") {
+			return bpClear
+		}
+	case "RunPools", "RunForkJoin":
+		if recvNamed(fn, "Runtime") {
+			return bpDistribute
+		}
+	}
+	return bpOther
+}

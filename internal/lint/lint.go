@@ -1,7 +1,8 @@
 // Package lint is dflint's analysis framework: a small, dependency-free
 // core in the shape of golang.org/x/tools/go/analysis (which this module
-// deliberately does not depend on) plus the five analyzers that machine-
-// check the kernel-seam contracts from internal/kernel's documentation.
+// deliberately does not depend on) plus the analyzers that machine-check
+// the kernel-seam contracts from internal/kernel's documentation and the
+// DSM memory-model contracts from internal/check's documentation.
 //
 // The contracts exist because the same kernel code (dsm, reduce, filament,
 // msg, apps) runs under two bindings: the deterministic simulation that
@@ -50,6 +51,9 @@ func Analyzers() []*Analyzer {
 		HandlerNoBlock,
 		MapRange,
 		GobReg,
+		SharedRange,
+		LoopCapture,
+		BarrierPhase,
 	}
 }
 
@@ -238,6 +242,37 @@ func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *typ
 			continue
 		}
 		out = append(out, d)
+	}
+	return out
+}
+
+// An Allow is one //dflint:allow escape hatch found in source, for
+// dflint's -allowlist audit mode: the hatches are part of the checked
+// contract surface, so the full set is kept in a reviewed baseline and
+// CI fails when a new one appears without a baseline change.
+type Allow struct {
+	Pos    token.Position
+	Rule   string
+	Reason string
+}
+
+// CollectAllows extracts every //dflint:allow comment from the files.
+func CollectAllows(fset *token.FileSet, files []*ast.File) []Allow {
+	var out []Allow
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				out = append(out, Allow{
+					Pos:    fset.Position(c.Slash),
+					Rule:   m[1],
+					Reason: strings.TrimSpace(m[2]),
+				})
+			}
+		}
 	}
 	return out
 }

@@ -27,6 +27,25 @@ func TestGobReg(t *testing.T) {
 	linttest.Run(t, "testdata/src", "gobreg", lint.GobReg)
 }
 
+func TestSharedRange(t *testing.T) {
+	linttest.Run(t, "testdata/src", "sharedrange", lint.SharedRange)
+}
+
+func TestLoopCapture(t *testing.T) {
+	linttest.Run(t, "testdata/src", "loopcapture", lint.LoopCapture)
+}
+
+func TestBarrierPhase(t *testing.T) {
+	linttest.Run(t, "testdata/src", "barrierphase", lint.BarrierPhase)
+}
+
+// TestRacefix pins down that the full static suite flags the same seeded
+// program dfcheck's dynamic prong detects (internal/apps/racer, minus
+// its //dflint:allow hatches).
+func TestRacefix(t *testing.T) {
+	linttest.Run(t, "testdata/src", "racefix", lint.Analyzers()...)
+}
+
 // TestNonKernelExempt runs the whole suite over a package outside the
 // kernel layer: none of the kernel-gated rules may fire.
 func TestNonKernelExempt(t *testing.T) {

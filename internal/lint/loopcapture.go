@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LoopCapture flags closures handed to spawning calls that capture a
+// loop variable the for statement merely ASSIGNS.
+//
+// Go 1.22 made `for i := ...` declare a fresh variable per iteration, so
+// the classic capture bug is gone for the common form. It survives in
+// the pre-declared form:
+//
+//	var i int
+//	for i = 0; i < n; i++ {
+//		pool.Add(e, func(e *Exec, a Args) { use(i) }, Args{})
+//	}
+//
+// There is exactly one i; every filament added to the pool reads
+// whatever it holds when the pool runs — normally the loop's final
+// value. Filaments make the bug worse than ordinary goroutine capture
+// because the body does not run until RunPools, long after the loop
+// finished. This is the second seeded bug in internal/apps/racer.
+//
+// The rule fires when a closure that uses such a variable is an
+// argument of a spawning call (Pool.Add, Runtime.AddAuto, a kernel
+// Spawn, or an engine Go). Capturing a copy declared inside the loop
+// body, or a `:=`-declared loop variable, is fine.
+var LoopCapture = &Analyzer{
+	Name: "loopcapture",
+	Doc: "forbid closures handed to spawning calls from capturing a loop variable " +
+		"that the for statement assigns rather than declares",
+	Run: runLoopCapture,
+}
+
+// spawnCallNames are the method names that hand a closure to machinery
+// that runs it later (or elsewhere): deferred execution is what turns a
+// shared loop variable into a final-value bug.
+var spawnCallNames = map[string]bool{
+	"Add":     true, // Pool.Add
+	"AddAuto": true, // Runtime.AddAuto
+	"Spawn":   true, // kernel.Executor / threads.Node
+	"Go":      true, // sim.Engine
+}
+
+func runLoopCapture(pass *Pass) {
+	if !pass.Kernel() {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var shared []types.Object
+			var body *ast.BlockStmt
+			switch s := n.(type) {
+			case *ast.ForStmt:
+				if as, ok := s.Init.(*ast.AssignStmt); ok && as.Tok == token.ASSIGN {
+					shared = assignedVars(pass.Info, as.Lhs)
+				}
+				body = s.Body
+			case *ast.RangeStmt:
+				if s.Tok == token.ASSIGN {
+					shared = assignedVars(pass.Info, []ast.Expr{s.Key, s.Value})
+				}
+				body = s.Body
+			default:
+				return true
+			}
+			if len(shared) == 0 {
+				return true
+			}
+			ast.Inspect(body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok || !isSpawnCall(pass.Info, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+					if !ok {
+						continue
+					}
+					for _, obj := range shared {
+						if usesObj(pass.Info, lit.Body, obj) {
+							pass.Reportf(lit.Pos(),
+								"closure captures loop variable %s, which the for statement assigns rather than declares: every instance shares its final value — declare it with := or pass it through Args",
+								obj.Name())
+						}
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// assignedVars resolves the identifiers a for statement assigns.
+func assignedVars(info *types.Info, exprs []ast.Expr) []types.Object {
+	var out []types.Object
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if obj := info.Uses[id]; obj != nil {
+			out = append(out, obj)
+		}
+	}
+	return out
+}
+
+func isSpawnCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && spawnCallNames[fn.Name()]
+}
+
+// usesObj reports whether the subtree references obj.
+func usesObj(info *types.Info, root ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SharedRange flags filament bodies that address shared memory through
+// captured integer variables instead of their Args record.
+//
+// A filament body is a func literal whose second parameter is the
+// six-word Args record (filament.Args). The runtime's pool recognizer,
+// fault frontloader, and fork/join distributor all assume a body is a
+// pure function of its Args: Args are what gets shipped with a task,
+// what the auto-pool signature hashes, and what the memory-model
+// checker's range describers see. An integer index captured from the
+// enclosing scope is shared by every instance of the filament — all of
+// them touch the word the variable happens to hold when they run, not
+// the word each was created for. That is the moral equivalent of a data
+// race even when it happens to produce the right answer, and it is the
+// first seeded bug in internal/apps/racer.
+//
+// The rule fires only on captured variables with a basic integer
+// underlying type that appear inside the argument subtree of a typed
+// DSM access (ReadF64/WriteF64/ReadI64/WriteI64 on Exec or DSM).
+// Captured base addresses (named Addr types), constants, and structures
+// are fine — they are the same for every filament by construction; so
+// are integers used outside addressing (loop bounds, Compute costs).
+var SharedRange = &Analyzer{
+	Name: "sharedrange",
+	Doc: "forbid filament bodies from addressing shared memory through captured " +
+		"integer variables; per-filament coordinates must flow through Args",
+	Run: runSharedRange,
+}
+
+func runSharedRange(pass *Pass) {
+	if !pass.Kernel() {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.FuncLit)
+			if ok && isFilamentBody(pass.Info, lit) {
+				checkFilamentBody(pass, lit)
+			}
+			return true
+		})
+	}
+}
+
+// isFilamentBody reports whether lit has the filament shape: its second
+// parameter is the Args record. (Pool bodies are func(*Exec, Args);
+// fork/join bodies add a float64 result — both match.)
+func isFilamentBody(info *types.Info, lit *ast.FuncLit) bool {
+	tv, ok := info.Types[lit]
+	if !ok {
+		return false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok || sig.Params().Len() != 2 {
+		return false
+	}
+	named, ok := sig.Params().At(1).Type().(*types.Named)
+	return ok && named.Obj().Name() == "Args"
+}
+
+func checkFilamentBody(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, ok := dsmAccess(pass.Info, call); !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				id, ok := m.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj, ok := pass.Info.Uses[id].(*types.Var)
+				if !ok {
+					return true
+				}
+				if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+					return true // declared inside the body: per-filament
+				}
+				if !capturedIndexType(obj.Type()) {
+					return true
+				}
+				pass.Reportf(id.Pos(),
+					"filament body addresses shared memory through captured variable %s; every filament instance shares it — pass per-filament coordinates through Args",
+					id.Name)
+				return true
+			})
+		}
+		return true
+	})
+}
+
+// capturedIndexType reports whether a captured variable of this type is
+// suspect: basic integer underlying type, but not a named Addr (base
+// addresses are global and identical for every filament).
+func capturedIndexType(t types.Type) bool {
+	if named, ok := t.(*types.Named); ok && named.Obj().Name() == "Addr" {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// dsmAccess reports whether call is a typed DSM access — a
+// ReadF64/WriteF64/ReadI64/WriteI64 method on an Exec or DSM receiver —
+// and whether it writes.
+func dsmAccess(info *types.Info, call *ast.CallExpr) (write, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return false, false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return false, false
+	}
+	switch fn.Name() {
+	case "WriteF64", "WriteI64":
+		write = true
+	case "ReadF64", "ReadI64":
+	default:
+		return false, false
+	}
+	return write, recvNamed(fn, "Exec", "DSM")
+}
+
+// recvNamed reports whether fn is a method whose receiver's (possibly
+// pointer-stripped) named type has one of the given names.
+func recvNamed(fn *types.Func, names ...string) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	for _, n := range names {
+		if named.Obj().Name() == n {
+			return true
+		}
+	}
+	return false
+}

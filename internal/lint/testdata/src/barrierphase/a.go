@@ -1,0 +1,103 @@
+//dflint:kernel
+
+// Hermetic stand-ins for the filament runtime: the analyzer matches on
+// receiver type names (Exec, DSM, Runtime) and method names, so these
+// fakes exercise the real code paths.
+package barrierphase
+
+type Addr int64
+
+type Args [6]int64
+
+type Thread struct{}
+
+type Exec struct{}
+
+func (e *Exec) Thread() *Thread                  { return nil }
+func (e *Exec) ReadF64(a Addr) float64           { return 0 }
+func (e *Exec) WriteF64(a Addr, v float64)       {}
+func (e *Exec) WriteI64(a Addr, v int64)         {}
+func (e *Exec) Barrier()                         {}
+func (e *Exec) Reduce(x float64, op int) float64 { return 0 }
+
+type DSM struct{}
+
+func (d *DSM) WriteF64(t *Thread, a Addr, v float64) {}
+
+type Join struct{}
+
+type Runtime struct{}
+
+func (rt *Runtime) NewJoin() *Join                              { return nil }
+func (rt *Runtime) Fork(e *Exec, j *Join, fn int, a Args)       {}
+func (rt *Runtime) RunPools(e *Exec)                            {}
+func (rt *Runtime) RunForkJoin(e *Exec, fn int, a Args) float64 { return 0 }
+
+func bad(rt *Runtime, e *Exec, d *DSM, a Addr) {
+	e.WriteF64(a, 1)
+	rt.RunPools(e) // want "has not been published by a barrier"
+	d.WriteF64(e.Thread(), a, 2)
+	rt.RunForkJoin(e, 1, Args{}) // want "has not been published by a barrier"
+}
+
+func badBranch(rt *Runtime, e *Exec, a Addr, cond bool) {
+	if cond {
+		e.WriteI64(a, 1)
+	}
+	// Dirty if either arm is: the write may have happened.
+	rt.RunPools(e) // want "has not been published by a barrier"
+}
+
+func badLoopCarried(rt *Runtime, e *Exec, a Addr) {
+	for i := 0; i < 3; i++ {
+		// Clean on the first trip, but the write at the bottom of one
+		// iteration reaches this distribution on the next.
+		rt.RunPools(e) // want "has not been published by a barrier"
+		e.WriteF64(a, float64(i))
+	}
+}
+
+func good(rt *Runtime, e *Exec, d *DSM, a Addr, cond bool) {
+	e.WriteF64(a, 1)
+	e.Barrier()
+	rt.RunPools(e)
+
+	d.WriteF64(e.Thread(), a, 2)
+	_ = e.Reduce(1, 0) // reductions ride the barrier: also a publish
+	rt.RunForkJoin(e, 1, Args{})
+
+	if cond {
+		e.WriteF64(a, 3)
+		e.Barrier()
+	} else {
+		e.Barrier()
+	}
+	rt.RunPools(e) // both arms end clean
+
+	for i := 0; i < 3; i++ {
+		e.WriteF64(a, float64(i))
+		e.Barrier()
+		rt.RunPools(e)
+	}
+
+	// Fork is not a trigger: shipping the task is itself a
+	// happens-before edge, so write-then-Fork is ordered.
+	j := rt.NewJoin()
+	e.WriteF64(a, 4)
+	rt.Fork(e, j, 1, Args{})
+}
+
+func filamentBodyIsItsOwnPhase(rt *Runtime, e *Exec, poolAdd func(func(*Exec, Args)), a Addr) {
+	// The body's write happens when the filament runs, not here; it must
+	// not dirty the enclosing function's phase.
+	poolAdd(func(e *Exec, a2 Args) {
+		e.WriteF64(a, 9)
+	})
+	rt.RunPools(e)
+}
+
+func allowed(rt *Runtime, e *Exec, a Addr) {
+	e.WriteF64(a, 1)
+	//dflint:allow barrierphase the pool is node-local in this phase
+	rt.RunPools(e)
+}

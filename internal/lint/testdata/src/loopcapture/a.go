@@ -1,0 +1,79 @@
+//dflint:kernel
+
+// Hermetic stand-ins for the spawning surfaces (Pool.Add, Spawn): the
+// analyzer matches on method names, so these fakes exercise the real
+// code paths.
+package loopcapture
+
+type Args [6]int64
+
+type Exec struct{}
+
+type Pool struct{}
+
+func (p *Pool) Add(e *Exec, fn func(*Exec, Args), a Args) {}
+
+type Node struct{}
+
+func (n *Node) Spawn(name string, f func()) {}
+
+func bad(pool *Pool, e *Exec, nd *Node) {
+	var i int
+	for i = 0; i < 4; i++ {
+		pool.Add(e, func(e *Exec, a Args) { // want "captures loop variable i"
+			_ = i
+		}, Args{})
+	}
+	// Any variable the for statement assigns is shared, not only the
+	// first.
+	var k, v int
+	for k, v = 0, 3; k < 4; k++ {
+		nd.Spawn("w", func() { // want "captures loop variable v"
+			_ = v
+		})
+	}
+	_ = k
+	var j int
+	for j = range make([]int, 4) {
+		nd.Spawn("w", func() { // want "captures loop variable j"
+			_ = j
+		})
+	}
+}
+
+func good(pool *Pool, e *Exec, nd *Node) {
+	// := declares a fresh variable per iteration (Go >= 1.22): safe.
+	for i := 0; i < 4; i++ {
+		pool.Add(e, func(e *Exec, a Args) {
+			_ = i
+		}, Args{})
+	}
+	// A copy declared inside the body is per-iteration by construction.
+	var n int
+	for n = 0; n < 4; n++ {
+		m := n
+		nd.Spawn("w", func() { _ = m })
+	}
+	// The assigned loop variable is shared, but no closure captures it.
+	var q int
+	for q = 0; q < 4; q++ {
+		nd.Spawn("w", func() {})
+	}
+	_ = q
+	// Using the shared variable outside a spawning call is ordinary
+	// sequential code.
+	var r, sum int
+	for r = 0; r < 4; r++ {
+		sum += r
+	}
+	_ = sum
+}
+
+func allowed(nd *Node, done chan struct{}) {
+	var i int
+	for i = 0; i < 4; i++ {
+		//dflint:allow loopcapture the spawn blocks on done before the next iteration
+		nd.Spawn("w", func() { _ = i })
+		<-done
+	}
+}

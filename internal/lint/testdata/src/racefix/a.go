@@ -1,0 +1,56 @@
+//dflint:kernel
+
+// Package racefix mirrors the three seeded bugs in internal/apps/racer
+// (without the //dflint:allow hatches racer carries) to pin down that
+// the static suite flags the same program dfcheck's dynamic prong
+// detects.
+package racefix
+
+type Addr int64
+
+type Args [6]int64
+
+type Thread struct{}
+
+type Exec struct{}
+
+func (e *Exec) Thread() *Thread            { return nil }
+func (e *Exec) ReadF64(a Addr) float64     { return 0 }
+func (e *Exec) WriteF64(a Addr, v float64) {}
+func (e *Exec) Barrier()                   {}
+
+type DSM struct{}
+
+func (d *DSM) WriteF64(t *Thread, a Addr, v float64) {}
+
+type Pool struct{}
+
+func (p *Pool) Add(e *Exec, fn func(*Exec, Args), a Args) {}
+
+type Runtime struct{}
+
+func (rt *Runtime) NewPool(name string) *Pool { return nil }
+func (rt *Runtime) RunPools(e *Exec)          {}
+
+const words = 64
+
+func seeded(rt *Runtime, e *Exec, d *DSM, data Addr) {
+	pool := rt.NewPool("seeded")
+	// Bug 1: the filament body indexes shared memory through a captured
+	// plain int instead of its Args record.
+	base := 4
+	pool.Add(e, func(e *Exec, a Args) {
+		_ = e.ReadF64(data + Addr(base*8)) // want "captured variable base"
+	}, Args{})
+	// Bug 2: i is assigned, not declared, by the for statement.
+	var i int
+	for i = 0; i < 4; i++ {
+		pool.Add(e, func(e *Exec, a Args) { // want "captures loop variable i"
+			_ = e.ReadF64(data + Addr(i%words)*8) // want "captured variable i"
+		}, Args{})
+	}
+	// Bug 3: a DSM write distributed without an intervening barrier.
+	d.WriteF64(e.Thread(), data, 1)
+	rt.RunPools(e) // want "has not been published by a barrier"
+	e.Barrier()
+}

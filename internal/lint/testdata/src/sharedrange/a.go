@@ -1,0 +1,66 @@
+//dflint:kernel
+
+// Hermetic stand-ins for the filament runtime: the analyzer matches on
+// the type names (Exec, DSM, Args, Addr), not import paths, exactly so
+// this fixture exercises the real code paths.
+package sharedrange
+
+type Addr int64
+
+type Args [6]int64
+
+type Exec struct{}
+
+func (e *Exec) ReadF64(a Addr) float64     { return 0 }
+func (e *Exec) WriteF64(a Addr, v float64) {}
+func (e *Exec) ReadI64(a Addr) int64       { return 0 }
+func (e *Exec) Compute(n int64)            {}
+
+type Pool struct{}
+
+func (p *Pool) Add(e *Exec, fn func(*Exec, Args), a Args) {}
+
+type index int
+
+func bad(pool *Pool, e *Exec, base Addr) {
+	idx := 3
+	var off int64
+	var typed index
+	pool.Add(e, func(e *Exec, a Args) {
+		_ = e.ReadF64(base + Addr(idx)*8)   // want "captured variable idx"
+		e.WriteF64(base+Addr(off), 1)       // want "captured variable off"
+		_ = e.ReadI64(base + Addr(typed)*8) // want "captured variable typed"
+	}, Args{})
+}
+
+const words = 64
+
+func good(pool *Pool, e *Exec, base Addr, cost int) {
+	grid := struct {
+		b Addr
+		n int
+	}{base, 8}
+	pool.Add(e, func(e *Exec, a Args) {
+		i := int(a[0]) // coordinates from the Args record: the right way
+		_ = e.ReadF64(base + Addr(i%words)*8)
+		e.Compute(int64(cost)) // captured int outside a DSM access: fine
+		v := e.ReadF64(grid.b + Addr(i)*8)
+		e.WriteF64(grid.b+Addr(i)*8, v+1)
+	}, Args{})
+}
+
+func notAFilament(e *Exec, base Addr) {
+	idx := 2
+	// No Args parameter, so this is not a filament body; ordinary
+	// closures may capture whatever they like.
+	f := func() float64 { return e.ReadF64(base + Addr(idx)*8) }
+	_ = f()
+}
+
+func allowed(pool *Pool, e *Exec, base Addr) {
+	k := 1
+	pool.Add(e, func(e *Exec, a Args) {
+		//dflint:allow sharedrange single-filament pool; the capture is the coordinate
+		_ = e.ReadF64(base + Addr(k)*8)
+	}, Args{})
+}

@@ -180,11 +180,17 @@ func (r *Reducer) Reduce(t kernel.Thread, x float64, op Op) float64 {
 	st := r.state(e)
 	st.own = true
 	st.vals = append(st.vals, x)
+	if m := r.monitor(); m != nil {
+		m.OnBarrierArrive(r.node.ID(), e, r.node.Now())
+	}
 
 	switch {
 	case r.n == 1:
 		st.released = true
 		st.result = x
+		if m := r.monitor(); m != nil {
+			m.OnEpochQuiesced(r.node.ID(), e, r.node.Now())
+		}
 	case r.Style == Dissemination && r.n&(r.n-1) == 0:
 		r.disseminate(t, e, st, x)
 	case r.id == 0:
@@ -199,11 +205,23 @@ func (r *Reducer) Reduce(t kernel.Thread, x float64, op Op) float64 {
 	delete(r.results, e-resultHistory)
 	r.epoch++
 	r.barriers.Inc()
+	if m := r.monitor(); m != nil {
+		m.OnBarrierRelease(r.node.ID(), e, r.node.Now())
+	}
 	if r.obs.Enabled() {
 		r.obs.TraceSpan(int64(t0), int64(r.node.Now().Sub(t0)), "sync", "barrier",
 			obs.Arg{Key: "epoch", Val: e})
 	}
 	return result
+}
+
+// monitor returns the space's memory-model monitor, if the program runs a
+// DSM and one is attached.
+func (r *Reducer) monitor() dsm.Monitor {
+	if r.d == nil {
+		return nil
+	}
+	return r.d.Space().Monitor()
 }
 
 // children returns this node's tournament children in arrival-round order
@@ -254,6 +272,15 @@ func (r *Reducer) championWait(t kernel.Thread, e int64, st *epochState) {
 	r.node.AddDelay(kernel.CatSyncDelay, r.node.Now().Sub(t0))
 	st.result = r.fold(st)
 	st.released = true
+	// The fold is a globally quiescent instant: every node has arrived
+	// (transitively, through its subtree's partials), each drained its
+	// outstanding page operations before arriving, and none resumes until
+	// the release below — so page frames are stable and snapshotable. The
+	// dissemination butterfly has no such instant, which is why the
+	// consistency oracle only supports the tournament and central styles.
+	if m := r.monitor(); m != nil {
+		m.OnEpochQuiesced(r.node.ID(), e, r.node.Now())
+	}
 	// Broadcast dissemination: one frame releases everyone.
 	r.ep.Send(kernel.Broadcast, releaseMsg{Epoch: e, Result: st.result}, msgSize, kernel.CatSync)
 }

@@ -1,0 +1,92 @@
+package rtnode_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"filaments/internal/rtnode"
+)
+
+// fuzzPayload exercises the shapes kernel payloads actually use on the
+// wire: a nested float64 matrix (page data, fork/join results), a raw
+// byte slice, a string, and a scalar.
+type fuzzPayload struct {
+	Grid [][]float64
+	Raw  []byte
+	Name string
+	N    int64
+}
+
+func init() {
+	rtnode.RegisterWire(fuzzPayload{})
+}
+
+// FuzzWireRoundTrip frames a payload exactly as the real-time transport
+// does — gob-encoded as an interface value after rtnode.RegisterWire —
+// and asserts the decode returns the same value. The seeds cover the
+// edge shapes that have bitten gob users before (zero-length payloads,
+// empty inner rows, negative and extreme scalars) and run on every plain
+// `go test`, so CI exercises the corpus without a fuzzing engine.
+//
+// One asymmetry is inherent to gob and deliberately accepted: it does
+// not distinguish empty slices from nil, so the comparison normalizes
+// zero-length slices on both sides. Kernel code must therefore never
+// give nil-versus-empty a protocol meaning — a contract this fuzz target
+// pins down.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint8(0), []byte{}, "", int64(0))
+	f.Add(uint8(3), uint8(4), []byte{1, 2, 3, 4, 5}, "jacobi", int64(-1))
+	f.Add(uint8(1), uint8(0), []byte{0xff}, "zero-length rows", int64(1)<<62)
+	f.Add(uint8(16), uint8(16), []byte("page"), "full page", int64(4096))
+	f.Fuzz(func(t *testing.T, rows, cols uint8, raw []byte, name string, n int64) {
+		grid := make([][]float64, int(rows%32))
+		for i := range grid {
+			row := make([]float64, int(cols%32))
+			for j := range row {
+				var b byte
+				if len(raw) > 0 {
+					b = raw[(i*len(row)+j)%len(raw)]
+				}
+				row[j] = float64(int(b)-128) / 3
+			}
+			grid[i] = row
+		}
+		in := fuzzPayload{Grid: grid, Raw: raw, Name: name, N: n}
+
+		var buf bytes.Buffer
+		var framed any = in
+		if err := gob.NewEncoder(&buf).Encode(&framed); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		var out any
+		if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		got, ok := out.(fuzzPayload)
+		if !ok {
+			t.Fatalf("round trip changed type: sent %T, got %T", in, out)
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(in)) {
+			t.Fatalf("round trip changed value:\n sent %#v\n got  %#v", in, got)
+		}
+	})
+}
+
+// normalize maps zero-length slices to nil at every level, since gob
+// erases that distinction.
+func normalize(p fuzzPayload) fuzzPayload {
+	if len(p.Raw) == 0 {
+		p.Raw = nil
+	}
+	if len(p.Grid) == 0 {
+		p.Grid = nil
+	}
+	for i, row := range p.Grid {
+		if len(row) == 0 {
+			p.Grid[i] = nil
+		}
+	}
+	return p
+}

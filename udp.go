@@ -49,6 +49,15 @@ type UDPConfig struct {
 	// Tracer, when non-nil, records kernel events from every node in wall
 	// time.
 	Tracer *Tracer
+	// Monitor, when non-nil, observes every node's DSM accesses, page
+	// transfers, and synchronization events. Under this binding callbacks
+	// arrive concurrently from per-node monitor goroutines, so the Monitor
+	// must synchronize internally.
+	Monitor Monitor
+	// MirageWindow overrides the cost model's Mirage anti-thrashing
+	// window: 0 keeps the model's default, a negative value disables the
+	// window, and a positive value replaces it.
+	MirageWindow Duration
 }
 
 // UDPNodeReport is one node's accounting after a real-time run.
@@ -115,7 +124,16 @@ func NewUDPCluster(cfg UDPConfig) (*UDPCluster, error) {
 	} else {
 		c.model = cost.Default()
 	}
+	switch {
+	case cfg.MirageWindow > 0:
+		c.model.MirageWindow = cfg.MirageWindow
+	case cfg.MirageWindow < 0:
+		c.model.MirageWindow = 0
+	}
 	c.space = dsm.NewSpace(cfg.SharedBytes)
+	if cfg.Monitor != nil {
+		c.space.SetMonitor(cfg.Monitor)
+	}
 
 	eps := make([]*udptrans.Endpoint, cfg.Nodes)
 	addrs := make([]*net.UDPAddr, cfg.Nodes)
@@ -159,6 +177,17 @@ func (c *UDPCluster) Nodes() int { return c.cfg.Nodes }
 
 // Runtime returns node i's runtime (for inspecting stats after Run).
 func (c *UDPCluster) Runtime(i int) *Runtime { return c.rts[i] }
+
+// Outstanding sums the requests still awaiting replies across every
+// node's endpoint. After Run returns it must be zero: a nonzero value
+// means a protocol layer leaked an in-flight request past its barrier.
+func (c *UDPCluster) Outstanding() int {
+	n := 0
+	for _, rt := range c.rts {
+		n += rt.Endpoint().Outstanding()
+	}
+	return n
+}
 
 // DSM returns node i's DSM instance (for inspecting stats after Run).
 func (c *UDPCluster) DSM(i int) *dsm.DSM { return c.dsms[i] }

@@ -17,7 +17,7 @@ import (
 // bitwise-equal.
 func TestUDPJacobiMatchesReference(t *testing.T) {
 	const n, iters, nodes = 64, 8, 4
-	rep, grid, err := jacobi.DFUDP(jacobi.Config{N: n, Iters: iters, Nodes: nodes})
+	rep, grid, _, err := jacobi.DFUDP(jacobi.Config{N: n, Iters: iters, Nodes: nodes})
 	if err != nil {
 		t.Fatal(err)
 	}
