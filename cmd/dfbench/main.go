@@ -1,6 +1,7 @@
 // dfbench regenerates the tables and figures of "Distributed Filaments:
 // Efficient Fine-Grain Parallelism on a Cluster of Workstations" (OSDI '94)
-// on the simulated cluster.
+// on the simulated cluster, and (with -transport=udp) measures the
+// wall-clock wire path over real loopback UDP endpoints.
 //
 // Usage:
 //
@@ -9,6 +10,7 @@
 //	dfbench -experiment fig5     # one experiment
 //	dfbench -quick               # reduced problem sizes (shape only)
 //	dfbench -json fig5           # also write BENCH_fig5.json
+//	dfbench -transport=udp -json # wall-clock wire-path tables -> BENCH_udp_*.json
 package main
 
 import (
@@ -29,11 +31,21 @@ func main() {
 		list   = flag.Bool("list", false, "list experiments and exit")
 		emit   = flag.Bool("json", false, "write BENCH_<id>.json next to the prose output")
 		outdir = flag.String("outdir", ".", "directory for -json output files")
+		trans  = flag.String("transport", "sim", "experiment set: sim (virtual time, paper tables) | udp (wall clock, wire path)")
 	)
 	flag.Parse()
+	all, find := bench.All, bench.Find
+	switch *trans {
+	case "sim":
+	case "udp":
+		all, find = bench.AllUDP, bench.FindUDP
+	default:
+		fmt.Fprintf(os.Stderr, "dfbench: unknown -transport %q (sim | udp)\n", *trans)
+		os.Exit(1)
+	}
 	if *list {
-		for _, e := range bench.All() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		for _, e := range all() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
 		}
 		return
 	}
@@ -69,7 +81,7 @@ func main() {
 	}
 	if len(ids) > 0 {
 		for _, id := range ids {
-			e, ok := bench.Find(id)
+			e, ok := find(id)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "dfbench: unknown experiment %q (try -list)\n", id)
 				os.Exit(1)
@@ -78,7 +90,7 @@ func main() {
 		}
 		return
 	}
-	for _, e := range bench.All() {
+	for _, e := range all() {
 		run(e)
 	}
 }

@@ -37,6 +37,8 @@ func main() {
 		tol     = flag.Float64("tol", 0, "quadrature tolerance (0 = paper default)")
 		proto   = flag.String("protocol", "", "DSM protocol override: migratory | wi | ii")
 		trans   = flag.String("transport", "sim", "binding: sim (virtual time) | udp (real loopback endpoints)")
+		codec   = flag.String("codec", "binary", "UDP wire codec: binary | gob (previous release's framing)")
+		noDiffs = flag.Bool("nodiffs", false, "disable twin-and-diff page shipping over UDP")
 		trace   = flag.String("trace", "", "write a Chrome trace-event JSON file (DF variants; load in about:tracing or Perfetto)")
 		metrics = flag.Bool("metrics", false, "print the cluster-wide metric aggregation after the run")
 		verbose = flag.Bool("v", false, "per-node counters")
@@ -64,7 +66,8 @@ func main() {
 	switch *trans {
 	case "sim":
 	case "udp":
-		runUDP(*app, *variant, *nodes, *n, *iters, *tol, protocol, tracer, *trace, *metrics, *verbose)
+		tuning := filaments.UDPTuning{Codec: *codec, NoDiffs: *noDiffs}
+		runUDP(*app, *variant, *nodes, *n, *iters, *tol, protocol, tuning, tracer, *trace, *metrics, *verbose)
 		return
 	default:
 		fail("unknown -transport %q (sim | udp)", *trans)
@@ -158,32 +161,39 @@ func main() {
 }
 
 // runUDP executes the DF variant on the real-time binding: one UDP
-// endpoint per node on loopback, wall-clock timing. Only the DF variants
-// of jacobi and quadrature run over udp — the seq/cg variants are
-// single-address-space programs and the remaining apps have not been
-// ported to the real-time binding.
-func runUDP(app, variant string, nodes, n, iters int, tol float64, protocol filaments.Protocol, tracer *filaments.Tracer, trace string, metrics, verbose bool) {
+// endpoint per node on loopback, wall-clock timing. The DF variants of
+// jacobi, matmul, and quadrature run over udp — the seq/cg variants are
+// single-address-space programs and exprtree has not been ported to the
+// real-time binding.
+func runUDP(app, variant string, nodes, n, iters int, tol float64, protocol filaments.Protocol, tuning filaments.UDPTuning, tracer *filaments.Tracer, trace string, metrics, verbose bool) {
 	if variant != "df" {
 		fail("-transport=udp runs only -variant df (got %q): seq and cg do not use the cluster", variant)
 	}
 	var rep *filaments.UDPReport
 	switch app {
 	case "jacobi":
-		cfg := jacobi.Config{N: n, Iters: iters, Nodes: nodes, Protocol: protocol, Tracer: tracer}
+		cfg := jacobi.Config{N: n, Iters: iters, Nodes: nodes, Protocol: protocol, Tracer: tracer, Tuning: tuning}
 		r, _, _, err := jacobi.DFUDP(cfg)
 		if err != nil {
 			fail("%v", err)
 		}
 		rep = r
+	case "matmul":
+		cfg := matmul.Config{N: n, Nodes: nodes, Protocol: protocol, Tracer: tracer, Tuning: tuning}
+		r, _, _, err := matmul.DFUDP(cfg)
+		if err != nil {
+			fail("%v", err)
+		}
+		rep = r
 	case "quadrature":
-		cfg := quadrature.Config{Tol: tol, Nodes: nodes, Tracer: tracer}
+		cfg := quadrature.Config{Tol: tol, Nodes: nodes, Tracer: tracer, Tuning: tuning}
 		r, _, err := quadrature.DFUDP(cfg, true)
 		if err != nil {
 			fail("%v", err)
 		}
 		rep = r
 	default:
-		fail("-app %s is not supported over -transport=udp (supported: jacobi, quadrature)", app)
+		fail("-app %s is not supported over -transport=udp (supported: jacobi, matmul, quadrature)", app)
 	}
 
 	fmt.Printf("%s/df on %d nodes over loopback UDP: %.3f wall seconds\n",

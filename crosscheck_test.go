@@ -52,6 +52,27 @@ func TestProtocolCrossCheck(t *testing.T) {
 		}
 	})
 
+	// The -codec=gob fallback must stay usable for one release, and page
+	// diffs must be strictly optional: one leg runs the legacy wire path
+	// (gob framing, whole pages) end to end.
+	t.Run("jacobi-gob-fallback", func(t *testing.T) {
+		const n, iters = 32, 3
+		want := jacobi.Reference(n, iters)
+		cfg := jacobi.Config{
+			N: n, Iters: iters, Nodes: nodes,
+			Protocol: filaments.ImplicitInvalidate,
+			Tuning:   filaments.UDPTuning{Codec: "gob", NoDiffs: true},
+		}
+		_, udpGrid, ucl, err := jacobi.DFUDP(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareGrids(t, "udp-gob", udpGrid, want)
+		if out := ucl.Outstanding(); out != 0 {
+			t.Errorf("udp cluster has %d outstanding requests after Run", out)
+		}
+	})
+
 	t.Run("matmul", func(t *testing.T) {
 		const n = 32
 		want := matmul.Reference(n)

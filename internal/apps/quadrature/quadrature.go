@@ -57,6 +57,9 @@ type Config struct {
 	// MirageWindow overrides the Mirage anti-thrashing window in the DF
 	// variants: 0 keeps the model default, negative disables it.
 	MirageWindow filaments.Duration
+	// Tuning collects the wall-clock wire-path knobs for the UDP variants
+	// (codec, page diffs, event batching); ignored by the simulation.
+	Tuning filaments.UDPTuning
 }
 
 func (c *Config) defaults() {
@@ -300,6 +303,7 @@ func DFUDP(cfg Config, stealing bool) (*filaments.UDPReport, float64, error) {
 		Tracer:       cfg.Tracer,
 		Monitor:      cfg.Monitor,
 		MirageWindow: cfg.MirageWindow,
+		Tuning:       cfg.Tuning,
 	})
 	if err != nil {
 		return nil, 0, err

@@ -1,0 +1,22 @@
+package quadrature
+
+import "filaments/internal/rtnode"
+
+// Binary wire codec for the bag-of-tasks work unit (tag 44; see the tag
+// map in rtnode/codec.go).
+func init() {
+	rtnode.RegisterWireCodec(interval{}, 44,
+		func(e *rtnode.Enc, v any) {
+			iv := v.(interval)
+			e.F64(iv.A)
+			e.F64(iv.B)
+			e.Bool(iv.Done)
+		},
+		func(d *rtnode.Dec) any {
+			var iv interval
+			iv.A = d.F64()
+			iv.B = d.F64()
+			iv.Done = d.Bool()
+			return iv
+		})
+}

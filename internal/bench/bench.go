@@ -76,6 +76,18 @@ type Row struct {
 	PaperDF   string `json:"paper_df_s"`
 }
 
+// UDPRow is one machine-readable row of a wall-clock UDP experiment:
+// one wire configuration's numbers. Cells are formatted strings for the
+// same reason Row's are; WireBytes is exact, so it stays numeric.
+type UDPRow struct {
+	Config      string `json:"config"`
+	Nodes       int    `json:"nodes"`
+	ElapsedMS   string `json:"elapsed_ms"`
+	PagesPerSec string `json:"pages_per_sec,omitempty"`
+	BarrierUS   string `json:"barrier_us,omitempty"`
+	WireBytes   int64  `json:"wire_bytes"`
+}
+
 // Result is one experiment's machine-readable output.
 type Result struct {
 	ID    string `json:"id"`
@@ -88,6 +100,9 @@ type Result struct {
 	// Rows holds every table row the experiment printed, in print order
 	// (experiments that print several tables append to the same slice).
 	Rows []Row `json:"rows"`
+	// UDPRows holds the wall-clock rows of the UDP experiments (which
+	// sweep wire configurations, not the CG/DF variant pair).
+	UDPRows []UDPRow `json:"udp_rows,omitempty"`
 	// Output is the full prose output, verbatim.
 	Output string `json:"output"`
 }

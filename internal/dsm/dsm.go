@@ -33,6 +33,10 @@ const (
 type pageReq struct {
 	Block int32
 	Write bool
+	// HaveVer advertises the version of the stale copy the requester still
+	// retains as a diff base, or -1 when it has none. The server may then
+	// answer with a diff against that version instead of the full frame.
+	HaveVer int64
 }
 
 type pageData struct {
@@ -40,6 +44,13 @@ type pageData struct {
 	Data       []byte
 	GrantOwner bool
 	Copyset    []kernel.NodeID // WI ownership transfer: copies to invalidate
+	// Ver is the version of the block content this message carries (or
+	// produces, when Diff is set).
+	Ver int64
+	// Diff marks Data as a run-length diff against the base the requester
+	// advertised in pageReq.HaveVer, rather than full content. A nil Data
+	// with Diff set means "your base is already this version".
+	Diff bool
 }
 
 type redirect struct {
@@ -71,6 +82,9 @@ type Stats struct {
 	FaultWait    kernel.Duration // total time threads spent suspended in faults
 	BytesIn      int64           // page data received
 	BytesOut     int64           // page data sent
+	DiffsSent    int64           // page requests answered with a diff
+	DiffBytes    int64           // bytes shipped as diffs (subset of BytesOut)
+	FullPages    int64           // touched frames shipped whole
 }
 
 type waiter struct {
@@ -94,6 +108,24 @@ type blockState struct {
 	fetching  bool
 	invals    int // outstanding invalidation acks before RW install
 	acquired  kernel.Time
+
+	// Twin-and-diff state (active only when the DSM's diff mode is on).
+	//
+	// ver is the version of frame's content. Versions are per-block and
+	// advance only at the owner, on the first write after a publish, so
+	// they stay consistent as ownership migrates: a frame at version v
+	// always holds exactly the content that was published as v.
+	ver int64
+	// snap marks frame's content as published at ver (served to a peer,
+	// or installed from one): the next local write first snapshots it
+	// into shadow as the diff base and bumps ver.
+	snap bool
+	// shadow is the diff base: for an owner, the twin — a copy of the
+	// last published version; for a non-owner, the stale frame retained
+	// when access was revoked. shadowVer is its version; a nil shadow
+	// means no base is held.
+	shadow    []byte
+	shadowVer int64
 }
 
 // DSM is one node's view of the shared address space. It is written
@@ -109,6 +141,15 @@ type DSM struct {
 	// roCopies lists blocks holding a non-owned read-only copy, for O(copies)
 	// implicit invalidation at barriers.
 	roCopies []int32
+
+	// diffs enables twin-and-diff page shipping: revoked frames are
+	// retained as diff bases, owners twin pages on the first write after a
+	// publish, and page replies carry run-length diffs when the requester
+	// holds a usable base. Off by default — the simulation keeps the
+	// paper's whole-page byte accounting — and switched on cluster-wide by
+	// the UDP binding. Must be set before traffic flows, identically on
+	// every node.
+	diffs bool
 
 	// WakeFront controls where threads woken by a page arrival go in the
 	// ready queue: the front for fork/join programs (the page is used
@@ -131,6 +172,7 @@ type counters struct {
 	readFaults, writeFaults, requests, served, redirected *obs.Counter
 	invalsSent, invalsRecved, mirageDrops, busyDrops      *obs.Counter
 	faultWaitNS, bytesIn, bytesOut                        *obs.Counter
+	diffsSent, diffBytes, fullPages                       *obs.Counter
 }
 
 // New creates the DSM instance for one node and registers its services on
@@ -152,6 +194,9 @@ func New(node kernel.Node, ep kernel.Transport, space *Space, proto Protocol) *D
 		faultWaitNS:  o.Counter("dsm.fault_wait_ns"),
 		bytesIn:      o.Counter("dsm.bytes_in"),
 		bytesOut:     o.Counter("dsm.bytes_out"),
+		diffsSent:    o.Counter("dsm.diffs_sent"),
+		diffBytes:    o.Counter("dsm.diff_bytes"),
+		fullPages:    o.Counter("dsm.full_pages"),
 	}
 	if len(space.blockStart) != 0 {
 		panic("dsm: all DSMs must be created before the first Alloc")
@@ -199,8 +244,19 @@ func (d *DSM) Stats() Stats {
 		FaultWait:    kernel.Duration(d.ctr.faultWaitNS.Load()),
 		BytesIn:      d.ctr.bytesIn.Load(),
 		BytesOut:     d.ctr.bytesOut.Load(),
+		DiffsSent:    d.ctr.diffsSent.Load(),
+		DiffBytes:    d.ctr.diffBytes.Load(),
+		FullPages:    d.ctr.fullPages.Load(),
 	}
 }
+
+// SetDiffs switches twin-and-diff page shipping on or off. Like the
+// protocol choice it is a cluster-wide setting: call it on every node,
+// with the same value, before any traffic flows.
+func (d *DSM) SetDiffs(on bool) { d.diffs = on }
+
+// DiffsEnabled reports whether twin-and-diff page shipping is on.
+func (d *DSM) DiffsEnabled() bool { return d.diffs }
 
 // addBlock is called by Space.Alloc for every new block.
 func (d *DSM) addBlock(b int32, owner kernel.NodeID) {
@@ -244,6 +300,9 @@ func (d *DSM) WriteF64(t kernel.Thread, a Addr, v float64) {
 	if st.access != accRW {
 		d.fault(t, int(b), true)
 	}
+	if st.snap {
+		d.snapshot(st)
+	}
 	if m := d.space.monitor; m != nil {
 		m.OnAccess(d.node.ID(), a, 8, true, d.node.Now())
 	}
@@ -272,11 +331,31 @@ func (d *DSM) WriteI64(t kernel.Thread, a Addr, v int64) {
 	if st.access != accRW {
 		d.fault(t, int(b), true)
 	}
+	if st.snap {
+		d.snapshot(st)
+	}
 	if m := d.space.monitor; m != nil {
 		m.OnAccess(d.node.ID(), a, 8, true, d.node.Now())
 	}
 	off := a - Addr(d.space.blockStart[b])<<pageShift
 	binary.LittleEndian.PutUint64(st.frame[off:], uint64(v))
+}
+
+// snapshot is the copy-on-first-write twin: frame's content was published
+// at st.ver, so before the first post-publish write it is copied into
+// shadow as the diff base and the version advances. With diffs off only
+// the publish mark is cleared — versions stay at zero cluster-wide.
+func (d *DSM) snapshot(st *blockState) {
+	st.snap = false
+	if !d.diffs {
+		return
+	}
+	if len(st.shadow) != len(st.frame) {
+		st.shadow = make([]byte, len(st.frame))
+	}
+	copy(st.shadow, st.frame)
+	st.shadowVer = st.ver
+	st.ver++
 }
 
 // Readable reports whether address a can currently be read without
@@ -366,7 +445,14 @@ func (d *DSM) sendRequest(b int, write bool, dst kernel.NodeID) {
 		panic(fmt.Sprintf("dsm: node %d would request block %d from itself", d.node.ID(), b))
 	}
 	d.ctr.requests.Inc()
-	req := pageReq{Block: int32(b), Write: write}
+	req := pageReq{Block: int32(b), Write: write, HaveVer: -1}
+	if st := &d.blocks[b]; d.diffs && len(st.shadow) == d.space.blockSize(b) {
+		// Advertise the retained stale copy as a diff base. The base is
+		// stable while the fetch is in flight: with no access there are no
+		// local writes, and every revocation path only fires on held
+		// copies.
+		req.HaveVer = st.shadowVer
+	}
 	d.ep.RequestSized(dst, SvcPage, req, reqSize, d.space.blockSize(b), kernel.CatData, func(r any) {
 		d.onPageReply(b, write, dst, r)
 	})
@@ -394,14 +480,35 @@ func (d *DSM) install(b int, write bool, from kernel.NodeID, m pageData) {
 	st := &d.blocks[b]
 	d.node.Charge(kernel.CatData, d.node.Model().PageInstall)
 	d.ctr.bytesIn.Add(int64(len(m.Data)))
-	if st.frame == nil {
-		st.frame = make([]byte, d.space.blockSize(b))
-	}
-	if m.Data != nil {
-		copy(st.frame, m.Data)
+	if m.Diff {
+		// The server diffed against the base we advertised in HaveVer;
+		// adopt the base buffer as the new frame and patch it in place.
+		// m.Data may alias a transport receive buffer, but diffApply
+		// copies out of it before this callback returns.
+		if len(st.shadow) != d.space.blockSize(b) {
+			panic(fmt.Sprintf("dsm: node %d got a diff for block %d without a base", d.node.ID(), b))
+		}
+		st.frame = st.shadow
+		st.shadow = nil
+		if !diffApply(st.frame, m.Data) {
+			panic(fmt.Sprintf("dsm: node %d got a malformed diff for block %d", d.node.ID(), b))
+		}
 	} else {
-		clear(st.frame) // virgin transfer: content is zeros
+		if st.frame == nil {
+			st.frame = make([]byte, d.space.blockSize(b))
+		}
+		if m.Data != nil {
+			copy(st.frame, m.Data)
+		} else {
+			clear(st.frame) // virgin transfer: content is zeros
+		}
 	}
+	// The installed content is published at m.Ver — the server holds (or
+	// held) the identical bytes — so it is twin-snapshotted before our
+	// first write. A full install keeps any old shadow: its (version,
+	// content) pair is still valid and may serve future diffs.
+	st.ver = m.Ver
+	st.snap = true
 	st.fetching = false
 	st.acquired = d.node.Now()
 	if m.GrantOwner {
@@ -524,10 +631,31 @@ func (d *DSM) servePage(from kernel.NodeID, req any) (any, int, kernel.Verdict) 
 		st.frame = make([]byte, d.space.blockSize(b))
 	}
 	var data []byte
+	isDiff := false
 	size := reqSize
 	if st.touched {
-		data = make([]byte, len(st.frame))
-		copy(data, st.frame)
+		switch {
+		case d.diffs && m.HaveVer >= 0 && m.HaveVer == st.ver:
+			// The requester's retained copy is already the current
+			// version; an empty diff transfers only the grant.
+			isDiff = true
+		case d.diffs && m.HaveVer >= 0 && st.shadow != nil && m.HaveVer == st.shadowVer:
+			if dd, ok := diffEncode(st.shadow, st.frame, len(st.frame)/2); ok {
+				data = dd
+				isDiff = true
+			}
+			// A diff above half the frame ships the full page instead:
+			// past that point the entry overhead plus the apply pass cost
+			// more than the bytes they save.
+		}
+		if isDiff {
+			d.ctr.diffsSent.Inc()
+			d.ctr.diffBytes.Add(int64(len(data)))
+		} else {
+			data = make([]byte, len(st.frame))
+			copy(data, st.frame)
+			d.ctr.fullPages.Inc()
+		}
 		size = len(data) + reqSize
 	}
 	d.ctr.served.Inc()
@@ -542,13 +670,21 @@ func (d *DSM) servePage(from kernel.NodeID, req any) (any, int, kernel.Verdict) 
 		// under write-invalidate or implicit-invalidate).
 		cs := st.copyset
 		st.copyset = nil
-		reply := pageData{Block: m.Block, Data: data, GrantOwner: true}
+		reply := pageData{Block: m.Block, Data: data, GrantOwner: true, Ver: st.ver, Diff: isDiff}
 		if d.proto == WriteInvalidate {
 			reply.Copyset = cs
 		}
 		st.owner = false
 		st.access = accNone
 		st.probOwner = from
+		if d.diffs {
+			// Retain the departing frame as a stale diff base — the next
+			// fetch advertises it, and the buffer is patched in place if
+			// the reply is a diff.
+			st.shadow = st.frame
+			st.shadowVer = st.ver
+		}
+		st.snap = false
 		st.frame = nil
 		return reply, size, kernel.Reply
 	case d.proto == WriteInvalidate:
@@ -559,12 +695,14 @@ func (d *DSM) servePage(from kernel.NodeID, req any) (any, int, kernel.Verdict) 
 		if st.access == accRW {
 			st.access = accRO
 		}
-		return pageData{Block: m.Block, Data: data}, size, kernel.Reply
+		st.snap = true // published at st.ver; the next write re-twins
+		return pageData{Block: m.Block, Data: data, Ver: st.ver, Diff: isDiff}, size, kernel.Reply
 	default:
 		// Read copy under implicit-invalidate: the copy dies at the
 		// requester's next synchronization point, so we track nothing and
 		// keep our write access (the protocol's whole point).
-		return pageData{Block: m.Block, Data: data}, size, kernel.Reply
+		st.snap = true // published at st.ver; the next write re-twins
+		return pageData{Block: m.Block, Data: data, Ver: st.ver, Diff: isDiff}, size, kernel.Reply
 	}
 }
 
@@ -584,6 +722,12 @@ func (d *DSM) serveInval(from kernel.NodeID, req any) (any, int, kernel.Verdict)
 	d.ctr.invalsRecved.Inc()
 	if !st.owner && st.access == accRO {
 		st.access = accNone
+		if d.diffs {
+			// Retain the invalidated copy as a stale diff base for the
+			// next fetch of this block.
+			st.shadow = st.frame
+			st.shadowVer = st.ver
+		}
 		st.frame = nil
 	}
 	return nil, 8, kernel.Reply
@@ -603,6 +747,14 @@ func (d *DSM) AtBarrier() {
 		st := &d.blocks[b]
 		if !st.owner && st.access == accRO {
 			st.access = accNone
+			if d.diffs {
+				// Retain the discarded copy as a stale diff base: under
+				// implicit-invalidate the same read-only pages are
+				// re-fetched every iteration, and the diff against last
+				// iteration's copy is exactly the owner's writes.
+				st.shadow = st.frame
+				st.shadowVer = st.ver
+			}
 			st.frame = nil
 		}
 	}

@@ -1,0 +1,67 @@
+package filament
+
+import (
+	"filaments/internal/kernel"
+	"filaments/internal/rtnode"
+)
+
+// Binary wire codecs for the fork/join messages (tags 24–27; see the tag
+// map in rtnode/codec.go). Forks and steals are the paper's fine-grain
+// hot path: a forkMsg is ~20 bytes on the wire, so codec overhead — not
+// bandwidth — is what these encoders remove.
+func init() {
+	rtnode.RegisterWireCodec(forkMsg{}, 24,
+		func(e *rtnode.Enc, v any) { encTask(e, v.(forkMsg).T) },
+		func(d *rtnode.Dec) any { return forkMsg{T: decTask(d)} })
+	rtnode.RegisterWireCodec(resultMsg{}, 25,
+		func(e *rtnode.Enc, v any) {
+			m := v.(resultMsg)
+			e.Varint(m.JoinID)
+			e.F64(m.Value)
+			e.Varint(int64(m.Fn))
+			e.Uvarint(m.Sum)
+		},
+		func(d *rtnode.Dec) any {
+			var m resultMsg
+			m.JoinID = d.Varint()
+			m.Value = d.F64()
+			m.Fn = int32(d.Varint())
+			m.Sum = d.Uvarint()
+			return m
+		})
+	rtnode.RegisterWireCodec(stealReply{}, 26,
+		func(e *rtnode.Enc, v any) {
+			r := v.(stealReply)
+			e.Bool(r.Granted)
+			encTask(e, r.T)
+		},
+		func(d *rtnode.Dec) any {
+			var r stealReply
+			r.Granted = d.Bool()
+			r.T = decTask(d)
+			return r
+		})
+	rtnode.RegisterWireCodec(doneMsg{}, 27,
+		func(e *rtnode.Enc, v any) { e.F64(v.(doneMsg).Result) },
+		func(d *rtnode.Dec) any { return doneMsg{Result: d.F64()} })
+}
+
+func encTask(e *rtnode.Enc, t task) {
+	e.Varint(int64(t.Fn))
+	for _, a := range t.Args {
+		e.Varint(a)
+	}
+	e.Varint(int64(t.Origin))
+	e.Varint(t.JoinID)
+}
+
+func decTask(d *rtnode.Dec) task {
+	var t task
+	t.Fn = int32(d.Varint())
+	for i := range t.Args {
+		t.Args[i] = d.Varint()
+	}
+	t.Origin = kernel.NodeID(d.Varint())
+	t.JoinID = d.Varint()
+	return t
+}

@@ -1,0 +1,39 @@
+package reduce
+
+import "filaments/internal/rtnode"
+
+// Binary wire codecs for the barrier messages (tags 32–33; see the tag
+// map in rtnode/codec.go). Barrier latency is a headline number in the
+// paper's tables, and under UDP the arrive/release pair is pure software
+// overhead — these keep it to a handful of bytes and zero codec
+// allocations.
+func init() {
+	rtnode.RegisterWireCodec(arriveMsg{}, 32,
+		func(e *rtnode.Enc, v any) {
+			m := v.(arriveMsg)
+			e.Varint(m.Epoch)
+			e.Varint(int64(m.Round))
+			e.F64(m.Value)
+			e.Bool(m.Has)
+		},
+		func(d *rtnode.Dec) any {
+			var m arriveMsg
+			m.Epoch = d.Varint()
+			m.Round = int32(d.Varint())
+			m.Value = d.F64()
+			m.Has = d.Bool()
+			return m
+		})
+	rtnode.RegisterWireCodec(releaseMsg{}, 33,
+		func(e *rtnode.Enc, v any) {
+			m := v.(releaseMsg)
+			e.Varint(m.Epoch)
+			e.F64(m.Result)
+		},
+		func(d *rtnode.Dec) any {
+			var m releaseMsg
+			m.Epoch = d.Varint()
+			m.Result = d.F64()
+			return m
+		})
+}

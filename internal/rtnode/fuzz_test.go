@@ -19,22 +19,76 @@ type fuzzPayload struct {
 	N    int64
 }
 
-func init() {
-	rtnode.RegisterWire(fuzzPayload{})
+// fuzzEscape deliberately has no binary codec: it crosses the binary
+// framing through the tagGob escape hatch, which must keep round-tripping
+// so a codec migration can never strand a payload type.
+type fuzzEscape struct {
+	Label string
+	Vals  []float64
 }
 
-// FuzzWireRoundTrip frames a payload exactly as the real-time transport
-// does — gob-encoded as an interface value after rtnode.RegisterWire —
-// and asserts the decode returns the same value. The seeds cover the
-// edge shapes that have bitten gob users before (zero-length payloads,
-// empty inner rows, negative and extreme scalars) and run on every plain
-// `go test`, so CI exercises the corpus without a fuzzing engine.
+func init() {
+	rtnode.RegisterWire(fuzzPayload{}, fuzzEscape{})
+	rtnode.RegisterWireCodec(fuzzPayload{}, rtnode.TagTestBase,
+		func(e *rtnode.Enc, v any) {
+			p := v.(fuzzPayload)
+			e.Uvarint(uint64(len(p.Grid)))
+			for _, row := range p.Grid {
+				e.Uvarint(uint64(len(row)))
+				for _, f := range row {
+					e.F64(f)
+				}
+			}
+			e.Bytes(p.Raw)
+			e.String(p.Name)
+			e.Varint(p.N)
+		},
+		func(d *rtnode.Dec) any {
+			var p fuzzPayload
+			n := d.Uvarint()
+			if n > uint64(d.Remaining()) {
+				d.Fail()
+				return p
+			}
+			if n > 0 {
+				p.Grid = make([][]float64, n)
+				for i := range p.Grid {
+					m := d.Uvarint()
+					if m*8 > uint64(d.Remaining()) {
+						d.Fail()
+						return p
+					}
+					if m == 0 {
+						continue
+					}
+					row := make([]float64, m)
+					for j := range row {
+						row[j] = d.F64()
+					}
+					p.Grid[i] = row
+				}
+			}
+			p.Raw = d.Bytes()
+			p.Name = d.String()
+			p.N = d.Varint()
+			return p
+		})
+}
+
+// FuzzWireRoundTrip frames a payload under BOTH codecs the real-time
+// transport supports — the legacy gob framing and the binary codec — and
+// asserts each decodes to the original value, and that the two agree with
+// each other (differential check: a divergence means one codec changed
+// the payload). The seeds cover the edge shapes that have bitten gob
+// users before (zero-length payloads, empty inner rows, negative and
+// extreme scalars) and run on every plain `go test`, so CI exercises the
+// corpus without a fuzzing engine.
 //
-// One asymmetry is inherent to gob and deliberately accepted: it does
-// not distinguish empty slices from nil, so the comparison normalizes
-// zero-length slices on both sides. Kernel code must therefore never
-// give nil-versus-empty a protocol meaning — a contract this fuzz target
-// pins down.
+// One asymmetry is inherent to gob and deliberately mirrored by the
+// binary codec: neither distinguishes empty slices from nil, so the
+// comparison normalizes zero-length slices on both sides. Kernel code
+// must therefore never give nil-versus-empty a protocol meaning — a
+// contract this fuzz target pins down.
 func FuzzWireRoundTrip(f *testing.F) {
 	f.Add(uint8(0), uint8(0), []byte{}, "", int64(0))
 	f.Add(uint8(3), uint8(4), []byte{1, 2, 3, 4, 5}, "jacobi", int64(-1))
@@ -54,28 +108,71 @@ func FuzzWireRoundTrip(f *testing.F) {
 			grid[i] = row
 		}
 		in := fuzzPayload{Grid: grid, Raw: raw, Name: name, N: n}
+		want := normalize(in)
 
+		// Leg 1: the legacy gob framing, exactly as CodecGob sends it.
 		var buf bytes.Buffer
 		var framed any = in
 		if err := gob.NewEncoder(&buf).Encode(&framed); err != nil {
-			t.Fatalf("encode: %v", err)
+			t.Fatalf("gob encode: %v", err)
 		}
 		var out any
 		if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&out); err != nil {
-			t.Fatalf("decode: %v", err)
+			t.Fatalf("gob decode: %v", err)
 		}
-		got, ok := out.(fuzzPayload)
+		gobGot, ok := out.(fuzzPayload)
 		if !ok {
-			t.Fatalf("round trip changed type: sent %T, got %T", in, out)
+			t.Fatalf("gob round trip changed type: sent %T, got %T", in, out)
 		}
-		if !reflect.DeepEqual(normalize(got), normalize(in)) {
-			t.Fatalf("round trip changed value:\n sent %#v\n got  %#v", in, got)
+		if !reflect.DeepEqual(normalize(gobGot), want) {
+			t.Fatalf("gob round trip changed value:\n sent %#v\n got  %#v", in, gobGot)
+		}
+
+		// Leg 2: the binary codec, exactly as CodecBinary sends it.
+		bout := rtnode.UnmarshalPayload(rtnode.MarshalPayload(in))
+		binGot, ok := bout.(fuzzPayload)
+		if !ok {
+			t.Fatalf("binary round trip changed type: sent %T, got %T", in, bout)
+		}
+		if !reflect.DeepEqual(normalize(binGot), want) {
+			t.Fatalf("binary round trip changed value:\n sent %#v\n got  %#v", in, binGot)
+		}
+
+		// Differential: both codecs must deliver the identical struct.
+		if !reflect.DeepEqual(normalize(binGot), normalize(gobGot)) {
+			t.Fatalf("codecs disagree:\n gob    %#v\n binary %#v", gobGot, binGot)
 		}
 	})
 }
 
-// normalize maps zero-length slices to nil at every level, since gob
-// erases that distinction.
+// TestGobEscapeHatch sends a type that has a gob registration but no
+// binary codec through the binary framing: it must travel as a
+// length-prefixed gob blob and come back intact.
+func TestGobEscapeHatch(t *testing.T) {
+	in := fuzzEscape{Label: "unregistered", Vals: []float64{1.5, -2.25, 0}}
+	out := rtnode.UnmarshalPayload(rtnode.MarshalPayload(in))
+	got, ok := out.(fuzzEscape)
+	if !ok {
+		t.Fatalf("escape hatch changed type: sent %T, got %T", in, out)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("escape hatch changed value:\n sent %#v\n got  %#v", in, got)
+	}
+}
+
+// TestNilPayloadFraming pins the framing conventions around nil: a nil
+// payload is zero bytes on the wire, and decodes back to nil.
+func TestNilPayloadFraming(t *testing.T) {
+	if b := rtnode.MarshalPayload(nil); len(b) != 0 {
+		t.Fatalf("nil payload framed as %d bytes, want 0", len(b))
+	}
+	if v := rtnode.UnmarshalPayload(nil); v != nil {
+		t.Fatalf("empty payload decoded to %#v, want nil", v)
+	}
+}
+
+// normalize maps zero-length slices to nil at every level, since both
+// codecs erase that distinction.
 func normalize(p fuzzPayload) fuzzPayload {
 	if len(p.Raw) == 0 {
 		p.Raw = nil

@@ -13,9 +13,45 @@ import (
 	"filaments/internal/udptrans"
 )
 
+// Codec selects the payload wire encoding. The codec is a cluster-wide
+// setting — every node must run the same one, like the protocol itself.
+type Codec int
+
+const (
+	// CodecBinary is the hand-rolled tagged binary codec (codec.go): zero
+	// codec allocations on the page path, gob escape hatch for unregistered
+	// types. The default.
+	CodecBinary Codec = iota
+	// CodecGob is the previous release's framing, bit for bit: every
+	// payload as one raw gob stream. Kept for one release as the
+	// `-codec=gob` fallback.
+	CodecGob
+)
+
+// ParseCodec maps the CLI flag spelling to a Codec.
+func ParseCodec(s string) (Codec, error) {
+	switch s {
+	case "", "binary":
+		return CodecBinary, nil
+	case "gob":
+		return CodecGob, nil
+	default:
+		return 0, fmt.Errorf("unknown codec %q (supported: binary, gob)", s)
+	}
+}
+
+func (c Codec) String() string {
+	if c == CodecGob {
+		return "gob"
+	}
+	return "binary"
+}
+
 // Transport implements kernel.Transport over a udptrans UDP endpoint.
-// Payloads cross the wire gob-encoded; the kernel layers register their
-// wire structs with gob in their init functions.
+// Payloads cross the wire binary-encoded by default (codec.go), with the
+// gob framing of the previous release available via SetCodec(CodecGob);
+// the kernel layers register their wire structs (gob and binary) in their
+// init functions.
 //
 // Reliability division of labor: udptrans already provides retransmission
 // with capped backoff, duplicate coalescing, and reply caching — the same
@@ -25,8 +61,9 @@ import (
 // exhaustion (the kernel contract is "retransmitted until answered",
 // matching the simulated Packet's unbounded persistence).
 type Transport struct {
-	node *Node
-	ep   *udptrans.Endpoint
+	node  *Node
+	ep    *udptrans.Endpoint
+	codec Codec
 
 	peers []*net.UDPAddr           // indexed by NodeID
 	ids   map[string]kernel.NodeID // reverse: observed source address → id
@@ -49,8 +86,19 @@ func NewTransport(node *Node, ep *udptrans.Endpoint) *Transport {
 		o.Trace(int64(node.Now()), "net", "retransmit",
 			obs.Arg{Key: "svc", Val: int64(svc)}, obs.Arg{Key: "attempt", Val: int64(attempt)})
 	})
+	// Same for dropped events: a one-way datagram shed by a full worker
+	// queue (a barrier release, typically) delays whoever waited on it by
+	// a retransmission round-trip; make that visible in the trace instead
+	// of silent.
+	ep.SetEventDropHook(func() {
+		o.Trace(int64(node.Now()), "net", "event_dropped")
+	})
 	return tr
 }
+
+// SetCodec selects the wire codec. Must be called before traffic flows
+// (like SetPeers), and with the same value on every node in the cluster.
+func (tr *Transport) SetCodec(c Codec) { tr.codec = c }
 
 // SetPeers installs the cluster address table: peers[i] is node i's
 // endpoint address (including this node's own).
@@ -77,8 +125,9 @@ func (tr *Transport) idOf(addr *net.UDPAddr) (kernel.NodeID, bool) {
 	return id, ok
 }
 
-// encodePayload turns a kernel-layer payload into bytes. nil encodes as an
-// empty payload (steal probes and ack-only replies are nil).
+// encodePayload turns a kernel-layer payload into bytes under the legacy
+// gob framing. nil encodes as an empty payload (steal probes and ack-only
+// replies are nil).
 func encodePayload(v any) []byte {
 	if v == nil {
 		return nil
@@ -102,6 +151,56 @@ func decodePayload(b []byte) any {
 	return v
 }
 
+// payloadPool recycles encode buffers on the request/event send path. The
+// pool warms up to the largest payload the run ships (a DSM block), after
+// which sends stop allocating.
+var payloadPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// marshal encodes v under the transport's codec. In binary mode the bytes
+// live in a pooled buffer and the caller must invoke release once the
+// bytes are no longer referenced (the udptrans send paths copy payloads
+// into frames synchronously, so release follows the send call). In gob
+// mode release is nil.
+func (tr *Transport) marshal(v any) (data []byte, release func()) {
+	if tr.codec == CodecGob {
+		return encodePayload(v), nil
+	}
+	if v == nil {
+		return nil, nil
+	}
+	bp := payloadPool.Get().(*[]byte)
+	*bp = AppendPayload((*bp)[:0], v)
+	return *bp, func() {
+		*bp = (*bp)[:0]
+		payloadPool.Put(bp)
+	}
+}
+
+// marshalOwned encodes v into a buffer the receiver may retain (service
+// replies outlive the handler inside udptrans — they are copied into the
+// reply frame and the reply cache after the handler returns).
+func (tr *Transport) marshalOwned(v any) []byte {
+	if tr.codec == CodecGob {
+		return encodePayload(v)
+	}
+	return AppendPayload(nil, v)
+}
+
+// unmarshal decodes a payload under the transport's codec. In binary mode
+// the decoded value may alias b — the kernel contract that receivers copy
+// data they retain makes that safe while b's buffer lives.
+func (tr *Transport) unmarshal(b []byte) any {
+	if tr.codec == CodecGob {
+		return decodePayload(b)
+	}
+	return UnmarshalPayload(b)
+}
+
 // Register installs a kernel service on the UDP endpoint. The wrapped
 // handler decodes the payload, enters node context, charges receive and
 // send costs to the ledger, and maps kernel.Drop to a udptrans drop (the
@@ -115,7 +214,10 @@ func (tr *Transport) Register(id kernel.ServiceID, s kernel.Service) {
 			if !known {
 				return nil, true // stray datagram from outside the cluster
 			}
-			payload := decodePayload(req)
+			// The decoded payload may alias req's receive buffer; the
+			// buffer stays alive until this handler returns, and the
+			// handler runs to completion under the node monitor.
+			payload := tr.unmarshal(req)
 			n.mu.Lock()
 			defer n.mu.Unlock()
 			if n.closed {
@@ -127,7 +229,7 @@ func (tr *Transport) Register(id kernel.ServiceID, s kernel.Service) {
 				return nil, true
 			}
 			n.acct[s.Category] += n.model.SendCost(size)
-			return encodePayload(reply), false
+			return tr.marshalOwned(reply), false
 		},
 	})
 }
@@ -148,6 +250,17 @@ func (tr *Transport) call(ctx context.Context, dst *net.UDPAddr, svc uint16, dat
 	return reply, true
 }
 
+// callBuffered is call without the reply copy: the reply aliases a pooled
+// buffer and the caller must invoke release (when non-nil) after the
+// reply has been consumed.
+func (tr *Transport) callBuffered(ctx context.Context, dst *net.UDPAddr, svc uint16, data []byte) ([]byte, func(), bool) {
+	reply, release, err := tr.ep.CallBuffered(ctx, dst, svc, data)
+	if err != nil {
+		return nil, nil, false
+	}
+	return reply, release, true
+}
+
 // Call issues a blocking request from thread t. The node monitor is
 // released while the call is in flight — the calling thread is blocked,
 // exactly as in the simulation, and other threads and handlers run.
@@ -155,17 +268,22 @@ func (tr *Transport) Call(t kernel.Thread, dst kernel.NodeID, svc kernel.Service
 	n := tr.node
 	n.acct[cat] += n.model.SendCost(size)
 	tr.outstanding++
-	data := encodePayload(req)
+	data, release := tr.marshal(req)
 	addr := tr.peers[dst]
 	n.mu.Unlock()
 	reply, ok := tr.call(context.Background(), addr, uint16(svc), data)
+	if release != nil {
+		release()
+	}
 	n.mu.Lock()
 	tr.outstanding--
 	if !ok {
 		return nil // endpoint closed mid-run (shutdown)
 	}
 	n.acct[cat] += n.model.RecvCost(len(reply))
-	return decodePayload(reply)
+	// CallContext returned an owned copy of the reply, so the decoded
+	// value (which may alias it) is safe for the calling thread to keep.
+	return tr.unmarshal(reply)
 }
 
 // handle tracks one asynchronous request. Its fields are guarded by the
@@ -203,14 +321,27 @@ func (tr *Transport) RequestAsync(dst kernel.NodeID, svc kernel.ServiceID, req a
 	h := &handle{cb: cb, cancel: cancel}
 	n.acct[cat] += n.model.SendCost(size)
 	tr.outstanding++
-	data := encodePayload(req)
+	data, relReq := tr.marshal(req)
 	addr := tr.peers[dst]
 	tr.inflight.Add(1)
 	go func() {
 		defer tr.inflight.Done()
-		reply, ok := tr.call(ctx, addr, uint16(svc), data)
+		// The buffered call avoids copying the reply (a page, on the DSM
+		// path): the decoded payload aliases the pooled receive buffer,
+		// which is released only after the callback — run to completion
+		// under the node monitor — returns. Callbacks that retain payload
+		// bytes copy them (the kernel contract; DSM install does).
+		reply, relReply, ok := tr.callBuffered(ctx, addr, uint16(svc), data)
+		if relReq != nil {
+			relReq()
+		}
 		n.mu.Lock()
 		defer n.mu.Unlock()
+		defer func() {
+			if relReply != nil {
+				relReply()
+			}
+		}()
 		tr.outstanding--
 		if h.done {
 			return // completed out of band or canceled
@@ -220,7 +351,7 @@ func (tr *Transport) RequestAsync(dst kernel.NodeID, svc kernel.ServiceID, req a
 			return // endpoint closed mid-run
 		}
 		n.acct[cat] += n.model.RecvCost(len(reply))
-		cb(decodePayload(reply))
+		cb(tr.unmarshal(reply))
 	}()
 	return h
 }
@@ -237,7 +368,9 @@ func (tr *Transport) RequestSized(dst kernel.NodeID, svc kernel.ServiceID, req a
 func (tr *Transport) Send(dst kernel.NodeID, payload any, size int, cat kernel.Category) {
 	n := tr.node
 	n.acct[cat] += n.model.SendCost(size)
-	data := encodePayload(payload)
+	data, release := tr.marshal(payload)
+	// SendEvent copies the payload into its frame (or batch) before
+	// returning, so the pooled encode buffer can be released right after.
 	if dst == kernel.Broadcast {
 		for i, p := range tr.peers {
 			if kernel.NodeID(i) == n.id {
@@ -245,9 +378,12 @@ func (tr *Transport) Send(dst kernel.NodeID, payload any, size int, cat kernel.C
 			}
 			tr.ep.SendEvent(p, data) //nolint:errcheck // unreliable by contract
 		}
-		return
+	} else {
+		tr.ep.SendEvent(tr.peers[dst], data) //nolint:errcheck // unreliable by contract
 	}
-	tr.ep.SendEvent(tr.peers[dst], data) //nolint:errcheck // unreliable by contract
+	if release != nil {
+		release()
+	}
 }
 
 // HandleRaw appends a one-way datagram handler. Registration happens
@@ -263,7 +399,10 @@ func (tr *Transport) handleEvent(from *net.UDPAddr, b []byte) {
 	if !known {
 		return
 	}
-	payload := decodePayload(b)
+	// The decoded payload may alias b's pooled receive buffer, which the
+	// endpoint keeps alive until this handler returns; the raw chain runs
+	// to completion inside it.
+	payload := tr.unmarshal(b)
 	n := tr.node
 	n.mu.Lock()
 	defer n.mu.Unlock()

@@ -1,0 +1,214 @@
+package udptrans
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func collectEvents(ep *Endpoint) (*sync.Mutex, *[][]byte) {
+	var mu sync.Mutex
+	var got [][]byte
+	ep.SetEventHandler(func(_ *net.UDPAddr, payload []byte) {
+		mu.Lock()
+		got = append(got, append([]byte(nil), payload...))
+		mu.Unlock()
+	})
+	return &mu, &got
+}
+
+func waitEvents(t *testing.T, mu *sync.Mutex, got *[][]byte, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(*got)
+		mu.Unlock()
+		if n >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d events, want %d", n, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestEventBatchingCoalesces: with a flush window set, a burst of small
+// events to one peer must arrive complete and in order, but in far fewer
+// datagrams than events.
+func TestEventBatchingCoalesces(t *testing.T) {
+	a, err := Listen("127.0.0.1:0", Options{BatchWindow: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Listen("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	mu, got := collectEvents(b)
+
+	const n = 64
+	for i := 0; i < n; i++ {
+		if err := a.SendEvent(b.Addr(), []byte(fmt.Sprintf("ev-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitEvents(t, mu, got, n)
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i, p := range *got {
+		if want := fmt.Sprintf("ev-%02d", i); string(p) != want {
+			t.Fatalf("event %d = %q, want %q (reordered within batch?)", i, p, want)
+		}
+	}
+	s := a.Stats()
+	if s.EventsBatched != n {
+		t.Fatalf("EventsBatched = %d, want %d", s.EventsBatched, n)
+	}
+	if s.BatchesSent == 0 || s.BatchesSent >= n {
+		t.Fatalf("BatchesSent = %d; want coalescing (0 < batches < %d)", s.BatchesSent, n)
+	}
+}
+
+// TestBatchFlushOnSize: a batch that would overflow the datagram bound
+// must flush immediately, not wait for the window.
+func TestBatchFlushOnSize(t *testing.T) {
+	a, err := Listen("127.0.0.1:0", Options{BatchWindow: time.Minute}) // timer never fires in-test
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Listen("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	mu, got := collectEvents(b)
+
+	big := bytes.Repeat([]byte{0xCD}, 24*1024)
+	// Two fit under MaxPayload (60K); the third overflows and forces a
+	// flush of the first two, while it stays pending under the window.
+	for i := 0; i < 3; i++ {
+		if err := a.SendEvent(b.Addr(), big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitEvents(t, mu, got, 2)
+	mu.Lock()
+	defer mu.Unlock()
+	for i, p := range *got {
+		if !bytes.Equal(p, big) {
+			t.Fatalf("event %d corrupted (%d bytes)", i, len(p))
+		}
+	}
+	if s := a.Stats(); s.BatchesSent != 1 {
+		t.Fatalf("BatchesSent = %d, want exactly 1 size-triggered flush", s.BatchesSent)
+	}
+}
+
+// TestCloseFlushesBatch: Close must put pending batches on the wire
+// before tearing the socket down, or the tail of a run's events would
+// vanish whenever the window outlives the program.
+func TestCloseFlushesBatch(t *testing.T) {
+	a, err := Listen("127.0.0.1:0", Options{BatchWindow: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Listen("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	mu, got := collectEvents(b)
+
+	if err := a.SendEvent(b.Addr(), []byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	waitEvents(t, mu, got, 1)
+	mu.Lock()
+	defer mu.Unlock()
+	if string((*got)[0]) != "tail" {
+		t.Fatalf("flushed event = %q", (*got)[0])
+	}
+}
+
+// TestEventDropCounted: events discarded by a full worker queue must be
+// visible — the Stats counter and the drop hook both fire once per loss.
+// The seed code dropped them silently, which made lost barrier releases
+// look like network loss instead of local backpressure.
+func TestEventDropCounted(t *testing.T) {
+	b, err := Listen("127.0.0.1:0", Options{Workers: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a, err := Listen("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	var hooked atomic.Int64
+	b.SetEventDropHook(func() { hooked.Add(1) })
+	release := make(chan struct{})
+	var served atomic.Int64
+	b.SetEventHandler(func(_ *net.UDPAddr, _ []byte) {
+		served.Add(1)
+		<-release // wedge the only worker: queue fills, later events drop
+	})
+
+	for i := 0; i < 64; i++ {
+		if err := a.SendEvent(b.Addr(), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Stats().EventsDropped == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no events dropped despite a wedged 1-deep queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	if d, h := b.Stats().EventsDropped, hooked.Load(); d != h {
+		t.Fatalf("EventsDropped = %d but hook fired %d times", d, h)
+	}
+}
+
+// TestDupSendClosedSocketSurfaced: the duplicate-injection path tolerates
+// its own send failing (it is extra loss-recovery traffic), but a closed
+// socket is different — every future send fails too, so it must surface
+// and stop the caller's retry loop. The seed discarded the duplicate's
+// error entirely. Closing the socket from inside the DupSend callback
+// lands the failure exactly on the duplicate write.
+func TestDupSendClosedSocketSurfaced(t *testing.T) {
+	var a *Endpoint
+	a, err := Listen("127.0.0.1:0", Options{DupSend: func(_ []byte) bool {
+		a.conn.Close() // primary write already succeeded; the duplicate hits a closed socket
+		return true
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Listen("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	frame := appendFrame(nil, header{kind: kindEvent}, []byte("x"))
+	if err := a.send(frame, b.Addr()); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("send with closed-socket duplicate returned %v, want net.ErrClosed", err)
+	}
+}

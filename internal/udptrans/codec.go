@@ -1,6 +1,9 @@
 package udptrans
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"sync"
+)
 
 // Wire format: | kind(1) | svc(2) | seq(4) | payload |. Both requests and
 // replies carry the full header; a reply echoes the request's svc and seq so
@@ -13,6 +16,10 @@ const (
 	// (the barrier release broadcast does, via arrive retransmission). The
 	// svc and seq header fields are zero.
 	kindEvent = 0x03
+	// kindBatch coalesces several events to the same peer into one
+	// datagram: the payload is a sequence of uvarint-length-prefixed event
+	// payloads. Same reliability contract as kindEvent.
+	kindBatch = 0x04
 	headerLen = 7
 )
 
@@ -23,30 +30,77 @@ type header struct {
 	seq  uint32
 }
 
-// encode builds a datagram from a header and payload.
-func encode(h header, payload []byte) []byte {
-	buf := make([]byte, headerLen+len(payload))
-	buf[0] = h.kind
-	binary.BigEndian.PutUint16(buf[1:], h.svc)
-	binary.BigEndian.PutUint32(buf[3:], h.seq)
-	copy(buf[headerLen:], payload)
-	return buf
+// frameCap is the largest datagram an endpoint sends or receives; every
+// pooled buffer holds this much.
+const frameCap = headerLen + MaxPayload
+
+// bufPool recycles full-size frame buffers across sends and receives. The
+// pool stores *[]byte (a pooled []byte header would itself allocate), and
+// every entry keeps its original frameCap backing array.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, frameCap)
+		return &b
+	},
 }
 
-// decode splits a received datagram into header and payload. The payload is
-// copied so the caller's receive buffer can be reused. ok is false for
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func putBuf(bp *[]byte) {
+	if bp == nil || cap(*bp) < frameCap {
+		return // foreign or shrunken buffer; let the GC have it
+	}
+	*bp = (*bp)[:0]
+	bufPool.Put(bp)
+}
+
+// appendFrame appends a framed datagram (header then payload) to dst.
+func appendFrame(dst []byte, h header, payload []byte) []byte {
+	dst = append(dst, h.kind)
+	dst = binary.BigEndian.AppendUint16(dst, h.svc)
+	dst = binary.BigEndian.AppendUint32(dst, h.seq)
+	return append(dst, payload...)
+}
+
+// encode builds a datagram from a header and payload in a fresh buffer
+// (tests; the endpoint frames into pooled buffers via appendFrame).
+func encode(h header, payload []byte) []byte {
+	return appendFrame(make([]byte, 0, headerLen+len(payload)), h, payload)
+}
+
+// decode splits a received datagram into header and payload. The payload
+// ALIASES b — the caller owns the receive buffer and must keep it alive
+// (and unrecycled) until the payload has been consumed. ok is false for
 // datagrams too short to carry a header or with an unknown kind.
 func decode(b []byte) (h header, payload []byte, ok bool) {
 	if len(b) < headerLen {
 		return header{}, nil, false
 	}
 	h.kind = b[0]
-	if h.kind != kindRequest && h.kind != kindReply && h.kind != kindEvent {
+	if h.kind != kindRequest && h.kind != kindReply && h.kind != kindEvent && h.kind != kindBatch {
 		return header{}, nil, false
 	}
 	h.svc = binary.BigEndian.Uint16(b[1:])
 	h.seq = binary.BigEndian.Uint32(b[3:])
-	payload = make([]byte, len(b)-headerLen)
-	copy(payload, b[headerLen:])
-	return h, payload, true
+	return h, b[headerLen:], true
+}
+
+// appendBatchEntry appends one uvarint-length-prefixed event payload to a
+// batch body.
+func appendBatchEntry(dst, payload []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...)
+}
+
+// nextBatchEntry splits the first entry off a batch body. ok is false at
+// the end of the batch or on a malformed entry.
+func nextBatchEntry(b []byte) (entry, rest []byte, ok bool) {
+	if len(b) == 0 {
+		return nil, nil, false
+	}
+	n, w := binary.Uvarint(b)
+	if w <= 0 || n > uint64(len(b)-w) {
+		return nil, nil, false
+	}
+	return b[w : w+int(n)], b[w+int(n):], true
 }

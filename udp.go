@@ -58,6 +58,26 @@ type UDPConfig struct {
 	// window: 0 keeps the model's default, a negative value disables the
 	// window, and a positive value replaces it.
 	MirageWindow Duration
+	// Tuning collects the wall-clock wire-path knobs.
+	Tuning UDPTuning
+}
+
+// UDPTuning tunes the real-time wire path. Every knob is cluster-wide:
+// all nodes must run the same values, like the protocol choice.
+type UDPTuning struct {
+	// Codec selects the payload encoding: "" or "binary" for the
+	// hand-rolled zero-allocation codec, "gob" for the previous release's
+	// framing (kept for one release as a fallback).
+	Codec string
+	// NoDiffs disables twin-and-diff page shipping, which is on by
+	// default under UDP (the simulation keeps whole pages either way, so
+	// its byte accounting matches the paper's tables).
+	NoDiffs bool
+	// BatchWindow coalesces small one-way events per peer into single
+	// datagrams, holding each back at most this long. Zero disables
+	// batching (the default: a delayed barrier release costs more than a
+	// datagram header saves unless events are bursty).
+	BatchWindow time.Duration
 }
 
 // UDPNodeReport is one node's accounting after a real-time run.
@@ -102,8 +122,8 @@ type UDPCluster struct {
 // Re-issuing a timed-out call under a fresh sequence number would
 // re-execute the handler — a steal grant whose reply was lost would lose
 // the stolen filament with it.
-func rtOptions() udptrans.Options {
-	return udptrans.Options{MaxRetries: 1 << 30}
+func rtOptions(t UDPTuning) udptrans.Options {
+	return udptrans.Options{MaxRetries: 1 << 30, BatchWindow: t.BatchWindow}
 }
 
 // NewUDPCluster builds a cluster from cfg, opening one UDP endpoint per
@@ -117,6 +137,10 @@ func NewUDPCluster(cfg UDPConfig) (*UDPCluster, error) {
 	}
 	if cfg.MaxWorkers == 0 {
 		cfg.MaxWorkers = 16
+	}
+	codec, err := rtnode.ParseCodec(cfg.Tuning.Codec)
+	if err != nil {
+		return nil, fmt.Errorf("filaments: %w", err)
 	}
 	c := &UDPCluster{cfg: cfg}
 	if cfg.Model != nil {
@@ -138,7 +162,7 @@ func NewUDPCluster(cfg UDPConfig) (*UDPCluster, error) {
 	eps := make([]*udptrans.Endpoint, cfg.Nodes)
 	addrs := make([]*net.UDPAddr, cfg.Nodes)
 	for i := range eps {
-		ep, err := udptrans.Listen("127.0.0.1:0", rtOptions())
+		ep, err := udptrans.Listen("127.0.0.1:0", rtOptions(cfg.Tuning))
 		if err != nil {
 			for _, open := range eps[:i] {
 				open.Close() //nolint:errcheck // best-effort unwind
@@ -156,8 +180,10 @@ func NewUDPCluster(cfg UDPConfig) (*UDPCluster, error) {
 			node.Obs().SetTracer(cfg.Tracer)
 		}
 		tr := rtnode.NewTransport(node, eps[i])
+		tr.SetCodec(codec)
 		tr.SetPeers(addrs)
 		d := dsm.New(node, tr, c.space, cfg.Protocol)
+		d.SetDiffs(!cfg.Tuning.NoDiffs)
 		d.WakeFront = cfg.WakeFront
 		red := reduce.New(node, tr, d, cfg.Nodes)
 		rt := filament.New(node, tr, d, red, cfg.Nodes)
@@ -329,6 +355,9 @@ type UDPNodeConfig struct {
 	Linger time.Duration
 	// Model overrides the ledger cost model; nil uses cost.Default.
 	Model *CostModel
+	// Tuning collects the wall-clock wire-path knobs; identical values on
+	// every process of the cluster.
+	Tuning UDPTuning
 }
 
 // UDPNode is one process's node in a multi-process cluster.
@@ -375,15 +404,21 @@ func NewUDPNode(cfg UDPNodeConfig) (*UDPNode, error) {
 		}
 		addrs[i] = a
 	}
-	ep, err := udptrans.Listen(cfg.Peers[cfg.ID], rtOptions())
+	codec, err := rtnode.ParseCodec(cfg.Tuning.Codec)
+	if err != nil {
+		return nil, fmt.Errorf("filaments: %w", err)
+	}
+	ep, err := udptrans.Listen(cfg.Peers[cfg.ID], rtOptions(cfg.Tuning))
 	if err != nil {
 		return nil, err
 	}
 	u.space = dsm.NewSpace(cfg.SharedBytes)
 	u.node = rtnode.NewNode(kernel.NodeID(cfg.ID), &u.model)
 	u.tr = rtnode.NewTransport(u.node, ep)
+	u.tr.SetCodec(codec)
 	u.tr.SetPeers(addrs)
 	u.d = dsm.New(u.node, u.tr, u.space, cfg.Protocol)
+	u.d.SetDiffs(!cfg.Tuning.NoDiffs)
 	u.d.WakeFront = cfg.WakeFront
 	u.red = reduce.New(u.node, u.tr, u.d, cfg.Nodes)
 	u.rt = filament.New(u.node, u.tr, u.d, u.red, cfg.Nodes)
