@@ -6,14 +6,19 @@
 //
 // Usage:
 //
-//	dfcheck [-app all|jacobi|matmul|exprtree|quadrature|racer]
-//	        [-protocol all|migratory|write-invalidate|implicit-invalidate]
+//	dfcheck [-app all|jacobi|matmul|fft|mergesort|exprtree|quadrature|racer|racer-overlap]
+//	        [-protocol all|migratory|write-invalidate|implicit-invalidate|lazy-release]
 //	        [-mirage both|on|off] [-nodes n] [-selftest] [-v]
 //
 // dfcheck exits 0 when every checked configuration is race-free,
-// annotation-clean, and oracle-clean, and 1 otherwise. -selftest runs the
-// deliberately racy seeded program (internal/apps/racer) and exits 0 only
-// if the checker catches its race — the checker checking itself.
+// annotation-clean, and oracle-clean, and 1 otherwise. The oracle is
+// per-model: the single-writer protocols are held to sequential
+// consistency, lazy-release to release consistency (same digest
+// comparison — the home holds every merge at the fold — plus a
+// no-unflushed-state assertion). -selftest runs the deliberately racy
+// seeded programs (internal/apps/racer) and exits 0 only if the checker
+// catches both the write/read race under write-invalidate and the
+// write/write overlap under lazy-release — the checker checking itself.
 //
 // The static half of the memory-model suite lives in dflint: the
 // sharedrange, loopcapture, and barrierphase analyzers flag the same bug
@@ -30,8 +35,8 @@ import (
 )
 
 func main() {
-	appFlag := flag.String("app", "all", "application to check: all, jacobi, matmul, exprtree, quadrature, or racer")
-	protoFlag := flag.String("protocol", "all", "page consistency protocol: all, migratory, write-invalidate, or implicit-invalidate")
+	appFlag := flag.String("app", "all", "application to check: all, jacobi, matmul, fft, mergesort, exprtree, quadrature, racer, or racer-overlap")
+	protoFlag := flag.String("protocol", "all", "page consistency protocol: all, migratory, write-invalidate, implicit-invalidate, or lazy-release")
 	mirageFlag := flag.String("mirage", "both", "Mirage anti-thrashing window: both, on, or off")
 	nodes := flag.Int("nodes", 4, "cluster size for the parallel run")
 	selftest := flag.Bool("selftest", false, "run the seeded-race program and require the checker to catch it")
@@ -112,6 +117,7 @@ func parseProtocols(s string) ([]filaments.Protocol, bool) {
 	case "all":
 		return []filaments.Protocol{
 			filaments.Migratory, filaments.WriteInvalidate, filaments.ImplicitInvalidate,
+			filaments.LazyRelease,
 		}, true
 	case "migratory":
 		return []filaments.Protocol{filaments.Migratory}, true
@@ -119,6 +125,8 @@ func parseProtocols(s string) ([]filaments.Protocol, bool) {
 		return []filaments.Protocol{filaments.WriteInvalidate}, true
 	case "implicit-invalidate":
 		return []filaments.Protocol{filaments.ImplicitInvalidate}, true
+	case "lazy-release":
+		return []filaments.Protocol{filaments.LazyRelease}, true
 	}
 	return nil, false
 }
@@ -133,7 +141,7 @@ func configName(app string, proto filaments.Protocol, mirage bool, nodes int) st
 
 // reportResult prints one configuration's outcome; true means it failed.
 func reportResult(res *check.Result, verbose bool) bool {
-	name := configName(res.App, res.Protocol, res.Mirage, res.Nodes)
+	name := configName(res.App, res.Protocol, res.Mirage, res.Nodes) + " model=" + res.Model.String()
 	bad := !res.Ok()
 	if bad {
 		fmt.Printf("FAIL %s (%d accesses, %d epochs)\n", name, res.Parallel.Accesses, res.Epochs)
@@ -155,8 +163,10 @@ func reportResult(res *check.Result, verbose bool) bool {
 	return bad
 }
 
-// runSelftest checks the checker: the seeded-race program must produce
-// race reports naming both accesses.
+// runSelftest checks the checker: the seeded-race programs must produce
+// race reports naming both accesses — the write/read race under
+// write-invalidate and the write/write overlap under lazy-release (whose
+// barrier-time flush edges must not order same-interval writes).
 func runSelftest(nodes int) int {
 	if nodes < 2 {
 		nodes = 2
@@ -168,6 +178,15 @@ func runSelftest(nodes int) int {
 	}
 	fmt.Printf("dfcheck selftest: seeded race detected (%d report(s)):\n", len(res.Parallel.Races))
 	for _, r := range res.Parallel.Races {
+		fmt.Printf("  %s\n", r)
+	}
+	overlap := check.CheckApp(check.RacerOverlap(), nodes, filaments.LazyRelease, true)
+	if len(overlap.Parallel.Races) == 0 {
+		fmt.Println("dfcheck selftest: FAILED — overlapping writers not detected under lazy-release")
+		return 1
+	}
+	fmt.Printf("dfcheck selftest: lazy-release overlap detected (%d report(s)):\n", len(overlap.Parallel.Races))
+	for _, r := range overlap.Parallel.Races {
 		fmt.Printf("  %s\n", r)
 	}
 	return 0

@@ -20,22 +20,25 @@ import (
 
 	"filaments"
 	"filaments/internal/apps/exprtree"
+	"filaments/internal/apps/fft"
 	"filaments/internal/apps/jacobi"
 	"filaments/internal/apps/matmul"
+	"filaments/internal/apps/mergesort"
 	"filaments/internal/apps/quadrature"
 	"filaments/internal/threads"
 )
 
 func main() {
 	var (
-		app     = flag.String("app", "jacobi", "application: matmul | jacobi | quadrature | exprtree")
+		app     = flag.String("app", "jacobi", "application: matmul | jacobi | quadrature | exprtree | fft | mergesort")
 		variant = flag.String("variant", "df", "variant: seq | cg | df | bag (quadrature only)")
 		nodes   = flag.Int("nodes", 8, "cluster size")
 		n       = flag.Int("n", 0, "problem dimension (0 = paper default)")
 		iters   = flag.Int("iters", 0, "jacobi iterations (0 = paper default)")
 		height  = flag.Int("height", 0, "exprtree height (0 = paper default)")
+		leaf    = flag.Int("leaf", 0, "fft/mergesort sequential-leaf size (0 = paper default)")
 		tol     = flag.Float64("tol", 0, "quadrature tolerance (0 = paper default)")
-		proto   = flag.String("protocol", "", "DSM protocol override: migratory | wi | ii")
+		proto   = flag.String("protocol", "", "DSM protocol override: migratory | wi | ii | lrc")
 		trans   = flag.String("transport", "sim", "binding: sim (virtual time) | udp (real loopback endpoints)")
 		codec   = flag.String("codec", "binary", "UDP wire codec: binary | gob (previous release's framing)")
 		noDiffs = flag.Bool("nodiffs", false, "disable twin-and-diff page shipping over UDP")
@@ -59,6 +62,8 @@ func main() {
 		protocol = filaments.WriteInvalidate
 	case "ii":
 		protocol = filaments.ImplicitInvalidate
+	case "lrc", "lazy-release":
+		protocol = filaments.LazyRelease
 	default:
 		fail("unknown -protocol %q", *proto)
 	}
@@ -124,6 +129,26 @@ func main() {
 			rep, _, _ = exprtree.DF(cfg)
 		default:
 			fail("exprtree has variants seq|cg|df")
+		}
+	case "fft":
+		cfg := fft.Config{N: *n, Leaf: *leaf, Nodes: *nodes, Protocol: protocol, Tracer: tracer}
+		switch *variant {
+		case "seq":
+			rep, _, _ = fft.Sequential(cfg)
+		case "df":
+			rep, _, _, _ = fft.DF(cfg)
+		default:
+			fail("fft has variants seq|df")
+		}
+	case "mergesort":
+		cfg := mergesort.Config{N: *n, Leaf: *leaf, Nodes: *nodes, Protocol: protocol, Tracer: tracer}
+		switch *variant {
+		case "seq":
+			rep, _ = mergesort.Sequential(cfg)
+		case "df":
+			rep, _, _ = mergesort.DF(cfg)
+		default:
+			fail("mergesort has variants seq|df")
 		}
 	default:
 		fail("unknown -app %q", *app)

@@ -21,6 +21,7 @@ func TestProtocolCrossCheck(t *testing.T) {
 	const nodes = 2
 	protos := []filaments.Protocol{
 		filaments.Migratory, filaments.WriteInvalidate, filaments.ImplicitInvalidate,
+		filaments.LazyRelease,
 	}
 
 	t.Run("jacobi", func(t *testing.T) {

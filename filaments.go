@@ -93,6 +93,7 @@ const (
 	Migratory          = dsm.Migratory
 	WriteInvalidate    = dsm.WriteInvalidate
 	ImplicitInvalidate = dsm.ImplicitInvalidate
+	LazyRelease        = dsm.LazyRelease
 )
 
 // Virtual-time units for Exec.Compute costs.

@@ -27,8 +27,25 @@ type Config struct {
 	Leaf int
 	// Nodes is the cluster size.
 	Nodes int
+	// Protocol for the DF variant; the zero value means the app default,
+	// write-invalidate (the bit-reversal phase reads scattered locations
+	// across the whole array, and read-only copies must not tear
+	// ownership away from the transform's writers).
+	Protocol filaments.Protocol
+	// UseMigratory forces the migratory protocol (the Protocol field's
+	// zero value means "app default", i.e. write-invalidate).
+	UseMigratory bool
 	// Seed for the simulation and input signal.
 	Seed int64
+	// Tracer, when non-nil, records kernel trace events from the DF
+	// variant.
+	Tracer *filaments.Tracer
+	// Monitor, when non-nil, observes the DF variant's DSM accesses and
+	// synchronization events (the cmd/dfcheck seam).
+	Monitor filaments.Monitor
+	// MirageWindow overrides the Mirage anti-thrashing window in the DF
+	// variant: 0 keeps the model default, negative disables it.
+	MirageWindow filaments.Duration
 }
 
 func (c *Config) defaults() {
@@ -43,6 +60,12 @@ func (c *Config) defaults() {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Protocol == filaments.Migratory {
+		c.Protocol = filaments.WriteInvalidate
+	}
+	if c.UseMigratory {
+		c.Protocol = filaments.Migratory
 	}
 	if c.N&(c.N-1) != 0 || c.Leaf&(c.Leaf-1) != 0 || c.Leaf > c.N {
 		panic("fft: N and Leaf must be powers of two with Leaf <= N")
@@ -163,14 +186,14 @@ const fnFFT = 1
 func DF(cfg Config) (*filaments.Report, []float64, []float64, *filaments.Cluster) {
 	cfg.defaults()
 	n := cfg.N
-	// Write-invalidate, not migratory: the bit-reversal phase reads
-	// scattered locations across the whole array, and read-only copies
-	// must not tear ownership away from the transform's writers.
 	cl := filaments.New(filaments.Config{
-		Nodes:     cfg.Nodes,
-		Seed:      cfg.Seed,
-		Protocol:  filaments.WriteInvalidate,
-		WakeFront: true,
+		Nodes:        cfg.Nodes,
+		Seed:         cfg.Seed,
+		Protocol:     cfg.Protocol,
+		WakeFront:    true,
+		Tracer:       cfg.Tracer,
+		Monitor:      cfg.Monitor,
+		MirageWindow: cfg.MirageWindow,
 	})
 	groupPages := (cfg.Leaf*8 + dsm.PageSize - 1) / dsm.PageSize
 	reB := cl.Space().Alloc(int64(n)*8, dsm.AllocOpts{Owner: 0, GroupPages: groupPages})

@@ -27,8 +27,21 @@ type Config struct {
 	// Stealing enables dynamic load balancing (off by default: the tree
 	// is balanced).
 	Stealing bool
+	// Protocol for the DF variant; the zero value is migratory, the app
+	// default (each filament sorts a contiguous range, so its page groups
+	// migrate once and stay for the whole leaf sort).
+	Protocol filaments.Protocol
 	// Seed for both the simulation and the input permutation.
 	Seed int64
+	// Tracer, when non-nil, records kernel trace events from the DF
+	// variant.
+	Tracer *filaments.Tracer
+	// Monitor, when non-nil, observes the DF variant's DSM accesses and
+	// synchronization events (the cmd/dfcheck seam).
+	Monitor filaments.Monitor
+	// MirageWindow overrides the Mirage anti-thrashing window in the DF
+	// variant: 0 keeps the model default, negative disables it.
+	MirageWindow filaments.Duration
 }
 
 func (c *Config) defaults() {
@@ -131,11 +144,14 @@ const fnSort = 1
 func DF(cfg Config) (*filaments.Report, []float64, *filaments.Cluster) {
 	cfg.defaults()
 	cl := filaments.New(filaments.Config{
-		Nodes:     cfg.Nodes,
-		Seed:      cfg.Seed,
-		Protocol:  filaments.Migratory,
-		Stealing:  cfg.Stealing,
-		WakeFront: true,
+		Nodes:        cfg.Nodes,
+		Seed:         cfg.Seed,
+		Protocol:     cfg.Protocol,
+		Stealing:     cfg.Stealing,
+		WakeFront:    true,
+		Tracer:       cfg.Tracer,
+		Monitor:      cfg.Monitor,
+		MirageWindow: cfg.MirageWindow,
 	})
 	// The array as page groups of one leaf each, so a leaf sort moves its
 	// data in one request.

@@ -32,6 +32,13 @@ type Config struct {
 	// Protocol defaults to write-invalidate; the seeded race is invisible
 	// under migratory (see the package comment).
 	Protocol filaments.Protocol
+	// OverlapWriters replaces phase 1's write/read race with a
+	// write/write race: nodes 0 and 1 both write every word of the shared
+	// array in the same interval. Under lazy release consistency this is
+	// exactly the program class the protocol does NOT promise anything
+	// for — two twinned writers flush overlapping diffs and the home's
+	// merge order picks a winner — so dfcheck must flag it.
+	OverlapWriters bool
 	// Seed for the simulation.
 	Seed int64
 	// Monitor, when non-nil, observes the run (the cmd/dfcheck seam).
@@ -71,16 +78,27 @@ func DF(cfg Config) (*filaments.Report, float64, *filaments.Cluster) {
 		me := rt.ID()
 		d := rt.DSM()
 		e.Barrier()
-		// Phase 1 — the seeded data race: node 0 writes the array while
-		// node 1 sums it, with no synchronization between them.
-		if me == 1 {
-			for i := 0; i < Words; i++ {
-				racySum += e.ReadF64(data + filaments.Addr(i*8))
+		if cfg.OverlapWriters {
+			// Phase 1, write/write variant: both nodes write every word in
+			// the same interval. The home's diff-merge order decides each
+			// word under lazy release consistency — a real lost-update bug.
+			if me <= 1 {
+				for i := 0; i < Words; i++ {
+					d.WriteF64(e.Thread(), data+filaments.Addr(i*8), float64(me*1000+i))
+				}
 			}
-		}
-		if me == 0 {
-			for i := 0; i < Words; i++ {
-				d.WriteF64(e.Thread(), data+filaments.Addr(i*8), float64(i))
+		} else {
+			// Phase 1 — the seeded data race: node 0 writes the array while
+			// node 1 sums it, with no synchronization between them.
+			if me == 1 {
+				for i := 0; i < Words; i++ {
+					racySum += e.ReadF64(data + filaments.Addr(i*8))
+				}
+			}
+			if me == 0 {
+				for i := 0; i < Words; i++ {
+					d.WriteF64(e.Thread(), data+filaments.Addr(i*8), float64(i))
+				}
 			}
 		}
 		e.Barrier()

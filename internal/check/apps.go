@@ -3,8 +3,10 @@ package check
 import (
 	"filaments"
 	"filaments/internal/apps/exprtree"
+	"filaments/internal/apps/fft"
 	"filaments/internal/apps/jacobi"
 	"filaments/internal/apps/matmul"
+	"filaments/internal/apps/mergesort"
 	"filaments/internal/apps/quadrature"
 	"filaments/internal/apps/racer"
 )
@@ -23,8 +25,13 @@ func Apps() []App {
 	}
 	// Read-sharing under migratory thrashes without the window (reads
 	// take the page away); replicated read-only copies under the other
-	// two protocols do not.
+	// two protocols do not. Lazy release consistency is always safe:
+	// ownership never moves (home-based), so there is nothing to thrash,
+	// and misaligned write strips just become concurrent twinned writers.
 	invalidateSafe := func(proto filaments.Protocol, nodes int) bool {
+		if proto == filaments.LazyRelease {
+			return true
+		}
 		return proto != filaments.Migratory && alignedWrites(nodes)
 	}
 	return []App{
@@ -55,6 +62,38 @@ func Apps() []App {
 				cfg.Protocol = c.Protocol
 			}
 			matmul.DF(cfg)
+		}},
+		{Name: "fft", UsesDSM: true,
+			// Migratory thrashes without the window: the bit-reversal phase
+			// has every node reading the whole transform array, and each
+			// read tears the page away from the previous reader.
+			MirageOffSafe: func(proto filaments.Protocol, nodes int) bool {
+				return proto != filaments.Migratory
+			},
+			Run: func(c AppConfig) {
+				// Leaf 512 = exactly one 4 KB page, so leaf transforms and
+				// bit-reversal strips are single-writer-per-page under the
+				// invalidate protocols.
+				cfg := fft.Config{
+					N: 2048, Leaf: 512,
+					Nodes: c.Nodes, Seed: 1,
+					Monitor: c.Monitor, MirageWindow: c.MirageWindow,
+				}
+				if c.Protocol == filaments.Migratory {
+					cfg.UseMigratory = true
+				} else {
+					cfg.Protocol = c.Protocol
+				}
+				fft.DF(cfg)
+			}},
+		{Name: "mergesort", UsesDSM: true, Run: func(c AppConfig) {
+			mergesort.DF(mergesort.Config{
+				N: 2048, Leaf: 512,
+				Nodes: c.Nodes, Seed: 1,
+				Stealing: true,
+				Protocol: c.Protocol, // zero value is migratory, the app default
+				Monitor:  c.Monitor, MirageWindow: c.MirageWindow,
+			})
 		}},
 		{Name: "exprtree", UsesDSM: true, Run: func(c AppConfig) {
 			exprtree.DF(exprtree.Config{
@@ -89,10 +128,29 @@ func Racer() App {
 	}}
 }
 
+// RacerOverlap returns the write/write variant of the racer: two nodes
+// write every word of the same array in one interval. Lazy release
+// consistency merges both writers' diffs at the home (last merge wins per
+// word — a lost update), so the checker must flag it even though no
+// single-writer page traffic orders the writes.
+func RacerOverlap() App {
+	return App{Name: "racer-overlap", UsesDSM: true, Run: func(c AppConfig) {
+		racer.DF(racer.Config{
+			Nodes: c.Nodes, Seed: 1,
+			OverlapWriters: true,
+			Protocol:       c.Protocol,
+			Monitor:        c.Monitor, MirageWindow: c.MirageWindow,
+		})
+	}}
+}
+
 // AppByName finds a shipped app (or the racer) by name.
 func AppByName(name string) (App, bool) {
 	if name == "racer" {
 		return Racer(), true
+	}
+	if name == "racer-overlap" {
+		return RacerOverlap(), true
 	}
 	for _, a := range Apps() {
 		if a.Name == name {

@@ -17,6 +17,11 @@
 //   - Fork/join shipment: forking a task to another node (or granting a
 //     steal) happens-before the task starts there; a remote task's result
 //     ship happens-before its delivery at the join's origin.
+//   - Lazy-release diff traffic: a writer's diff flush happens-before the
+//     home's merge of that diff. Both fire at barrier time (the flush runs
+//     at the writer's release, after every access of its interval), so the
+//     edge never orders two same-interval accesses — concurrent writes to
+//     the same word between barriers stay visible as races under LRC.
 //
 // Within one node all events are totally ordered (one virtual CPU), so
 // races are only reported between different nodes. Under the migratory
@@ -115,6 +120,11 @@ func (v Violation) String() string {
 type EpochDigest struct {
 	Epoch   int64
 	Digests []uint64
+	// Unflushed counts blocks still carrying multi-writer state (dirty
+	// lists, live twins) at the quiescent instant. The release-consistency
+	// oracle requires zero: every interval's diffs must have reached their
+	// homes before the fold. Always zero under single-writer protocols.
+	Unflushed int
 }
 
 // Report is the checker's accumulated findings after a run.
@@ -156,6 +166,7 @@ type Checker struct {
 	clocks []vclock // one per node; component [i][i] starts at 1
 
 	transfers map[transferKey][]vclock
+	flushes   map[transferKey][]vclock
 	tasks     map[taskKey][]vclock
 	results   map[dsm.TaskKey][]vclock
 	epochs    map[int64]*epochState
@@ -220,6 +231,7 @@ func New(cfg Config) *Checker {
 	return &Checker{
 		cfg:       cfg,
 		transfers: make(map[transferKey][]vclock),
+		flushes:   make(map[transferKey][]vclock),
 		tasks:     make(map[taskKey][]vclock),
 		results:   make(map[dsm.TaskKey][]vclock),
 		epochs:    make(map[int64]*epochState),
@@ -422,6 +434,28 @@ func (c *Checker) OnPageInstall(node, from kernel.NodeID, b int, grantOwner bool
 	}
 }
 
+// OnDiffFlush pushes the flushing writer's clock for the home's merge.
+func (c *Checker) OnDiffFlush(from, to kernel.NodeID, b int, now kernel.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensure()
+	k := transferKey{from: from, to: to, block: b}
+	c.flushes[k] = append(c.flushes[k], c.clocks[from].clone())
+	c.tick(from)
+}
+
+// OnDiffMerge joins the flushing writer's clock into the home node.
+func (c *Checker) OnDiffMerge(node, from kernel.NodeID, b int, now kernel.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensure()
+	k := transferKey{from: from, to: node, block: b}
+	if q := c.flushes[k]; len(q) > 0 {
+		c.clocks[node].join(q[0])
+		c.flushes[k] = q[1:]
+	}
+}
+
 // OnBarrierArrive folds the node's clock into the epoch and ticks it.
 func (c *Checker) OnBarrierArrive(node kernel.NodeID, epoch int64, now kernel.Time) {
 	c.mu.Lock()
@@ -464,7 +498,7 @@ func (c *Checker) OnEpochQuiesced(node kernel.NodeID, epoch int64, now kernel.Ti
 		return
 	}
 	nb := c.space.Blocks()
-	ed := EpochDigest{Epoch: epoch, Digests: make([]uint64, nb)}
+	ed := EpochDigest{Epoch: epoch, Digests: make([]uint64, nb), Unflushed: c.space.UnflushedDirty()}
 	for b := 0; b < nb; b++ {
 		ed.Digests[b], _ = c.space.BlockDigest(b)
 	}

@@ -217,6 +217,45 @@ func TestRacerDetected(t *testing.T) {
 	}
 }
 
+// TestOverlapWritersDetectedUnderLRC is the release-consistency seeded-
+// race check: two nodes write the same words in one interval, which lazy
+// release consistency resolves by merge order (a lost update). The
+// flush→merge edges fire at barrier time, after both interval writes, so
+// they must not mask the write/write race.
+func TestOverlapWritersDetectedUnderLRC(t *testing.T) {
+	res := CheckApp(RacerOverlap(), 2, filaments.LazyRelease, true)
+	if res.Err != nil {
+		t.Fatalf("oracle structure: %v", res.Err)
+	}
+	if res.Model != ReleaseConsistency {
+		t.Fatalf("LazyRelease must map to the release-consistency model, got %v", res.Model)
+	}
+	if len(res.Parallel.Races) == 0 {
+		t.Fatalf("the overlapping writers must be detected under lazy release consistency")
+	}
+	r := res.Parallel.Races[0]
+	if !r.First.Write || !r.Second.Write {
+		t.Fatalf("want a write/write pair, got %v", r)
+	}
+	if r.First.Node == r.Second.Node {
+		t.Fatalf("race must involve two nodes: %v", r)
+	}
+}
+
+// TestLRCCleanAppsReportModel pins ModelOf's mapping.
+func TestLRCCleanAppsReportModel(t *testing.T) {
+	for _, proto := range []filaments.Protocol{
+		filaments.Migratory, filaments.WriteInvalidate, filaments.ImplicitInvalidate,
+	} {
+		if ModelOf(proto) != SequentialConsistency {
+			t.Fatalf("%v must be sequentially consistent", proto)
+		}
+	}
+	if ModelOf(filaments.LazyRelease) != ReleaseConsistency {
+		t.Fatalf("LazyRelease must be release-consistent")
+	}
+}
+
 // TestCentralBarrierQuiesces checks the oracle also works under the
 // centralized barrier (the champion fold is global there too).
 func TestCentralBarrierQuiesces(t *testing.T) {

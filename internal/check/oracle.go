@@ -20,6 +20,44 @@ import (
 // the dissemination barrier does not (no node ever holds the whole fold),
 // so the oracle reports zero comparable epochs there and the caller must
 // treat Dissemination as unsupported.
+//
+// The oracle generalizes across memory models. Under the single-writer
+// protocols (sequential consistency) the digests are valid because exactly
+// one owner holds each block. Under lazy release consistency (a release-
+// consistency model) the home never loses ownership, every writer flushes
+// its interval diffs before arriving, and the reducer's Quiesce covers the
+// flush acks — so at the fold the home frames hold every merge and the
+// same digest comparison applies. The RC oracle additionally asserts that
+// no unflushed multi-writer state (dirty lists, twins) survives into the
+// quiescent instant: see EpochDigest.Unflushed.
+
+// Model is the memory model a protocol promises, which picks the oracle
+// variant CheckApp runs.
+type Model int
+
+const (
+	// SequentialConsistency: single-writer protocols — one owner per
+	// block, every access sees the latest write.
+	SequentialConsistency Model = iota
+	// ReleaseConsistency: writes are only guaranteed visible at the next
+	// synchronization point; correct for data-race-free barrier programs.
+	ReleaseConsistency
+)
+
+func (m Model) String() string {
+	if m == ReleaseConsistency {
+		return "release-consistency"
+	}
+	return "sequential-consistency"
+}
+
+// ModelOf maps a protocol to the memory model it implements.
+func ModelOf(p filaments.Protocol) Model {
+	if p == filaments.LazyRelease {
+		return ReleaseConsistency
+	}
+	return SequentialConsistency
+}
 
 // Mismatch is one block whose content differs between the parallel and
 // sequential runs at a quiescent epoch.
@@ -95,6 +133,7 @@ type Result struct {
 	App      string
 	Nodes    int
 	Protocol filaments.Protocol
+	Model    Model
 	Mirage   bool
 	// Parallel is the p-node run's report.
 	Parallel *Report
@@ -118,6 +157,7 @@ func Sweep(app App, nodes int) []*Result {
 	var out []*Result
 	for _, proto := range []filaments.Protocol{
 		filaments.Migratory, filaments.WriteInvalidate, filaments.ImplicitInvalidate,
+		filaments.LazyRelease,
 	} {
 		for _, mirage := range []bool{true, false} {
 			if !mirage && app.MirageOffSafe != nil && !app.MirageOffSafe(proto, nodes) {
@@ -141,7 +181,21 @@ func CheckApp(app App, nodes int, proto filaments.Protocol, mirage bool) *Result
 	app.Run(AppConfig{Nodes: nodes, Protocol: proto, MirageWindow: window, Monitor: par})
 	seq := New(Config{CollectDigests: true})
 	app.Run(AppConfig{Nodes: 1, Protocol: proto, MirageWindow: window, Monitor: seq})
-	res := &Result{App: app.Name, Nodes: nodes, Protocol: proto, Mirage: mirage, Parallel: par.Report()}
+	res := &Result{App: app.Name, Nodes: nodes, Protocol: proto, Model: ModelOf(proto),
+		Mirage: mirage, Parallel: par.Report()}
 	res.Mismatches, res.Epochs, res.Err = CompareEpochs(res.Parallel.Epochs, seq.Report().Epochs)
+	if res.Err == nil && res.Model == ReleaseConsistency {
+		// RC obligation: every interval's diffs reached their homes before
+		// the fold. A nonzero count means a release was skipped or a flush
+		// escaped Quiesce — the digests above would be comparing a frame
+		// that is still missing merges.
+		for _, ed := range res.Parallel.Epochs {
+			if ed.Unflushed != 0 {
+				res.Err = fmt.Errorf("check: epoch %d: %d block(s) with unflushed multi-writer state at the quiescent instant",
+					ed.Epoch, ed.Unflushed)
+				break
+			}
+		}
+	}
 	return res
 }

@@ -19,6 +19,11 @@ const (
 	SvcPage kernel.ServiceID = 10 + iota
 	// SvcInval invalidates a read-only copy (write-invalidate protocol).
 	SvcInval
+	// SvcFlush delivers a writer's interval diffs to a block's home node
+	// at barrier release (lazy release consistency). Non-idempotent: the
+	// home merges each flush exactly once; duplicates are answered from
+	// the transport's reply cache.
+	SvcFlush
 )
 
 type access uint8
@@ -63,7 +68,7 @@ type invalReq struct{ Block int32 }
 // The real-time binding serializes payloads with gob; declaring the wire
 // types lets them travel as interface values.
 func init() {
-	rtnode.RegisterWire(pageReq{}, pageData{}, redirect{}, invalReq{})
+	rtnode.RegisterWire(pageReq{}, pageData{}, redirect{}, invalReq{}, lrcFlush{})
 }
 
 const reqSize = 16 // bytes on the wire for a small DSM request
@@ -85,6 +90,9 @@ type Stats struct {
 	DiffsSent    int64           // page requests answered with a diff
 	DiffBytes    int64           // bytes shipped as diffs (subset of BytesOut)
 	FullPages    int64           // touched frames shipped whole
+	LRCMerges    int64           // diffs merged into home frames (LRC)
+	WriteNotices int64           // write-notice entries generated at releases (LRC)
+	TwinBytes    int64           // bytes copied into multi-writer twins (LRC)
 }
 
 type waiter struct {
@@ -126,6 +134,13 @@ type blockState struct {
 	// means no base is held.
 	shadow    []byte
 	shadowVer int64
+
+	// twin is the lazy-release merge base: a copy of the frame taken when
+	// a non-home node made the block writable, so the release flush can
+	// diff out exactly this interval's words. Unlike shadow it is a
+	// correctness structure, active regardless of the transport diff
+	// mode. Nil outside an LRC write interval.
+	twin []byte
 }
 
 // DSM is one node's view of the shared address space. It is written
@@ -136,11 +151,19 @@ type DSM struct {
 	ep    kernel.Transport
 	space *Space
 	proto Protocol
+	// strat makes every consistency decision for proto; the DSM itself
+	// is pure mechanism (see protocol.go).
+	strat strategy
 
 	blocks []blockState
 	// roCopies lists blocks holding a non-owned read-only copy, for O(copies)
 	// implicit invalidation at barriers.
 	roCopies []int32
+	// lrcDirty lists blocks this node wrote during the current interval
+	// (lazy release consistency): non-home writable copies to flush at
+	// the next release, plus home blocks whose writes become notices.
+	// Each block appears at most once per interval.
+	lrcDirty []int32
 
 	// diffs enables twin-and-diff page shipping: revoked frames are
 	// retained as diff bases, owners twin pages on the first write after a
@@ -173,6 +196,7 @@ type counters struct {
 	invalsSent, invalsRecved, mirageDrops, busyDrops      *obs.Counter
 	faultWaitNS, bytesIn, bytesOut                        *obs.Counter
 	diffsSent, diffBytes, fullPages                       *obs.Counter
+	lrcMerges, writeNotices, twinBytes                    *obs.Counter
 }
 
 // New creates the DSM instance for one node and registers its services on
@@ -180,7 +204,7 @@ type counters struct {
 // first allocation.
 func New(node kernel.Node, ep kernel.Transport, space *Space, proto Protocol) *DSM {
 	o := obs.Of(node)
-	d := &DSM{node: node, ep: ep, space: space, proto: proto, obs: o}
+	d := &DSM{node: node, ep: ep, space: space, proto: proto, strat: strategyFor(proto), obs: o}
 	d.ctr = counters{
 		readFaults:   o.Counter("dsm.read_faults"),
 		writeFaults:  o.Counter("dsm.write_faults"),
@@ -197,6 +221,9 @@ func New(node kernel.Node, ep kernel.Transport, space *Space, proto Protocol) *D
 		diffsSent:    o.Counter("dsm.diffs_sent"),
 		diffBytes:    o.Counter("dsm.diff_bytes"),
 		fullPages:    o.Counter("dsm.full_pages"),
+		lrcMerges:    o.Counter("dsm.lrc_merges"),
+		writeNotices: o.Counter("dsm.write_notices"),
+		twinBytes:    o.Counter("dsm.twin_bytes"),
 	}
 	if len(space.blockStart) != 0 {
 		panic("dsm: all DSMs must be created before the first Alloc")
@@ -213,6 +240,12 @@ func New(node kernel.Node, ep kernel.Transport, space *Space, proto Protocol) *D
 		Idempotent: true,
 		Category:   kernel.CatData,
 		Handler:    d.serveInval,
+	})
+	ep.Register(SvcFlush, kernel.Service{
+		Name:       "dsm-flush",
+		Idempotent: false,
+		Category:   kernel.CatData,
+		Handler:    d.serveFlush,
 	})
 	return d
 }
@@ -247,6 +280,9 @@ func (d *DSM) Stats() Stats {
 		DiffsSent:    d.ctr.diffsSent.Load(),
 		DiffBytes:    d.ctr.diffBytes.Load(),
 		FullPages:    d.ctr.fullPages.Load(),
+		LRCMerges:    d.ctr.lrcMerges.Load(),
+		WriteNotices: d.ctr.writeNotices.Load(),
+		TwinBytes:    d.ctr.twinBytes.Load(),
 	}
 }
 
@@ -429,11 +465,17 @@ func (d *DSM) ensure(b int, write bool) {
 		// write-invalidate downgraded us while serving readers):
 		// invalidate the copyset, no data transfer.
 		st.touched = true
+		d.strat.ownerUpgraded(d, b, st)
 		d.startInvalidation(b)
 		return
 	}
 	if st.owner {
 		panic(fmt.Sprintf("dsm: node %d owner of block %d with access %d cannot ensure", d.node.ID(), b, st.access))
+	}
+	if write && d.strat.localWriteUpgrade(d, b, st) {
+		// The strategy satisfied the write fault in place (LRC's
+		// multi-writer upgrade of a held read copy); nothing in flight.
+		return
 	}
 	st.fetching = true
 	d.outstanding++
@@ -521,7 +563,7 @@ func (d *DSM) install(b int, write bool, from kernel.NodeID, m pageData) {
 		mon.OnPageInstall(d.node.ID(), from, b, m.GrantOwner, d.node.Now())
 	}
 	switch {
-	case m.GrantOwner && write && d.proto == WriteInvalidate && len(st.copyset) > 0:
+	case m.GrantOwner && write && d.strat.invalidateOnGrant() && len(st.copyset) > 0:
 		// We own the block but read-only copies are out there; they must
 		// be invalidated before we may write (IVY-style requester-driven
 		// invalidation). Access stays None until all acks arrive.
@@ -533,8 +575,7 @@ func (d *DSM) install(b int, write bool, from kernel.NodeID, m pageData) {
 		d.outstanding--
 		d.wake(b)
 	default:
-		st.access = accRO
-		d.roCopies = append(d.roCopies, int32(b))
+		d.strat.installCopy(d, b, st, write)
 		d.outstanding--
 		d.wake(b)
 	}
@@ -616,7 +657,7 @@ func (d *DSM) servePage(from kernel.NodeID, req any) (any, int, kernel.Verdict) 
 		d.ctr.busyDrops.Inc()
 		return nil, 0, kernel.Drop
 	}
-	takesAway := d.proto == Migratory || m.Write
+	takesAway := d.strat.takesAway(m.Write)
 	model := d.node.Model()
 	if takesAway && model.MirageWindow > 0 {
 		if held := d.node.Now().Sub(st.acquired); held < model.MirageWindow {
@@ -664,14 +705,13 @@ func (d *DSM) servePage(from kernel.NodeID, req any) (any, int, kernel.Verdict) 
 		mon.OnPageServe(d.node.ID(), from, b, takesAway, d.node.Now())
 	}
 
-	switch {
-	case takesAway:
+	if takesAway {
 		// Ownership moves to the requester (migratory always; write fault
 		// under write-invalidate or implicit-invalidate).
 		cs := st.copyset
 		st.copyset = nil
 		reply := pageData{Block: m.Block, Data: data, GrantOwner: true, Ver: st.ver, Diff: isDiff}
-		if d.proto == WriteInvalidate {
+		if d.strat.shipsCopyset() {
 			reply.Copyset = cs
 		}
 		st.owner = false
@@ -687,23 +727,12 @@ func (d *DSM) servePage(from kernel.NodeID, req any) (any, int, kernel.Verdict) 
 		st.snap = false
 		st.frame = nil
 		return reply, size, kernel.Reply
-	case d.proto == WriteInvalidate:
-		// Read copy under write-invalidate: remember the copy and
-		// downgrade ourselves so a future local write faults and
-		// invalidates.
-		st.copyset = appendUnique(st.copyset, from)
-		if st.access == accRW {
-			st.access = accRO
-		}
-		st.snap = true // published at st.ver; the next write re-twins
-		return pageData{Block: m.Block, Data: data, Ver: st.ver, Diff: isDiff}, size, kernel.Reply
-	default:
-		// Read copy under implicit-invalidate: the copy dies at the
-		// requester's next synchronization point, so we track nothing and
-		// keep our write access (the protocol's whole point).
-		st.snap = true // published at st.ver; the next write re-twins
-		return pageData{Block: m.Block, Data: data, Ver: st.ver, Diff: isDiff}, size, kernel.Reply
 	}
+	// Non-owning copy: the strategy decides what the serve does to our
+	// own state (write-invalidate records the copy and downgrades us;
+	// implicit-invalidate and LRC just mark the content published).
+	d.strat.servedCopy(d, b, st, from)
+	return pageData{Block: m.Block, Data: data, Ver: st.ver, Diff: isDiff}, size, kernel.Reply
 }
 
 func appendUnique(s []kernel.NodeID, n kernel.NodeID) []kernel.NodeID {
@@ -735,30 +764,11 @@ func (d *DSM) serveInval(from kernel.NodeID, req any) (any, int, kernel.Verdict)
 
 // --- Synchronization hooks. ---
 
-// AtBarrier implements the implicit-invalidate rule: every non-owned
-// read-only copy is discarded, with no messages, whenever the node reaches
-// a synchronization point. A no-op under the other protocols.
+// AtBarrier applies the protocol's synchronization-point rule: under
+// implicit-invalidate every non-owned read-only copy is discarded with no
+// messages; the other protocols only reset the copy bookkeeping.
 func (d *DSM) AtBarrier() {
-	if d.proto != ImplicitInvalidate {
-		d.roCopies = d.roCopies[:0]
-		return
-	}
-	for _, b := range d.roCopies {
-		st := &d.blocks[b]
-		if !st.owner && st.access == accRO {
-			st.access = accNone
-			if d.diffs {
-				// Retain the discarded copy as a stale diff base: under
-				// implicit-invalidate the same read-only pages are
-				// re-fetched every iteration, and the diff against last
-				// iteration's copy is exactly the owner's writes.
-				st.shadow = st.frame
-				st.shadowVer = st.ver
-			}
-			st.frame = nil
-		}
-	}
-	d.roCopies = d.roCopies[:0]
+	d.strat.atBarrier(d)
 }
 
 // Quiesce blocks t until the node has no outstanding page operations, the

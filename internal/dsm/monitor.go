@@ -48,6 +48,13 @@ type Monitor interface {
 	OnPageServe(from, to kernel.NodeID, b int, grantOwner bool, now kernel.Time)
 	// OnPageInstall reports that node installed block b received from from.
 	OnPageInstall(node, from kernel.NodeID, b int, grantOwner bool, now kernel.Time)
+	// OnDiffFlush reports that node from shipped its interval diff of
+	// block b toward the block's home node to, at a release point (lazy
+	// release consistency).
+	OnDiffFlush(from, to kernel.NodeID, b int, now kernel.Time)
+	// OnDiffMerge reports that the home node merged a flushed diff of
+	// block b received from from.
+	OnDiffMerge(node, from kernel.NodeID, b int, now kernel.Time)
 	// OnBarrierArrive/OnBarrierRelease bracket one node's passage through
 	// barrier (or reduction) epoch.
 	OnBarrierArrive(node kernel.NodeID, epoch int64, now kernel.Time)
@@ -102,6 +109,25 @@ func (d *DSM) NoteWrite(r Range) {
 	if m := d.space.monitor; m != nil {
 		m.OnNote(d.node.ID(), r, true, d.node.Now())
 	}
+}
+
+// UnflushedDirty counts, across the cluster, the blocks still carrying
+// unflushed multi-writer state: entries on an interval dirty list, or a
+// live twin. It is meaningful only at globally quiescent instants
+// (OnEpochQuiesced, or after the run), when every node has passed a
+// release and the count must be zero; the release-consistency oracle
+// asserts exactly that. Always zero under the single-writer protocols.
+func (s *Space) UnflushedDirty() int {
+	n := 0
+	for _, d := range s.dsms {
+		n += len(d.lrcDirty)
+		for b := range d.blocks {
+			if d.blocks[b].twin != nil {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // BlockDigest returns an FNV-1a digest of block b's content as held by

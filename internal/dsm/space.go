@@ -39,6 +39,14 @@ const (
 	// invalidation messages are ever sent. Correct only for regular
 	// problems with a stable, single-writer-per-page sharing pattern.
 	ImplicitInvalidate
+	// LazyRelease is home-based lazy release consistency, the post-1994
+	// answer to false-sharing ping-pong: every block stays owned by its
+	// home node, any number of nodes may write their own copies of the
+	// same block concurrently (each diffing against a twin taken at the
+	// first write), the diffs are flushed to the home at barrier release,
+	// and write notices propagated with the release invalidate stale
+	// copies at acquire. Correct for data-race-free barrier programs.
+	LazyRelease
 )
 
 func (p Protocol) String() string {
@@ -49,6 +57,8 @@ func (p Protocol) String() string {
 		return "write-invalidate"
 	case ImplicitInvalidate:
 		return "implicit-invalidate"
+	case LazyRelease:
+		return "lazy-release"
 	}
 	return fmt.Sprintf("Protocol(%d)", int(p))
 }

@@ -44,6 +44,39 @@ func init() {
 	rtnode.RegisterWireCodec(invalReq{}, 19,
 		func(e *rtnode.Enc, v any) { e.Varint(int64(v.(invalReq).Block)) },
 		func(d *rtnode.Dec) any { return invalReq{Block: int32(d.Varint())} })
+	rtnode.RegisterWireCodec(lrcFlush{}, 20,
+		func(e *rtnode.Enc, v any) { m := v.(lrcFlush); encLRCFlush(e, &m) },
+		func(d *rtnode.Dec) any {
+			var m lrcFlush
+			decLRCFlushInto(d, &m)
+			return m
+		})
+}
+
+func encLRCFlush(e *rtnode.Enc, m *lrcFlush) {
+	e.Uvarint(uint64(len(m.Blocks)))
+	for i, b := range m.Blocks {
+		e.Varint(int64(b))
+		e.Bytes(m.Diffs[i])
+	}
+}
+
+// decLRCFlushInto decodes into m; the diff slices alias the input buffer
+// (serveFlush patches the home frame synchronously, per the kernel
+// contract).
+func decLRCFlushInto(d *rtnode.Dec, m *lrcFlush) {
+	n := d.Uvarint()
+	if n > uint64(d.Remaining()) { // each entry costs ≥2 bytes; reject bogus lengths
+		d.Fail()
+		return
+	}
+	for i := uint64(0); i < n; i++ {
+		m.Blocks = append(m.Blocks, int32(d.Varint()))
+		m.Diffs = append(m.Diffs, d.Bytes())
+	}
+	if len(m.Blocks) == 0 {
+		m.Blocks, m.Diffs = nil, nil // normalize like gob
+	}
 }
 
 func encPageReq(e *rtnode.Enc, m *pageReq) {

@@ -252,7 +252,7 @@ func (rt *Runtime) Fork(e *Exec, j *Join, fnID int, args Args) {
 	j.need++
 	tk := task{Fn: int32(fnID), Args: args, Origin: rt.node.ID(), JoinID: j.id}
 
-	if fj.nextChild < len(fj.children) && fj.sendNext {
+	if fj.nextChild < len(fj.children) && fj.sendNext && rt.canShip() {
 		fj.sendNext = false
 		dst := fj.children[fj.nextChild]
 		fj.nextChild++
@@ -336,6 +336,17 @@ func (rt *Runtime) dequeueBack() (task, bool) {
 	tk := fj.pending[len(fj.pending)-1]
 	fj.pending = fj.pending[:len(fj.pending)-1]
 	return tk, true
+}
+
+// canShip reports whether fork/join tasks may move between nodes. Under
+// lazy release consistency a task shipment is a synchronization edge the
+// protocol does not flush on (only barriers are release points), so a
+// shipped filament could read home frames that are missing its parent's
+// unflushed writes. Programs that allocate shared memory therefore keep
+// their filaments local under LRC — pure fork/join programs (no DSM
+// blocks, e.g. quadrature) still distribute.
+func (rt *Runtime) canShip() bool {
+	return rt.d == nil || rt.d.Protocol() != dsm.LazyRelease || rt.d.Space().Blocks() == 0
 }
 
 func (rt *Runtime) dequeueFront() (task, bool) {
@@ -424,7 +435,7 @@ func (rt *Runtime) workerLoop(w *worker) {
 		if fj.done {
 			break
 		}
-		if rt.Stealing && rt.n > 1 && !fj.stealing {
+		if rt.Stealing && rt.n > 1 && !fj.stealing && rt.canShip() {
 			fj.stealing = true
 			got := rt.trySteal(e)
 			fj.stealing = false
@@ -541,6 +552,9 @@ func (rt *Runtime) serveResult(from kernel.NodeID, req any) (any, int, kernel.Ve
 // serveSteal hands a pending filament to an idle node, or denies.
 func (rt *Runtime) serveSteal(from kernel.NodeID, req any) (any, int, kernel.Verdict) {
 	if rt.fj.done {
+		return stealReply{}, fjMsgSize, kernel.Reply
+	}
+	if !rt.canShip() {
 		return stealReply{}, fjMsgSize, kernel.Reply
 	}
 	// Steal from the front: the oldest filament is highest in the

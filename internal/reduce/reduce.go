@@ -70,14 +70,54 @@ type arriveMsg struct {
 	Round int32 // dissemination round; 0 for tournament/central arrivals
 	Value float64
 	Has   bool
+	// Notices is the sender's (subtree-unioned) write-notice set under
+	// lazy release consistency: the sorted blocks written since the last
+	// barrier. Always nil under the single-writer protocols.
+	Notices []int32
 }
 
 type releaseMsg struct {
-	Epoch  int64
-	Result float64
+	Epoch   int64
+	Result  float64
+	Notices []int32 // cluster-wide write-notice union (see arriveMsg)
 }
 
-const msgSize = 20 // the paper's bound on request size
+const msgSize = 20 // the paper's bound on request size (empty-notice case)
+
+// noticeBytes is the charged wire cost of a write-notice set riding on a
+// barrier message: zero when empty, so the single-writer protocols charge
+// exactly the paper's msgSize.
+func noticeBytes(notices []int32) int { return 4 * len(notices) }
+
+// mergeNotices unions two sorted, duplicate-free notice sets. It copies
+// rather than aliasing its inputs, so decoded messages are never retained.
+func mergeNotices(a, b []int32) []int32 {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return append([]int32(nil), b...)
+	}
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
 
 type epochState struct {
 	vals     []float64 // child values plus own, folded at completion
@@ -88,9 +128,16 @@ type epochState struct {
 	waiter   kernel.Thread // local thread parked on this epoch
 	handle   kernel.Handle // outstanding arrive request, if a loser
 
+	// notices is the union of this node's own write notices and those of
+	// every merged child; rNotices is the cluster-wide union that arrived
+	// with the release. Both stay nil under the single-writer protocols.
+	notices  []int32
+	rNotices []int32
+
 	// Dissemination state: the value received for each round, keyed by
-	// round number.
-	roundVal map[int32]float64
+	// round number, and the notices that rode with it (allocated lazily).
+	roundVal     map[int32]float64
+	roundNotices map[int32][]int32
 }
 
 // Reducer is one node's reduction/barrier instance.
@@ -107,8 +154,10 @@ type Reducer struct {
 	states map[int64]*epochState
 	// results retains recently released results so that a node lagging by
 	// several epochs (repeated losses) still gets the right value when its
-	// retransmitted arrive reaches us.
-	results map[int64]float64
+	// retransmitted arrive reaches us. noticesHist retains the released
+	// write-notice unions over the same window.
+	results     map[int64]float64
+	noticesHist map[int64][]int32
 
 	obs      *obs.Obs
 	barriers *obs.Counter
@@ -121,15 +170,16 @@ const resultHistory = 8
 func New(node kernel.Node, ep kernel.Transport, d *dsm.DSM, n int) *Reducer {
 	o := obs.Of(node)
 	r := &Reducer{
-		node:     node,
-		ep:       ep,
-		d:        d,
-		id:       int(node.ID()),
-		n:        n,
-		states:   make(map[int64]*epochState),
-		results:  make(map[int64]float64),
-		obs:      o,
-		barriers: o.Counter("reduce.barriers"),
+		node:        node,
+		ep:          ep,
+		d:           d,
+		id:          int(node.ID()),
+		n:           n,
+		states:      make(map[int64]*epochState),
+		results:     make(map[int64]float64),
+		noticesHist: make(map[int64][]int32),
+		obs:         o,
+		barriers:    o.Counter("reduce.barriers"),
 	}
 	ep.Register(SvcArrive, kernel.Service{
 		Name:       "reduce-arrive",
@@ -167,9 +217,13 @@ func (r *Reducer) Barrier(t kernel.Thread) {
 func (r *Reducer) Reduce(t kernel.Thread, x float64, op Op) float64 {
 	model := r.node.Model()
 	t0 := r.node.Now()
-	// Synchronization-point duties (paper §3): drain outstanding page
-	// operations, then implicitly invalidate read-only copies.
+	// Synchronization-point duties (paper §3): flush this interval's diffs
+	// toward their homes (lazy release consistency only), drain outstanding
+	// page operations — which covers the flush acks — then apply the
+	// protocol's synchronization rule to read-only copies.
+	var myNotices []int32
 	if r.d != nil {
+		myNotices = r.d.AtRelease()
 		r.d.Quiesce(t)
 		r.d.AtBarrier()
 	}
@@ -180,6 +234,7 @@ func (r *Reducer) Reduce(t kernel.Thread, x float64, op Op) float64 {
 	st := r.state(e)
 	st.own = true
 	st.vals = append(st.vals, x)
+	st.notices = mergeNotices(st.notices, myNotices)
 	if m := r.monitor(); m != nil {
 		m.OnBarrierArrive(r.node.ID(), e, r.node.Now())
 	}
@@ -188,6 +243,7 @@ func (r *Reducer) Reduce(t kernel.Thread, x float64, op Op) float64 {
 	case r.n == 1:
 		st.released = true
 		st.result = x
+		st.rNotices = st.notices
 		if m := r.monitor(); m != nil {
 			m.OnEpochQuiesced(r.node.ID(), e, r.node.Now())
 		}
@@ -200,11 +256,19 @@ func (r *Reducer) Reduce(t kernel.Thread, x float64, op Op) float64 {
 	}
 
 	result := st.result
+	acquired := st.rNotices
 	delete(r.states, e)
 	r.results[e] = result
 	delete(r.results, e-resultHistory)
+	r.noticesHist[e] = acquired
+	delete(r.noticesHist, e-resultHistory)
 	r.epoch++
 	r.barriers.Inc()
+	// Acquire-side duty: invalidate the copies the cluster-wide notice set
+	// marks stale (a no-op under the single-writer protocols).
+	if r.d != nil {
+		r.d.AtAcquire(acquired)
+	}
 	if m := r.monitor(); m != nil {
 		m.OnBarrierRelease(r.node.ID(), e, r.node.Now())
 	}
@@ -272,6 +336,7 @@ func (r *Reducer) championWait(t kernel.Thread, e int64, st *epochState) {
 	r.node.AddDelay(kernel.CatSyncDelay, r.node.Now().Sub(t0))
 	st.result = r.fold(st)
 	st.released = true
+	st.rNotices = st.notices // the champion's union is the cluster's
 	// The fold is a globally quiescent instant: every node has arrived
 	// (transitively, through its subtree's partials), each drained its
 	// outstanding page operations before arriving, and none resumes until
@@ -282,7 +347,8 @@ func (r *Reducer) championWait(t kernel.Thread, e int64, st *epochState) {
 		m.OnEpochQuiesced(r.node.ID(), e, r.node.Now())
 	}
 	// Broadcast dissemination: one frame releases everyone.
-	r.ep.Send(kernel.Broadcast, releaseMsg{Epoch: e, Result: st.result}, msgSize, kernel.CatSync)
+	rel := releaseMsg{Epoch: e, Result: st.result, Notices: st.rNotices}
+	r.ep.Send(kernel.Broadcast, rel, msgSize+noticeBytes(rel.Notices), kernel.CatSync)
 }
 
 // loserPath runs a non-champion: collect children (if any), then send the
@@ -296,12 +362,14 @@ func (r *Reducer) loserPath(t kernel.Thread, e int64, st *epochState) {
 		st.waiter = nil
 	}
 	partial := r.fold(st)
-	st.handle = r.ep.RequestAsync(r.parent(), SvcArrive, arriveMsg{Epoch: e, Value: partial, Has: true},
-		msgSize, kernel.CatSync, func(reply any) {
+	up := arriveMsg{Epoch: e, Value: partial, Has: true, Notices: st.notices}
+	st.handle = r.ep.RequestAsync(r.parent(), SvcArrive, up,
+		msgSize+noticeBytes(up.Notices), kernel.CatSync, func(reply any) {
 			// Direct reply: the parent (or champion) had already released.
 			if m, ok := reply.(releaseMsg); ok && !st.released {
 				st.released = true
 				st.result = m.Result
+				st.rNotices = mergeNotices(nil, m.Notices)
 			}
 			if st.waiter != nil {
 				w := st.waiter
@@ -322,15 +390,20 @@ func (r *Reducer) loserPath(t kernel.Thread, e int64, st *epochState) {
 // nodes ±2^k away; after log2(p) rounds every node holds the full result.
 func (r *Reducer) disseminate(t kernel.Thread, e int64, st *epochState, x float64) {
 	partial := x
+	partialN := st.notices
 	t0 := r.node.Now()
 	for k, dist := int32(0), 1; dist < r.n; k, dist = k+1, dist*2 {
 		dst := kernel.NodeID((r.id + dist) % r.n)
-		r.ep.RequestAsync(dst, SvcArrive, arriveMsg{Epoch: e, Round: k, Value: partial, Has: true},
-			msgSize, kernel.CatSync, func(any) {})
+		out := arriveMsg{Epoch: e, Round: k, Value: partial, Has: true, Notices: partialN}
+		r.ep.RequestAsync(dst, SvcArrive, out,
+			msgSize+noticeBytes(out.Notices), kernel.CatSync, func(any) {})
 		for {
 			v, ok := st.roundVal[k]
 			if ok {
 				partial = r.op(partial, v)
+				// Set union is idempotent, so the butterfly's double
+				// counting is harmless for notices.
+				partialN = mergeNotices(partialN, st.roundNotices[k])
 				break
 			}
 			st.waiter = t
@@ -339,6 +412,7 @@ func (r *Reducer) disseminate(t kernel.Thread, e int64, st *epochState, x float6
 	}
 	st.result = partial
 	st.released = true
+	st.rNotices = partialN
 	r.node.AddDelay(kernel.CatSyncDelay, r.node.Now().Sub(t0))
 }
 
@@ -359,13 +433,20 @@ func (r *Reducer) serveArrive(from kernel.NodeID, req any) (any, int, kernel.Ver
 	if m.Epoch < r.epoch {
 		// Old epoch: it completed globally (we have moved on), so the
 		// release exists; resend it from the retained history.
-		return releaseMsg{Epoch: m.Epoch, Result: r.results[m.Epoch]}, msgSize, kernel.Reply
+		rel := releaseMsg{Epoch: m.Epoch, Result: r.results[m.Epoch], Notices: r.noticesHist[m.Epoch]}
+		return rel, msgSize + noticeBytes(rel.Notices), kernel.Reply
 	}
 	st := r.state(m.Epoch)
 	if r.Style == Dissemination && r.n&(r.n-1) == 0 && r.n > 1 {
 		// Record the round's value (duplicates ignored) and ack.
 		if _, dup := st.roundVal[m.Round]; !dup {
 			st.roundVal[m.Round] = m.Value
+			if len(m.Notices) > 0 {
+				if st.roundNotices == nil {
+					st.roundNotices = make(map[int32][]int32)
+				}
+				st.roundNotices[m.Round] = mergeNotices(nil, m.Notices)
+			}
 			r.node.Charge(kernel.CatSync, r.node.Model().BarrierMerge)
 			if st.waiter != nil {
 				w := st.waiter
@@ -376,12 +457,14 @@ func (r *Reducer) serveArrive(from kernel.NodeID, req any) (any, int, kernel.Ver
 		return nil, 8, kernel.Reply
 	}
 	if st.released {
-		return releaseMsg{Epoch: m.Epoch, Result: st.result}, msgSize, kernel.Reply
+		rel := releaseMsg{Epoch: m.Epoch, Result: st.result, Notices: st.rNotices}
+		return rel, msgSize + noticeBytes(rel.Notices), kernel.Reply
 	}
 	if !st.arrived[from] {
 		st.arrived[from] = true
 		r.node.Charge(kernel.CatSync, r.node.Model().BarrierMerge)
 		st.vals = append(st.vals, m.Value)
+		st.notices = mergeNotices(st.notices, m.Notices)
 		if st.waiter != nil && st.own {
 			w := st.waiter
 			st.waiter = nil
@@ -397,7 +480,7 @@ func (r *Reducer) handleRelease(from kernel.NodeID, payload any) bool {
 	if !ok {
 		return false
 	}
-	r.node.Charge(kernel.CatSync, r.node.Model().RecvCost(msgSize))
+	r.node.Charge(kernel.CatSync, r.node.Model().RecvCost(msgSize+noticeBytes(m.Notices)))
 	if m.Epoch < r.epoch {
 		return true // stale
 	}
@@ -407,6 +490,7 @@ func (r *Reducer) handleRelease(from kernel.NodeID, payload any) bool {
 	}
 	st.released = true
 	st.result = m.Result
+	st.rNotices = mergeNotices(nil, m.Notices)
 	if st.handle != nil {
 		st.handle.Cancel()
 	}

@@ -15,6 +15,7 @@ func init() {
 			e.Varint(int64(m.Round))
 			e.F64(m.Value)
 			e.Bool(m.Has)
+			encNotices(e, m.Notices)
 		},
 		func(d *rtnode.Dec) any {
 			var m arriveMsg
@@ -22,6 +23,7 @@ func init() {
 			m.Round = int32(d.Varint())
 			m.Value = d.F64()
 			m.Has = d.Bool()
+			m.Notices = decNotices(d)
 			return m
 		})
 	rtnode.RegisterWireCodec(releaseMsg{}, 33,
@@ -29,11 +31,35 @@ func init() {
 			m := v.(releaseMsg)
 			e.Varint(m.Epoch)
 			e.F64(m.Result)
+			encNotices(e, m.Notices)
 		},
 		func(d *rtnode.Dec) any {
 			var m releaseMsg
 			m.Epoch = d.Varint()
 			m.Result = d.F64()
+			m.Notices = decNotices(d)
 			return m
 		})
+}
+
+// encNotices/decNotices carry the LRC write-notice set; a single zero
+// byte when empty, which it always is under the single-writer protocols.
+func encNotices(e *rtnode.Enc, ns []int32) {
+	e.Uvarint(uint64(len(ns)))
+	for _, n := range ns {
+		e.Varint(int64(n))
+	}
+}
+
+func decNotices(d *rtnode.Dec) []int32 {
+	n := d.Uvarint()
+	if n > uint64(d.Remaining()) { // each entry costs ≥1 byte; reject bogus lengths
+		d.Fail()
+		return nil
+	}
+	var ns []int32
+	for i := uint64(0); i < n; i++ {
+		ns = append(ns, int32(d.Varint()))
+	}
+	return ns
 }
