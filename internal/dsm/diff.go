@@ -71,6 +71,8 @@ func wordDiffers(base, cur []byte, i, s int) bool {
 // against frame's current content. It reports false (leaving frame
 // partially patched) on a malformed diff — which peers never send, so
 // callers treat it as a protocol bug.
+//
+//dflint:hotpath
 func diffApply(frame, diff []byte) bool {
 	off := 0
 	for len(diff) > 0 {

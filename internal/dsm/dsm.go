@@ -45,7 +45,10 @@ type pageReq struct {
 }
 
 type pageData struct {
-	Block      int32
+	Block int32
+	// Data aliases the transport's receive buffer after decode; the
+	// install path must copy synchronously.
+	//dflint:frame
 	Data       []byte
 	GrantOwner bool
 	Copyset    []kernel.NodeID // WI ownership transfer: copies to invalidate
@@ -111,11 +114,15 @@ type blockState struct {
 	touched   bool
 	probOwner kernel.NodeID // best guess at the owner (starts at home)
 	copyset   []kernel.NodeID
-	frame     []byte
-	waiting   []waiter
-	fetching  bool
-	invals    int // outstanding invalidation acks before RW install
-	acquired  kernel.Time
+	// frame is the block's local content; revoked, re-homed, and
+	// recycled at protocol events, so aliases must not outlive the
+	// current epoch (the framescope analyzer enforces this).
+	//dflint:frame
+	frame    []byte
+	waiting  []waiter
+	fetching bool
+	invals   int // outstanding invalidation acks before RW install
+	acquired kernel.Time
 
 	// Twin-and-diff state (active only when the DSM's diff mode is on).
 	//
@@ -132,6 +139,7 @@ type blockState struct {
 	// last published version; for a non-owner, the stale frame retained
 	// when access was revoked. shadowVer is its version; a nil shadow
 	// means no base is held.
+	//dflint:frame
 	shadow    []byte
 	shadowVer int64
 
@@ -140,6 +148,7 @@ type blockState struct {
 	// diff out exactly this interval's words. Unlike shadow it is a
 	// correctness structure, active regardless of the transport diff
 	// mode. Nil outside an LRC write interval.
+	//dflint:frame
 	twin []byte
 }
 

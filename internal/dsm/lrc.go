@@ -30,7 +30,10 @@ import (
 // the destination. Blocks[i] is patched with Diffs[i].
 type lrcFlush struct {
 	Blocks []int32
-	Diffs  [][]byte
+	// Diffs alias the transport's receive buffer after decode;
+	// serveFlush patches home frames synchronously.
+	//dflint:frame
+	Diffs [][]byte
 }
 
 // lrcBeginWrite makes a non-home copy writable in place: the current

@@ -53,6 +53,7 @@ func init() {
 		})
 }
 
+//dflint:hotpath
 func encLRCFlush(e *rtnode.Enc, m *lrcFlush) {
 	e.Uvarint(uint64(len(m.Blocks)))
 	for i, b := range m.Blocks {
@@ -64,6 +65,8 @@ func encLRCFlush(e *rtnode.Enc, m *lrcFlush) {
 // decLRCFlushInto decodes into m; the diff slices alias the input buffer
 // (serveFlush patches the home frame synchronously, per the kernel
 // contract).
+//
+//dflint:hotpath
 func decLRCFlushInto(d *rtnode.Dec, m *lrcFlush) {
 	n := d.Uvarint()
 	if n > uint64(d.Remaining()) { // each entry costs ≥2 bytes; reject bogus lengths
@@ -79,18 +82,21 @@ func decLRCFlushInto(d *rtnode.Dec, m *lrcFlush) {
 	}
 }
 
+//dflint:hotpath
 func encPageReq(e *rtnode.Enc, m *pageReq) {
 	e.Varint(int64(m.Block))
 	e.Bool(m.Write)
 	e.Varint(m.HaveVer)
 }
 
+//dflint:hotpath
 func decPageReqInto(d *rtnode.Dec, m *pageReq) {
 	m.Block = int32(d.Varint())
 	m.Write = d.Bool()
 	m.HaveVer = d.Varint()
 }
 
+//dflint:hotpath
 func encPageData(e *rtnode.Enc, m *pageData) {
 	e.Varint(int64(m.Block))
 	e.Bool(m.GrantOwner)
@@ -105,6 +111,8 @@ func encPageData(e *rtnode.Enc, m *pageData) {
 
 // decPageDataInto decodes into m, reusing m.Copyset's capacity; m.Data
 // aliases the input buffer.
+//
+//dflint:hotpath
 func decPageDataInto(d *rtnode.Dec, m *pageData) {
 	m.Block = int32(d.Varint())
 	m.GrantOwner = d.Bool()

@@ -46,6 +46,7 @@ func init() {
 		func(d *rtnode.Dec) any { return doneMsg{Result: d.F64()} })
 }
 
+//dflint:hotpath
 func encTask(e *rtnode.Enc, t task) {
 	e.Varint(int64(t.Fn))
 	for _, a := range t.Args {
@@ -55,6 +56,7 @@ func encTask(e *rtnode.Enc, t task) {
 	e.Varint(t.JoinID)
 }
 
+//dflint:hotpath
 func decTask(d *rtnode.Dec) task {
 	var t task
 	t.Fn = int32(d.Varint())

@@ -1,0 +1,290 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The conservative intraprocedural dataflow/escape lattice.
+//
+// Several dflint rules reduce to the same question: given a set of
+// "source" expressions inside one function body, which local variables
+// can hold a value derived from a source, and where do such values
+// escape the function's epoch (a store to package state, a channel
+// send, capture by a long-lived closure)? The answer does not need the
+// precision of a real points-to analysis — the lattice is the two-point
+// {untainted, tainted} per local object, with a fixed point over the
+// body's assignments.
+//
+// Derivation is alias-preserving operations only: plain assignment,
+// slicing (x[i:j] still aliases x's backing array), parenthesization,
+// and multi-assignment position matching. Operations that copy
+// (append into a fresh slice, copy, string conversion, arithmetic) do
+// NOT propagate taint: a copied frame is a snapshot, not an alias, and
+// the rules built on this lattice are about aliases outliving an epoch.
+
+// An EscapeSink classifies where a tainted value escaped.
+type EscapeSink int
+
+const (
+	// EscGlobal is a store reachable from a package-level variable.
+	EscGlobal EscapeSink = iota
+	// EscChannel is a channel send.
+	EscChannel
+	// EscCapture is capture by a function literal that outlives the
+	// enclosing call (registered as a deferred callback, spawned, or
+	// stored rather than invoked in place).
+	EscCapture
+)
+
+func (s EscapeSink) String() string {
+	switch s {
+	case EscGlobal:
+		return "stored to package state"
+	case EscChannel:
+		return "sent across a channel"
+	case EscCapture:
+		return "captured by a deferred closure"
+	}
+	return "escaped"
+}
+
+// An Escape is one place a tainted value left the function's epoch.
+type Escape struct {
+	Sink EscapeSink
+	// Node is the escaping expression or statement, for reporting.
+	Node ast.Node
+	// Via is the tainted expression that escaped (the channel operand,
+	// the stored value, or the captured identifier).
+	Via ast.Expr
+}
+
+// Taint computes the escape lattice for one function body. isSource
+// reports whether an expression is a taint source by itself (before
+// derivation); the caller decides what "source" means — framescope
+// passes frame-annotated field reads and aliasing decoder results.
+//
+// deferredCallArg reports whether the function literal appearing as an
+// argument of call outlives the call (a callback registration rather
+// than an in-place application); it selects which closures count for
+// EscCapture. Closures stored to variables, fields, or slices always
+// count, and closures invoked in place never do.
+func Taint(info *types.Info, body *ast.BlockStmt, isSource func(ast.Expr) bool, deferredCallArg func(call *ast.CallExpr, arg ast.Expr) bool) []Escape {
+	t := &tainter{
+		info:     info,
+		isSource: isSource,
+		tainted:  make(map[types.Object]bool),
+	}
+	// Fixed point: propagate through assignments until no new local
+	// becomes tainted. Bodies are small; quadratic is fine.
+	for {
+		before := len(t.tainted)
+		ast.Inspect(body, func(n ast.Node) bool {
+			t.propagate(n)
+			return true
+		})
+		if len(t.tainted) == before {
+			break
+		}
+	}
+
+	var escapes []Escape
+	record := func(sink EscapeSink, node ast.Node, via ast.Expr) {
+		escapes = append(escapes, Escape{Sink: sink, Node: node, Via: via})
+	}
+
+	// Which function literals outlive the epoch: assigned/stored ones
+	// always, call arguments when the caller says so, immediately
+	// invoked ones never.
+	longLived := make(map[*ast.FuncLit]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if fl, ok := ast.Unparen(rhs).(*ast.FuncLit); ok {
+					longLived[fl] = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				e := elt
+				if kv, ok := e.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if fl, ok := ast.Unparen(e).(*ast.FuncLit); ok {
+					longLived[fl] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if fl, ok := ast.Unparen(r).(*ast.FuncLit); ok {
+					longLived[fl] = true
+				}
+			}
+		case *ast.GoStmt:
+			if fl, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				longLived[fl] = true
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				fl, ok := ast.Unparen(arg).(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				if deferredCallArg != nil && deferredCallArg(n, arg) {
+					longLived[fl] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if t.taintedExpr(n.Value) {
+				record(EscChannel, n, n.Value)
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) && len(n.Rhs) != 1 {
+					break
+				}
+				rhs := n.Rhs[0]
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				if t.taintedExpr(rhs) && t.globalDest(lhs) {
+					record(EscGlobal, n, rhs)
+				}
+			}
+		case *ast.FuncLit:
+			if !longLived[n] {
+				return true
+			}
+			// A capture is a use, inside the literal, of a tainted
+			// object declared outside it.
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				id, ok := m.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := t.info.Uses[id]
+				if obj == nil || !t.tainted[obj] {
+					return true
+				}
+				if obj.Pos() >= n.Pos() && obj.Pos() < n.End() {
+					return true // declared inside the literal
+				}
+				record(EscCapture, n, id)
+				return true
+			})
+			return false // escapes inside nested literals report once
+		}
+		return true
+	})
+	return escapes
+}
+
+type tainter struct {
+	info     *types.Info
+	isSource func(ast.Expr) bool
+	tainted  map[types.Object]bool
+}
+
+// taintedExpr reports whether e evaluates to an alias of a source:
+// a source expression itself, a tainted local (or slice of one), or a
+// parenthesization thereof.
+func (t *tainter) taintedExpr(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if t.isSource(e) {
+		return true
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := t.info.Uses[e]; obj != nil {
+			return t.tainted[obj]
+		}
+	case *ast.SliceExpr:
+		return t.taintedExpr(e.X)
+	}
+	return false
+}
+
+// propagate marks locals assigned from tainted expressions.
+func (t *tainter) propagate(n ast.Node) {
+	assign, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return
+	}
+	for i, lhs := range assign.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		var rhs ast.Expr
+		switch {
+		case len(assign.Rhs) == len(assign.Lhs):
+			rhs = assign.Rhs[i]
+		case len(assign.Rhs) == 1:
+			// Multi-value RHS (call, map read): no alias tracking
+			// through these, except a bare source call result.
+			rhs = assign.Rhs[0]
+			if len(assign.Lhs) > 1 && !t.isSource(ast.Unparen(rhs)) {
+				continue
+			}
+		default:
+			continue
+		}
+		if !t.taintedExpr(rhs) {
+			continue
+		}
+		obj := t.info.Defs[id]
+		if obj == nil {
+			obj = t.info.Uses[id]
+		}
+		if obj != nil {
+			t.tainted[obj] = true
+		}
+	}
+}
+
+// globalDest reports whether the assignment target lhs is reachable
+// from a package-level variable: the variable itself, or an index,
+// field, or dereference chain rooted at one.
+func (t *tainter) globalDest(lhs ast.Expr) bool {
+	for {
+		switch e := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			obj, ok := t.info.Uses[e].(*types.Var)
+			if !ok {
+				if obj, ok := t.info.Defs[e].(*types.Var); ok {
+					return isPackageLevel(obj)
+				}
+				return false
+			}
+			return isPackageLevel(obj)
+		case *ast.SelectorExpr:
+			// A qualified package var (pkg.V) resolves through the
+			// selection; a field store walks to the root expression.
+			if obj, ok := t.info.Uses[e.Sel].(*types.Var); ok && isPackageLevel(obj) {
+				return true
+			}
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		default:
+			return false
+		}
+	}
+}
+
+// isPackageLevel reports whether v is a package-level variable.
+func isPackageLevel(v *types.Var) bool {
+	if v.Pkg() == nil {
+		return false
+	}
+	return v.Parent() == v.Pkg().Scope()
+}

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FrameScope is escape analysis for DSM frame slices: the []byte (and
+// [][]byte) buffers that back shared-memory blocks, twins, and decoded
+// page payloads.
+//
+// A frame alias is only valid inside its barrier epoch: the DSM revokes,
+// re-homes, diffs, and recycles frames at every synchronization point,
+// and under the real-time binding a decoded payload's bytes alias a
+// pooled receive buffer that is recycled when the handler returns. An
+// alias that outlives the epoch — captured by a deferred callback,
+// stored in package state, sent across a channel to another goroutine —
+// reads (or worse, writes) memory whose contents have moved on. dfcheck
+// catches the resulting races dynamically when a test happens to hit
+// them; this analyzer is the static twin, flagging the alias at the
+// point it escapes.
+//
+// Frame provenance is declared, not inferred: a struct field whose
+// declaration carries a //dflint:frame comment (on the field's line or
+// its doc comment) is a frame source, as is every (*rtnode.Dec).Bytes
+// result (documented to alias the receive buffer). Aliases propagate
+// through assignment and slicing; copies (copy, append to a fresh
+// slice, string conversion) deliberately do not — a snapshot is the
+// sanctioned way to keep page bytes past the epoch.
+var FrameScope = &Analyzer{
+	Name: "framescope",
+	Doc: "forbid DSM frame aliases (//dflint:frame fields, Dec.Bytes results) from " +
+		"escaping their barrier epoch via deferred closures, package state, or channels",
+	Run: runFrameScope,
+}
+
+// frameDeferredCallees are the kernel-seam registration points whose
+// function-literal arguments run after the current epoch's node-context
+// turn: request callbacks, timers, raw handlers, and spawned threads.
+var frameDeferredCallees = []string{
+	"RequestAsync", "RequestSized", "Schedule", "HandleRaw", "Spawn", "NewExec",
+}
+
+func runFrameScope(pass *Pass) {
+	frameFields := collectFrameFields(pass)
+
+	isSource := func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.SelectorExpr:
+			if fld, ok := pass.Info.Uses[e.Sel].(*types.Var); ok {
+				return frameFields[fld]
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Bytes" {
+				if tv, ok := pass.Info.Types[sel.X]; ok && isPkgType(tv.Type, "filaments/internal/rtnode", "Dec") {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	deferred := func(call *ast.CallExpr, arg ast.Expr) bool {
+		for _, name := range frameDeferredCallees {
+			if kernelMethod(pass.Info, call, name) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			for _, esc := range Taint(pass.Info, fd.Body, isSource, deferred) {
+				pass.Reportf(esc.Node.Pos(),
+					"DSM frame alias %s %s: frames are revoked and recycled at barrier epochs (and decoded payloads alias pooled receive buffers), so the alias outlives its bytes; copy instead",
+					describeVia(esc.Via), esc.Sink)
+			}
+		}
+	}
+}
+
+// collectFrameFields indexes the struct fields of this package whose
+// declarations carry a //dflint:frame marker.
+func collectFrameFields(pass *Pass) map[*types.Var]bool {
+	// Comment positions by file/line, so a trailing marker on the
+	// field's own line works like //dflint:allow does.
+	marked := make(map[string]map[int]bool)
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.TrimSpace(c.Text) != "//dflint:frame" {
+					continue
+				}
+				p := pass.Fset.Position(c.Slash)
+				if marked[p.Filename] == nil {
+					marked[p.Filename] = make(map[int]bool)
+				}
+				marked[p.Filename][p.Line] = true
+			}
+		}
+	}
+	fields := make(map[*types.Var]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				p := pass.Fset.Position(fld.Pos())
+				if !marked[p.Filename][p.Line] && !fieldDocMarked(fld) {
+					continue
+				}
+				for _, name := range fld.Names {
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						fields[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return fields
+}
+
+func fieldDocMarked(fld *ast.Field) bool {
+	if fld.Doc == nil {
+		return false
+	}
+	for _, c := range fld.Doc.List {
+		if strings.TrimSpace(c.Text) == "//dflint:frame" {
+			return true
+		}
+	}
+	return false
+}
+
+// describeVia names the escaping expression for the diagnostic.
+func describeVia(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return "'" + e.Name + "'"
+	case *ast.SliceExpr:
+		return describeVia(e.X)
+	case *ast.SelectorExpr:
+		if x, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			return "'" + x.Name + "." + e.Sel.Name + "'"
+		}
+		return "'" + e.Sel.Name + "'"
+	}
+	return "value"
+}

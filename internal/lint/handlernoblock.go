@@ -55,18 +55,7 @@ type hnbContext struct {
 
 func runHandlerNoBlock(pass *Pass) {
 	// Collect package-level function declarations.
-	decls := make(map[*types.Func]*ast.FuncDecl)
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
-				decls[obj] = fd
-			}
-		}
-	}
+	decls := funcDecls(pass.Files, pass.Info)
 
 	// Fixed point: which package functions block, and via what.
 	blocks := make(map[*types.Func]string)

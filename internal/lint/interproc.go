@@ -1,0 +1,323 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The interprocedural core.
+//
+// The original dflint analyzers reason about one AST node (kerneltime,
+// maprange) or, at most, one package's functions (handlernoblock's
+// fixed point). The wire codec, the lock discipline, and the hot-path
+// allocation budget are properties of call *chains* that cross package
+// boundaries: an Enc method in rtnode appends into a buffer a dsm codec
+// owns; a mutex in udptrans is held across a call into obs. This file
+// adds the two pieces those analyzers share:
+//
+//   - a Program: every type-checked package of one dflint run, loaded
+//     from source with a single FileSet so types.Object identities are
+//     stable across packages, and
+//   - a CallGraph over the program: each function/method declaration,
+//     its body, and its statically resolved callees.
+//
+// Per-package analyzers (Analyzer) still run through Run and work under
+// both the standalone loader and go vet's unitchecker protocol. Program
+// analyzers (ProgramAnalyzer) need every package's syntax at once, so
+// they only run in standalone mode, where cmd/dflint type-checks the
+// whole module from source (vet hands dflint one export-data unit at a
+// time, which cannot see a dependency's function bodies).
+//
+// The companion escape/dataflow lattice lives in escape.go.
+
+// A Unit is one type-checked package inside a Program.
+type Unit struct {
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// A Program is the full set of packages one standalone dflint run
+// loaded, sharing one FileSet.
+type Program struct {
+	Fset  *token.FileSet
+	Units []*Unit
+
+	cg *CallGraph
+}
+
+// A ProgramAnalyzer describes one whole-program dflint check.
+type ProgramAnalyzer struct {
+	// Name is the rule name used in diagnostics and //dflint:allow
+	// comments.
+	Name string
+	// Doc is a one-paragraph description of what the rule guards.
+	Doc string
+	// Run reports the rule's diagnostics for the whole program.
+	Run func(*ProgramPass)
+}
+
+// ProgramAnalyzers returns the whole-program half of the dflint suite.
+func ProgramAnalyzers() []*ProgramAnalyzer {
+	return []*ProgramAnalyzer{
+		LockOrder,
+		HotAlloc,
+	}
+}
+
+// A ProgramPass carries one Program through one program analyzer.
+type ProgramPass struct {
+	Analyzer *ProgramAnalyzer
+	Program  *Program
+
+	allows allowIndex
+	sink   *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless a //dflint:allow comment
+// for this analyzer covers the line, exactly like Pass.Reportf.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	reportf(p.Program.Fset, p.allows, p.sink, p.Analyzer.Name, pos, format, args...)
+}
+
+// RunProgram applies the program analyzers and returns the diagnostics
+// sorted by position, deduplicated (a package loaded both plain and as
+// a test variant contributes its shared files twice).
+func RunProgram(analyzers []*ProgramAnalyzer, prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	var all []*ast.File
+	for _, u := range prog.Units {
+		all = append(all, u.Files...)
+	}
+	allows := buildAllowIndex(prog.Fset, all)
+	for _, a := range analyzers {
+		pass := &ProgramPass{
+			Analyzer: a,
+			Program:  prog,
+			allows:   allows,
+			sink:     &diags,
+		}
+		a.Run(pass)
+	}
+	return sortDedupe(diags)
+}
+
+// reportf is the shared allow-aware diagnostic sink behind Pass.Reportf
+// and ProgramPass.Reportf.
+func reportf(fset *token.FileSet, allows allowIndex, sink *[]Diagnostic, rule string, pos token.Pos, format string, args ...any) {
+	position := fset.Position(pos)
+	if e, ok := allows.lookup(position, rule); ok {
+		if e.reason == "" {
+			*sink = append(*sink, Diagnostic{
+				Analyzer: rule,
+				Pos:      position,
+				Message:  "//dflint:allow " + rule + " needs a one-line reason",
+			})
+		}
+		return
+	}
+	*sink = append(*sink, Diagnostic{
+		Analyzer: rule,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// sortDedupe orders diagnostics by position and drops exact duplicates.
+func sortDedupe(diags []Diagnostic) []Diagnostic {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// --- The call graph. ---
+
+// A FuncNode is one function or method declaration in the program.
+type FuncNode struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Unit *Unit
+	// Calls lists the statically resolvable call sites in Decl's body,
+	// in source order. Calls through interface values or function
+	// variables are dynamic and do not appear; program analyzers must
+	// state their policy for them (lockorder and hotalloc both treat
+	// them as opaque leaves).
+	Calls []CallSite
+}
+
+// A CallSite is one statically resolved call.
+type CallSite struct {
+	Call   *ast.CallExpr
+	Callee *types.Func
+}
+
+// A CallGraph maps every function declaration in the program to its
+// node. Because the standalone loader type-checks the whole module from
+// source with shared package identities, a call from dsm into rtnode
+// resolves to rtnode's own *types.Func, and the graph walks straight
+// through the package boundary.
+type CallGraph struct {
+	Funcs map[*types.Func]*FuncNode
+}
+
+// CallGraph builds (once) and returns the program's call graph.
+func (p *Program) CallGraph() *CallGraph {
+	if p.cg != nil {
+		return p.cg
+	}
+	cg := &CallGraph{Funcs: make(map[*types.Func]*FuncNode)}
+	for _, u := range p.Units {
+		for obj, fd := range funcDecls(u.Files, u.Info) {
+			if _, dup := cg.Funcs[obj]; dup {
+				continue // a test variant re-declares the plain package's funcs
+			}
+			node := &FuncNode{Obj: obj, Decl: fd, Unit: u}
+			unit := u
+			inspectSkipNestedFuncs(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := StaticCallee(unit.Info, call); callee != nil {
+					node.Calls = append(node.Calls, CallSite{Call: call, Callee: callee})
+				}
+				return true
+			})
+			cg.Funcs[obj] = node
+		}
+	}
+	p.cg = cg
+	return cg
+}
+
+// Node returns the graph node for obj, nil when obj's body is outside
+// the program (stdlib, export-data-only dependency).
+func (g *CallGraph) Node(obj *types.Func) *FuncNode {
+	return g.Funcs[obj]
+}
+
+// Reachable returns every function reachable from the roots through
+// statically resolved calls, including the roots themselves. Functions
+// without a body in the program appear in the result (as leaves) so
+// callers can apply their policy for them.
+func (g *CallGraph) Reachable(roots []*types.Func) map[*types.Func]bool {
+	seen := make(map[*types.Func]bool)
+	var visit func(f *types.Func)
+	visit = func(f *types.Func) {
+		if seen[f] {
+			return
+		}
+		seen[f] = true
+		node := g.Funcs[f]
+		if node == nil {
+			return
+		}
+		for _, cs := range node.Calls {
+			visit(cs.Callee)
+		}
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	return seen
+}
+
+// --- Shared syntax/type helpers for interprocedural analyzers. ---
+
+// funcDecls indexes the package-level function and method declarations
+// (with bodies) of one type-checked package.
+func funcDecls(files []*ast.File, info *types.Info) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// StaticCallee resolves call to the *types.Func it statically invokes:
+// a package function, a method on a concrete receiver, or a method
+// value's origin. Calls through interface values and function-typed
+// variables return nil (dynamic). Conversions (T(x)) also return nil.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[f].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[f.Sel].(*types.Func)
+		if !ok {
+			return nil
+		}
+		// A method selected from an interface value is a dynamic call.
+		if sel, ok := info.Selections[f]; ok {
+			if _, iface := sel.Recv().Underlying().(*types.Interface); iface {
+				return nil
+			}
+		}
+		return fn
+	}
+	return nil
+}
+
+// funcAnnotated reports whether fd's declaration carries the marker
+// comment (e.g. "//dflint:hotpath"), either in its doc comment or on
+// the line directly above the declaration.
+func funcAnnotated(fd *ast.FuncDecl, marker string) bool {
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if strings.TrimSpace(c.Text) == marker {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isPkgType reports whether t (possibly behind a pointer) is the named
+// type from the package with the given path, accepting a bare final
+// path element so hermetic fixture packages match their real
+// counterparts (same contract as isPkgObj).
+func isPkgType(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return isPkgObj(named.Obj(), pkgPath, name)
+}

@@ -28,7 +28,6 @@ import (
 	"go/token"
 	"go/types"
 	"regexp"
-	"sort"
 	"strings"
 )
 
@@ -54,6 +53,8 @@ func Analyzers() []*Analyzer {
 		SharedRange,
 		LoopCapture,
 		BarrierPhase,
+		CodecSym,
+		FrameScope,
 	}
 }
 
@@ -90,22 +91,7 @@ func (p *Pass) Kernel() bool { return p.kernel }
 // this analyzer covers the line. An allow comment without a reason is
 // converted into its own diagnostic rather than honored silently.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	position := p.Fset.Position(pos)
-	if e, ok := p.allows.lookup(position, p.Analyzer.Name); ok {
-		if e.reason == "" {
-			*p.sink = append(*p.sink, Diagnostic{
-				Analyzer: p.Analyzer.Name,
-				Pos:      position,
-				Message:  fmt.Sprintf("//dflint:allow %s needs a one-line reason", p.Analyzer.Name),
-			})
-		}
-		return
-	}
-	*p.sink = append(*p.sink, Diagnostic{
-		Analyzer: p.Analyzer.Name,
-		Pos:      position,
-		Message:  fmt.Sprintf(format, args...),
-	})
+	reportf(p.Fset, p.allows, p.sink, p.Analyzer.Name, pos, format, args...)
 }
 
 // kernelPkgPaths are the import paths of the kernel-layer packages: the
@@ -221,29 +207,9 @@ func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *typ
 		}
 		a.Run(pass)
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Message < b.Message
-	})
-	// Dedupe: the same file can be analyzed both in a package and in its
-	// test variant.
-	out := diags[:0]
-	for i, d := range diags {
-		if i > 0 && d == diags[i-1] {
-			continue
-		}
-		out = append(out, d)
-	}
-	return out
+	// Sort and dedupe: the same file can be analyzed both in a package
+	// and in its test variant.
+	return sortDedupe(diags)
 }
 
 // An Allow is one //dflint:allow escape hatch found in source, for

@@ -35,8 +35,24 @@ func TestLoopCapture(t *testing.T) {
 	linttest.Run(t, "testdata/src", "loopcapture", lint.LoopCapture)
 }
 
+func TestCodecSym(t *testing.T) {
+	linttest.Run(t, "testdata/src", "codecsym", lint.CodecSym)
+}
+
 func TestBarrierPhase(t *testing.T) {
 	linttest.Run(t, "testdata/src", "barrierphase", lint.BarrierPhase)
+}
+
+func TestFrameScope(t *testing.T) {
+	linttest.Run(t, "testdata/src", "framescope", lint.FrameScope)
+}
+
+func TestLockOrder(t *testing.T) {
+	linttest.RunProgram(t, "testdata/src", []string{"lockorderdep", "lockorder"}, lint.LockOrder)
+}
+
+func TestHotAlloc(t *testing.T) {
+	linttest.RunProgram(t, "testdata/src", []string{"hotalloc"}, lint.HotAlloc)
 }
 
 // TestRacefix pins down that the full static suite flags the same seeded

@@ -43,7 +43,39 @@ func Run(t *testing.T, srcRoot, pkgPath string, analyzers ...*lint.Analyzer) {
 	}
 	files := l.files[pkgPath]
 	diags := lint.Run(analyzers, l.fset, files, pkg, l.infos[pkgPath])
+	checkWants(t, l, files, diags)
+}
 
+// RunProgram loads the fixture packages at srcRoot/pkgPaths[i] into one
+// shared Program (a common FileSet and importer, so types.Object
+// identities span the packages exactly as under cmd/dflint's standalone
+// loader), applies the whole-program analyzers, and checks // want
+// expectations across all listed packages.
+func RunProgram(t *testing.T, srcRoot string, pkgPaths []string, analyzers ...*lint.ProgramAnalyzer) {
+	t.Helper()
+	l := newLoader(srcRoot)
+	prog := &lint.Program{Fset: l.fset}
+	var all []*ast.File
+	for _, path := range pkgPaths {
+		pkg, err := l.Import(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		prog.Units = append(prog.Units, &lint.Unit{
+			Files: l.files[path],
+			Pkg:   pkg,
+			Info:  l.infos[path],
+		})
+		all = append(all, l.files[path]...)
+	}
+	diags := lint.RunProgram(analyzers, prog)
+	checkWants(t, l, all, diags)
+}
+
+// checkWants matches produced diagnostics against the fixtures'
+// // want expectations, reporting both unexpected and missing ones.
+func checkWants(t *testing.T, l *loader, files []*ast.File, diags []lint.Diagnostic) {
+	t.Helper()
 	type key struct {
 		file string
 		line int

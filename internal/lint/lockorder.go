@@ -1,0 +1,440 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the program-wide lock-acquisition graph and flags
+// the two static deadlock shapes the kernel's real-time binding can hit:
+//
+//   - a cycle in the acquired-while-held relation: somewhere A is
+//     acquired with B held while elsewhere B is acquired with A held.
+//     Two threads interleaving those paths deadlock; the fix is one
+//     global acquisition order.
+//   - a blocking seam call (Transport.Call, Thread.Block, any callee
+//     that takes the calling kernel.Thread) with a mutex held. The
+//     suspended thread keeps the lock, and the handler path that would
+//     produce its wake-up needs that same lock — the monitor wedges.
+//
+// A lock class is the declaration of the mutex — a struct field or a
+// package-level variable — so every instance of dsm's per-block lock is
+// one class. That is deliberately coarse: per-instance cycles (two
+// blocks locked in both orders) are real deadlocks this analyzer
+// over-approximates into a self-edge, which it does NOT report, because
+// ordered traversal over instances of one class is the normal idiom.
+//
+// Both properties are interprocedural: the held set at a call site is
+// combined with the callee's transitive acquire summary over the
+// program call graph, so a dsm function that locks and then calls into
+// udptrans contributes edges no single package shows. Calls through
+// interfaces or function values are opaque (no edges, no blocking).
+// Held-set tracking is syntactic and path-insensitive — Lock marks the
+// class held until a matching Unlock appears later in source order
+// (deferred Unlocks hold to function end), which over-approximates
+// branchy code in the conservative direction.
+var LockOrder = &ProgramAnalyzer{
+	Name: "lockorder",
+	Doc: "flag lock-order cycles in the cross-package acquired-while-held graph and " +
+		"blocking kernel-seam calls made with a mutex held",
+	Run: runLockOrder,
+}
+
+type lockOpKind int
+
+const (
+	lockOpNone lockOpKind = iota
+	lockOpAcquire
+	lockOpRelease
+)
+
+// lockOp classifies call as a sync.Mutex/RWMutex acquire or release and
+// resolves the lock class (the mutex's declaring field or package-level
+// variable). Lock and RLock both count as acquires: readers participate
+// in writer deadlock cycles.
+func lockOp(info *types.Info, call *ast.CallExpr) (*types.Var, lockOpKind) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, lockOpNone
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil, lockOpNone
+	}
+	if p := fn.Pkg().Path(); p != "sync" {
+		return nil, lockOpNone
+	}
+	var kind lockOpKind
+	switch fn.Name() {
+	case "Lock", "RLock":
+		kind = lockOpAcquire
+	case "Unlock", "RUnlock":
+		kind = lockOpRelease
+	default:
+		return nil, lockOpNone
+	}
+	recv := ast.Unparen(sel.X)
+	if !isMutexExpr(info, recv) {
+		return nil, lockOpNone
+	}
+	return lockClassOf(info, recv), kind
+}
+
+// isMutexExpr guards against sync.Locker lookalikes: the receiver must
+// actually be a sync.Mutex or sync.RWMutex value.
+func isMutexExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	return isPkgType(tv.Type, "sync", "Mutex") || isPkgType(tv.Type, "sync", "RWMutex")
+}
+
+// lockClassOf resolves the mutex expression to its declaration: the
+// struct field for s.mu (one class per field, shared by all instances)
+// or the package-level/local variable for a bare identifier. nil when
+// the expression is too dynamic to classify.
+func lockClassOf(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+		if v, ok := info.Defs[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.IndexExpr:
+		return lockClassOf(info, e.X)
+	case *ast.StarExpr:
+		return lockClassOf(info, e.X)
+	}
+	return nil
+}
+
+// lockClassDisplay names a class for diagnostics: pkg.Type.field for
+// struct fields, pkg.var for package-level variables, the bare name for
+// locals. The owning type is recovered from the acquisition site's
+// receiver expression, so names is filled in lazily as classes appear.
+func lockClassDisplay(info *types.Info, e ast.Expr, v *types.Var, names map[*types.Var]string) {
+	if v == nil || names[v] != "" {
+		return
+	}
+	name := v.Name()
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok && v.IsField() {
+		if tv, ok := info.Types[sel.X]; ok {
+			t := tv.Type
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				name = named.Obj().Name() + "." + name
+			}
+		}
+	}
+	if v.Pkg() != nil {
+		name = v.Pkg().Name() + "." + name
+	}
+	names[v] = name
+}
+
+type lockEdgeKey struct {
+	from, to *types.Var
+}
+
+type lockEdgeWitness struct {
+	pos  token.Pos
+	posn token.Position
+	desc string
+}
+
+func runLockOrder(pass *ProgramPass) {
+	prog := pass.Program
+	cg := prog.CallGraph()
+	names := make(map[*types.Var]string)
+
+	// Pass 1: direct acquire sets per function (naming classes as they
+	// appear), then the transitive closure over the call graph.
+	direct := make(map[*types.Func]map[*types.Var]bool)
+	for obj, node := range cg.Funcs {
+		info := node.Unit.Info
+		var set map[*types.Var]bool
+		inspectSkipNestedFuncs(node.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			class, kind := lockOp(info, call)
+			if kind == lockOpAcquire && class != nil {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					lockClassDisplay(info, sel.X, class, names)
+				}
+				if set == nil {
+					set = make(map[*types.Var]bool)
+				}
+				set[class] = true
+			}
+			return true
+		})
+		if set != nil {
+			direct[obj] = set
+		}
+	}
+	trans := make(map[*types.Func]map[*types.Var]bool)
+	for obj, set := range direct {
+		cp := make(map[*types.Var]bool, len(set))
+		for c := range set {
+			cp[c] = true
+		}
+		trans[obj] = cp
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj, node := range cg.Funcs {
+			for _, cs := range node.Calls {
+				callee := trans[cs.Callee]
+				if callee == nil {
+					continue
+				}
+				mine := trans[obj]
+				if mine == nil {
+					mine = make(map[*types.Var]bool)
+					trans[obj] = mine
+				}
+				for c := range callee {
+					if !mine[c] {
+						mine[c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Blocking summaries over the whole program, same shape as
+	// handlernoblock's per-package fixed point.
+	blocksVia := make(map[*types.Func]string)
+	for changed := true; changed; {
+		changed = false
+		for obj, node := range cg.Funcs {
+			if _, done := blocksVia[obj]; done {
+				continue
+			}
+			info := node.Unit.Info
+			witness := ""
+			inspectSkipNestedFuncs(node.Decl.Body, func(n ast.Node) bool {
+				if witness != "" {
+					return false
+				}
+				if _, ok := n.(*ast.DeferStmt); ok {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if w, ok := blockingCall(info, call); ok {
+					witness = w
+					return false
+				}
+				if callee := StaticCallee(info, call); callee != nil {
+					if w, ok := blocksVia[callee]; ok {
+						witness = callee.Name() + " → " + w
+						return false
+					}
+				}
+				return true
+			})
+			if witness != "" {
+				blocksVia[obj] = witness
+				changed = true
+			}
+		}
+	}
+
+	// Pass 2: walk each body in source order tracking the held set;
+	// every acquire (direct, or via a callee's summary) under a held
+	// class adds an edge, and every blocking call under a held class is
+	// reported immediately.
+	edges := make(map[lockEdgeKey]lockEdgeWitness)
+	addEdge := func(from, to *types.Var, pos token.Pos, desc string) {
+		if from == to {
+			return // instance ordering within one class is the caller's idiom
+		}
+		posn := prog.Fset.Position(pos)
+		key := lockEdgeKey{from, to}
+		if old, ok := edges[key]; ok && lessPosition(old.posn, posn) {
+			return
+		}
+		edges[key] = lockEdgeWitness{pos: pos, posn: posn, desc: desc}
+	}
+	for obj, node := range cg.Funcs {
+		_ = obj
+		info := node.Unit.Info
+		var held []*types.Var
+		release := func(class *types.Var) {
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i] == class {
+					held = append(held[:i], held[i+1:]...)
+					return
+				}
+			}
+		}
+		inspectSkipNestedFuncs(node.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				// A deferred Unlock releases at return: the class simply
+				// stays held for the rest of the walk. Other deferred
+				// work runs with the locks of that moment; skip it.
+				return false
+			case *ast.GoStmt:
+				// A spawned goroutine does not run under our held set.
+				return false
+			case *ast.CallExpr:
+				class, kind := lockOp(info, n)
+				switch kind {
+				case lockOpAcquire:
+					if class != nil {
+						for _, h := range held {
+							addEdge(h, class, n.Pos(), "acquired directly")
+						}
+						held = append(held, class)
+					}
+					return true
+				case lockOpRelease:
+					if class != nil {
+						release(class)
+					}
+					return true
+				}
+				if len(held) == 0 {
+					return true
+				}
+				holding := names[held[len(held)-1]]
+				if w, ok := blockingCall(info, n); ok {
+					pass.Reportf(n.Pos(),
+						"%s with %s held: the suspended thread keeps the lock while the wake-up path needs it; release before blocking",
+						w, holding)
+					return true
+				}
+				callee := StaticCallee(info, n)
+				if callee == nil {
+					return true
+				}
+				if w, ok := blocksVia[callee]; ok {
+					pass.Reportf(n.Pos(),
+						"%s blocks (via %s) and is called with %s held; release before blocking",
+						callee.Name(), w, holding)
+				}
+				for c := range trans[callee] {
+					for _, h := range held {
+						addEdge(h, c, n.Pos(), "acquired via "+callee.Name())
+					}
+				}
+				return true
+			}
+			return true
+		})
+	}
+
+	reportLockCycles(pass, edges, names)
+}
+
+// lessPosition orders token positions for deterministic edge witnesses.
+func lessPosition(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// reportLockCycles finds strongly connected components of the edge
+// graph and reports every edge inside a multi-node component at its
+// witness position.
+func reportLockCycles(pass *ProgramPass, edges map[lockEdgeKey]lockEdgeWitness, names map[*types.Var]string) {
+	succ := make(map[*types.Var][]*types.Var)
+	nodes := make(map[*types.Var]bool)
+	for k := range edges {
+		succ[k.from] = append(succ[k.from], k.to)
+		nodes[k.from] = true
+		nodes[k.to] = true
+	}
+
+	// Tarjan's SCC, iterative enough for our graph sizes via recursion.
+	index := make(map[*types.Var]int)
+	low := make(map[*types.Var]int)
+	onStack := make(map[*types.Var]bool)
+	comp := make(map[*types.Var]int)
+	var stack []*types.Var
+	next, ncomp := 0, 0
+	var strongconnect func(v *types.Var)
+	strongconnect = func(v *types.Var) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succ[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = ncomp
+				if w == v {
+					break
+				}
+			}
+			ncomp++
+		}
+	}
+	// Deterministic visit order by class name.
+	var ordered []*types.Var
+	for v := range nodes {
+		ordered = append(ordered, v)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return names[ordered[i]] < names[ordered[j]] })
+	for _, v := range ordered {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+
+	compSize := make(map[int]int)
+	for _, c := range comp {
+		compSize[c]++
+	}
+	for k, w := range edges {
+		if comp[k.from] != comp[k.to] || compSize[comp[k.from]] < 2 {
+			continue
+		}
+		var members []string
+		for v, c := range comp {
+			if c == comp[k.from] {
+				members = append(members, names[v])
+			}
+		}
+		sort.Strings(members)
+		pass.Reportf(w.pos,
+			"lock-order cycle: %s is %s while %s is held, and the reverse order also occurs (cycle members: %s); acquire kernel locks in one global order",
+			names[k.to], w.desc, names[k.from], strings.Join(members, ", "))
+	}
+}

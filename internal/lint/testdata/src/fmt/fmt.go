@@ -1,0 +1,7 @@
+// Package fmt is a hermetic stand-in for the standard library's fmt
+// package, for the hotalloc fixtures' allocating-stdlib checks.
+package fmt
+
+func Sprintf(format string, args ...any) string { return format }
+
+func Errorf(format string, args ...any) error { return nil }

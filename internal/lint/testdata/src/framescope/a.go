@@ -1,0 +1,98 @@
+// Fixtures for the framescope analyzer: DSM frame aliases must not
+// outlive their barrier epoch.
+package framescope
+
+import (
+	"kernel"
+	"rtnode"
+)
+
+type blockState struct {
+	frame []byte //dflint:frame
+	// twin is the lazy-release merge base.
+	//dflint:frame
+	twin []byte
+	ver  int64
+}
+
+type pageMsg struct {
+	Block int32
+	Data  []byte //dflint:frame
+}
+
+var debugFrame []byte
+
+var frameSink = make(chan []byte, 1)
+
+type node struct {
+	ep     kernel.Transport
+	clock  kernel.Clock
+	blocks []blockState
+	stash  [][]byte
+}
+
+// Deferred-closure capture: the callback runs after the epoch.
+func (n *node) badCallback(b int) {
+	st := &n.blocks[b]
+	f := st.frame
+	n.ep.RequestAsync(0, 1, nil, 8, 0, func(reply any) { // want "DSM frame alias 'f' captured by a deferred closure"
+		_ = f[0]
+	})
+}
+
+// Timer capture via an intermediate alias and a slice expression.
+func (n *node) badTimer(b int) {
+	alias := n.blocks[b].frame[8:16]
+	n.clock.Schedule(10, func() { // want "DSM frame alias 'alias' captured by a deferred closure"
+		alias[0] = 1
+	})
+}
+
+// Stores to package state.
+func (n *node) badGlobal(b int) {
+	debugFrame = n.blocks[b].frame // want "DSM frame alias 'frame' stored to package state"
+}
+
+// Channel send of a decoded payload's aliasing bytes.
+func badChannel(d *rtnode.Dec) {
+	data := d.Bytes()
+	frameSink <- data // want "DSM frame alias 'data' sent across a channel"
+}
+
+// Twin aliases count too.
+func (n *node) badTwinGlobal(b int) {
+	t := n.blocks[b].twin
+	debugFrame = t[:8] // want "DSM frame alias 't' stored to package state"
+}
+
+// Negative: copies are the sanctioned way out of the epoch.
+func (n *node) goodCopy(b int) {
+	st := &n.blocks[b]
+	snap := make([]byte, len(st.frame))
+	copy(snap, st.frame)
+	debugFrame = snap
+	n.ep.RequestAsync(0, 1, nil, 8, 0, func(reply any) {
+		_ = snap[0]
+	})
+}
+
+// Negative: append into a fresh slice copies.
+func badlyNamedButFine(m pageMsg) {
+	snap := append([]byte(nil), m.Data...)
+	frameSink <- snap
+}
+
+// Negative: synchronous use inside the epoch — encoding a reply,
+// patching in place, an immediately invoked literal.
+func (n *node) goodSync(b int, m pageMsg) {
+	st := &n.blocks[b]
+	copy(st.frame, m.Data)
+	func() { _ = st.frame[0] }()
+	n.stash = nil
+}
+
+// Negative: a non-frame field store is not package state.
+func (n *node) goodFieldStore(b int) {
+	st := &n.blocks[b]
+	st.frame = make([]byte, 4096)
+}

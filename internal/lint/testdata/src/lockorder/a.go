@@ -1,0 +1,79 @@
+// Fixtures for the lockorder analyzer: a cross-package lock-order
+// cycle and blocking seam calls made with a mutex held.
+package lockorder
+
+import (
+	"kernel"
+	"lockorderdep"
+	"sync"
+)
+
+type node struct {
+	mu  sync.Mutex
+	reg sync.RWMutex
+	st  *lockorderdep.Store
+	ep  kernel.Transport
+	th  kernel.Thread
+	n   int
+}
+
+// One half of the cycle: node.mu is held while Store.Mu is acquired
+// inside the other package's Put.
+func (n *node) abEdge() {
+	n.mu.Lock()
+	n.st.Put(1, 2) // want "lock-order cycle: lockorderdep.Store.Mu is acquired via Put while lockorder.node.mu is held"
+	n.mu.Unlock()
+}
+
+// The other half: Store.Mu is held while node.mu is acquired directly.
+func (n *node) baEdge() {
+	n.st.Mu.Lock()
+	n.mu.Lock() // want "lock-order cycle: lockorder.node.mu is acquired directly while lockorderdep.Store.Mu is held"
+	n.n++
+	n.mu.Unlock()
+	n.st.Mu.Unlock()
+}
+
+// A direct seam suspension point under a lock.
+func (n *node) blockUnderLock() {
+	n.mu.Lock()
+	n.ep.Call(n.th, 0, 1, nil, 8, 0) // want "kernel.Call with lockorder.node.mu held"
+	n.mu.Unlock()
+}
+
+func (n *node) pump() {
+	n.th.Block()
+}
+
+// The blocking call hides one frame down.
+func (n *node) badTransitive() {
+	n.mu.Lock()
+	n.pump() // want "pump blocks \(via kernel.Block\) and is called with lockorder.node.mu held"
+	n.mu.Unlock()
+}
+
+// Negative: a consistent mu -> reg order never cycles.
+func (n *node) good() {
+	n.mu.Lock()
+	n.reg.Lock()
+	n.n++
+	n.reg.Unlock()
+	n.mu.Unlock()
+}
+
+// Negative: reader side of the same consistent order.
+func (n *node) goodRead() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.reg.RLock()
+	defer n.reg.RUnlock()
+	return n.n
+}
+
+// Negative: released before blocking.
+func (n *node) goodrelease() {
+	n.mu.Lock()
+	n.n++
+	n.mu.Unlock()
+	n.ep.Call(n.th, 0, 1, nil, 8, 0)
+}

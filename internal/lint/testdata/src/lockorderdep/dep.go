@@ -1,0 +1,26 @@
+// Package lockorderdep is the dependency half of the lockorder
+// fixtures: its Store lock participates in a cross-package cycle the
+// analyzer can only see with both packages' bodies loaded.
+package lockorderdep
+
+import "sync"
+
+type Store struct {
+	Mu   sync.Mutex
+	data map[int]int
+}
+
+// Put acquires Store.Mu; callers holding their own lock create an
+// acquired-while-held edge into this class.
+func (s *Store) Put(k, v int) {
+	s.Mu.Lock()
+	s.data[k] = v
+	s.Mu.Unlock()
+}
+
+// Get is the read path; deferred unlock holds to return.
+func (s *Store) Get(k int) int {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	return s.data[k]
+}

@@ -15,6 +15,11 @@ func (*Mutex) Unlock() {}
 
 type RWMutex struct{}
 
+func (*RWMutex) Lock()    {}
+func (*RWMutex) Unlock()  {}
+func (*RWMutex) RLock()   {}
+func (*RWMutex) RUnlock() {}
+
 type Once struct{}
 
 type Map struct{}

@@ -44,6 +44,8 @@ func init() {
 
 // encNotices/decNotices carry the LRC write-notice set; a single zero
 // byte when empty, which it always is under the single-writer protocols.
+//
+//dflint:hotpath
 func encNotices(e *rtnode.Enc, ns []int32) {
 	e.Uvarint(uint64(len(ns)))
 	for _, n := range ns {
@@ -51,6 +53,7 @@ func encNotices(e *rtnode.Enc, ns []int32) {
 	}
 }
 
+//dflint:hotpath
 func decNotices(d *rtnode.Dec) []int32 {
 	n := d.Uvarint()
 	if n > uint64(d.Remaining()) { // each entry costs ≥1 byte; reject bogus lengths
@@ -59,6 +62,7 @@ func decNotices(d *rtnode.Dec) []int32 {
 	}
 	var ns []int32
 	for i := uint64(0); i < n; i++ {
+		//dflint:allow hotalloc notices are empty under single-writer protocols; LRC pays one amortized slice per barrier by design
 		ns = append(ns, int32(d.Varint()))
 	}
 	return ns

@@ -63,21 +63,29 @@ type Enc struct {
 }
 
 // Uvarint appends u in unsigned varint encoding.
+//
+//dflint:hotpath
 func (e *Enc) Uvarint(u uint64) {
 	e.B = binary.AppendUvarint(e.B, u)
 }
 
 // Varint appends i in zig-zag varint encoding.
+//
+//dflint:hotpath
 func (e *Enc) Varint(i int64) {
 	e.B = binary.AppendVarint(e.B, i)
 }
 
 // F64 appends f as 8 fixed little-endian bytes.
+//
+//dflint:hotpath
 func (e *Enc) F64(f float64) {
 	e.B = binary.LittleEndian.AppendUint64(e.B, math.Float64bits(f))
 }
 
 // Bool appends b as one byte.
+//
+//dflint:hotpath
 func (e *Enc) Bool(b bool) {
 	if b {
 		e.B = append(e.B, 1)
@@ -89,12 +97,16 @@ func (e *Enc) Bool(b bool) {
 // Bytes appends a length-prefixed byte slice. nil and empty encode
 // identically: the wire contract (pinned by the rtnode fuzz test since
 // the gob era) is that nil-versus-empty carries no protocol meaning.
+//
+//dflint:hotpath
 func (e *Enc) Bytes(b []byte) {
 	e.Uvarint(uint64(len(b)))
 	e.B = append(e.B, b...)
 }
 
 // String appends a length-prefixed string.
+//
+//dflint:hotpath
 func (e *Enc) String(s string) {
 	e.Uvarint(uint64(len(s)))
 	e.B = append(e.B, s...)
@@ -121,6 +133,8 @@ func (d *Dec) Fail() { d.fail() }
 func (d *Dec) Remaining() int { return len(d.B) - d.Off }
 
 // Uvarint reads an unsigned varint.
+//
+//dflint:hotpath
 func (d *Dec) Uvarint() uint64 {
 	if d.Bad {
 		return 0
@@ -135,6 +149,8 @@ func (d *Dec) Uvarint() uint64 {
 }
 
 // Varint reads a zig-zag varint.
+//
+//dflint:hotpath
 func (d *Dec) Varint() int64 {
 	if d.Bad {
 		return 0
@@ -149,6 +165,8 @@ func (d *Dec) Varint() int64 {
 }
 
 // F64 reads 8 fixed little-endian bytes as a float64.
+//
+//dflint:hotpath
 func (d *Dec) F64() float64 {
 	if d.Bad || d.Off+8 > len(d.B) {
 		d.fail()
@@ -160,6 +178,8 @@ func (d *Dec) F64() float64 {
 }
 
 // Bool reads one byte as a bool.
+//
+//dflint:hotpath
 func (d *Dec) Bool() bool {
 	if d.Bad || d.Off >= len(d.B) {
 		d.fail()
@@ -173,6 +193,8 @@ func (d *Dec) Bool() bool {
 // Bytes reads a length-prefixed byte slice. The result ALIASES the input
 // buffer — valid only while the buffer is; receivers that retain the
 // bytes must copy (the DSM install path does).
+//
+//dflint:hotpath
 func (d *Dec) Bytes() []byte {
 	n := int(d.Uvarint())
 	if d.Bad || n < 0 || d.Off+n > len(d.B) {

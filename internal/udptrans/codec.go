@@ -55,6 +55,8 @@ func putBuf(bp *[]byte) {
 }
 
 // appendFrame appends a framed datagram (header then payload) to dst.
+//
+//dflint:hotpath
 func appendFrame(dst []byte, h header, payload []byte) []byte {
 	dst = append(dst, h.kind)
 	dst = binary.BigEndian.AppendUint16(dst, h.svc)
@@ -72,6 +74,8 @@ func encode(h header, payload []byte) []byte {
 // ALIASES b — the caller owns the receive buffer and must keep it alive
 // (and unrecycled) until the payload has been consumed. ok is false for
 // datagrams too short to carry a header or with an unknown kind.
+//
+//dflint:hotpath
 func decode(b []byte) (h header, payload []byte, ok bool) {
 	if len(b) < headerLen {
 		return header{}, nil, false
@@ -87,6 +91,8 @@ func decode(b []byte) (h header, payload []byte, ok bool) {
 
 // appendBatchEntry appends one uvarint-length-prefixed event payload to a
 // batch body.
+//
+//dflint:hotpath
 func appendBatchEntry(dst, payload []byte) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(payload)))
 	return append(dst, payload...)
@@ -94,6 +100,8 @@ func appendBatchEntry(dst, payload []byte) []byte {
 
 // nextBatchEntry splits the first entry off a batch body. ok is false at
 // the end of the batch or on a malformed entry.
+//
+//dflint:hotpath
 func nextBatchEntry(b []byte) (entry, rest []byte, ok bool) {
 	if len(b) == 0 {
 		return nil, nil, false

@@ -1,0 +1,95 @@
+package udptrans
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBatchFraming round-trips event payloads through the kindBatch
+// coalescing path: each payload is appended with appendBatchEntry, the
+// body is framed with appendFrame, and the receive side must recover
+// exactly the same payloads, in order, via decode and nextBatchEntry.
+// Payload boundaries are fuzz-chosen so entry lengths cross the uvarint
+// width breaks (127/128, 16383/16384).
+func FuzzBatchFraming(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{0x01}, uint8(1))
+	f.Add(bytes.Repeat([]byte{0xab}, 400), uint8(3))
+	f.Add(bytes.Repeat([]byte{0x00}, 130), uint8(2)) // crosses the 1-byte uvarint break
+	f.Fuzz(func(t *testing.T, data []byte, k uint8) {
+		// Split data into k+1 contiguous chunks (some possibly empty).
+		n := int(k%8) + 1
+		var chunks [][]byte
+		for i := 0; i < n; i++ {
+			lo, hi := i*len(data)/n, (i+1)*len(data)/n
+			chunks = append(chunks, data[lo:hi])
+		}
+
+		body := make([]byte, 0, len(data)+n*3)
+		for _, c := range chunks {
+			body = appendBatchEntry(body, c)
+		}
+		if len(body) > MaxPayload {
+			t.Skip("batch larger than a datagram; the endpoint flushes before this")
+		}
+		dgram := appendFrame(nil, header{kind: kindBatch}, body)
+
+		h, payload, ok := decode(dgram)
+		if !ok {
+			t.Fatalf("decode rejected a well-formed batch datagram (%d bytes)", len(dgram))
+		}
+		if h.kind != kindBatch || h.svc != 0 || h.seq != 0 {
+			t.Fatalf("header changed in transit: %+v", h)
+		}
+
+		var got [][]byte
+		for rest := payload; ; {
+			entry, r, ok := nextBatchEntry(rest)
+			if !ok {
+				if len(rest) != 0 {
+					t.Fatalf("batch walk stopped with %d undecoded bytes", len(rest))
+				}
+				break
+			}
+			got = append(got, entry)
+			rest = r
+		}
+		if len(got) != len(chunks) {
+			t.Fatalf("sent %d entries, decoded %d", len(chunks), len(got))
+		}
+		for i := range chunks {
+			if !bytes.Equal(got[i], chunks[i]) {
+				t.Fatalf("entry %d changed in transit:\n sent %x\n got  %x", i, chunks[i], got[i])
+			}
+		}
+	})
+}
+
+// FuzzBatchDecodeMalformed walks arbitrary bytes as a batch body: the
+// walk must terminate, never panic, and every entry it yields must lie
+// within the input. This is the loss-tolerant receive path — a truncated
+// or corrupt datagram must degrade to "fewer events", not a crash.
+func FuzzBatchDecodeMalformed(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}) // huge length prefix
+	f.Add([]byte{0x05, 0x01})                                                 // length past the end
+	f.Add([]byte{0x80})                                                       // unterminated uvarint
+	f.Add(appendBatchEntry(nil, []byte{1}))                                   // one valid entry
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		total := 0
+		for rest := raw; ; {
+			entry, r, ok := nextBatchEntry(rest)
+			if !ok {
+				break
+			}
+			if len(r) >= len(rest) {
+				t.Fatalf("batch walk did not make progress: %d -> %d bytes", len(rest), len(r))
+			}
+			total += len(entry)
+			rest = r
+		}
+		if total > len(raw) {
+			t.Fatalf("entries total %d bytes from a %d-byte input", total, len(raw))
+		}
+	})
+}
