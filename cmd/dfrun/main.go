@@ -28,7 +28,19 @@ import (
 	"filaments/internal/threads"
 )
 
+// main is the only caller of os.Exit: every error path returns through
+// realMain, so the UDP variants' teardown (endpoint close, the
+// Outstanding()==0 quiescence check inside UDPRun.Run) always executes
+// before the process exits. The previous structure called os.Exit(1)
+// from arbitrary depths, skipping both.
 func main() {
+	if err := realMain(); err != nil {
+		fmt.Fprintf(os.Stderr, "dfrun: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func realMain() error {
 	var (
 		app     = flag.String("app", "jacobi", "application: matmul | jacobi | quadrature | exprtree | fft | mergesort")
 		variant = flag.String("variant", "df", "variant: seq | cg | df | bag (quadrature only)")
@@ -65,17 +77,16 @@ func main() {
 	case "lrc", "lazy-release":
 		protocol = filaments.LazyRelease
 	default:
-		fail("unknown -protocol %q", *proto)
+		return fmt.Errorf("unknown -protocol %q", *proto)
 	}
 
 	switch *trans {
 	case "sim":
 	case "udp":
 		tuning := filaments.UDPTuning{Codec: *codec, NoDiffs: *noDiffs}
-		runUDP(*app, *variant, *nodes, *n, *iters, *tol, protocol, tuning, tracer, *trace, *metrics, *verbose)
-		return
+		return runUDP(*app, *variant, *nodes, *n, *iters, *tol, protocol, tuning, tracer, *trace, *metrics, *verbose)
 	default:
-		fail("unknown -transport %q (sim | udp)", *trans)
+		return fmt.Errorf("unknown -transport %q (sim | udp)", *trans)
 	}
 
 	var rep *filaments.Report
@@ -90,7 +101,7 @@ func main() {
 		case "df":
 			rep, _, _ = matmul.DF(cfg)
 		default:
-			fail("matmul has variants seq|cg|df")
+			return fmt.Errorf("matmul has variants seq|cg|df")
 		}
 	case "jacobi":
 		cfg := jacobi.Config{N: *n, Iters: *iters, Nodes: *nodes, Protocol: protocol, Tracer: tracer}
@@ -102,7 +113,7 @@ func main() {
 		case "df":
 			rep, _, _ = jacobi.DF(cfg)
 		default:
-			fail("jacobi has variants seq|cg|df")
+			return fmt.Errorf("jacobi has variants seq|cg|df")
 		}
 	case "quadrature":
 		cfg := quadrature.Config{Tol: *tol, Nodes: *nodes, Tracer: tracer}
@@ -116,7 +127,7 @@ func main() {
 		case "df":
 			rep, _, _ = quadrature.DF(cfg)
 		default:
-			fail("quadrature has variants seq|cg|df|bag")
+			return fmt.Errorf("quadrature has variants seq|cg|df|bag")
 		}
 	case "exprtree":
 		cfg := exprtree.Config{Height: *height, N: *n, Nodes: *nodes, Tracer: tracer}
@@ -128,7 +139,7 @@ func main() {
 		case "df":
 			rep, _, _ = exprtree.DF(cfg)
 		default:
-			fail("exprtree has variants seq|cg|df")
+			return fmt.Errorf("exprtree has variants seq|cg|df")
 		}
 	case "fft":
 		cfg := fft.Config{N: *n, Leaf: *leaf, Nodes: *nodes, Protocol: protocol, Tracer: tracer}
@@ -138,7 +149,7 @@ func main() {
 		case "df":
 			rep, _, _, _ = fft.DF(cfg)
 		default:
-			fail("fft has variants seq|df")
+			return fmt.Errorf("fft has variants seq|df")
 		}
 	case "mergesort":
 		cfg := mergesort.Config{N: *n, Leaf: *leaf, Nodes: *nodes, Protocol: protocol, Tracer: tracer}
@@ -148,10 +159,10 @@ func main() {
 		case "df":
 			rep, _, _ = mergesort.DF(cfg)
 		default:
-			fail("mergesort has variants seq|df")
+			return fmt.Errorf("mergesort has variants seq|df")
 		}
 	default:
-		fail("unknown -app %q", *app)
+		return fmt.Errorf("unknown -app %q", *app)
 	}
 
 	fmt.Printf("%s/%s on %d nodes: %.2f simulated seconds\n",
@@ -160,13 +171,15 @@ func main() {
 		rep.Net.FramesSent, float64(rep.Net.BytesSent)/(1<<20), rep.Net.Busy.Seconds(),
 		100*rep.Net.Utilization(rep.Elapsed))
 	if tracer != nil {
-		writeTrace(*trace, tracer)
+		if err := writeTrace(*trace, tracer); err != nil {
+			return err
+		}
 	}
 	if *metrics {
 		printMetrics(rep.Metrics)
 	}
 	if !*verbose {
-		return
+		return nil
 	}
 	fmt.Printf("%-5s %8s %9s %8s %8s %10s %8s %8s %8s\n",
 		"node", "work(s)", "fil(s)", "data(s)", "sync(s)", "syncdly(s)", "idle(s)", "faults", "served")
@@ -183,16 +196,19 @@ func main() {
 			nr.DSM.ReadFaults+nr.DSM.WriteFaults,
 			nr.DSM.Served)
 	}
+	return nil
 }
 
 // runUDP executes the DF variant on the real-time binding: one UDP
 // endpoint per node on loopback, wall-clock timing. The DF variants of
 // jacobi, matmul, and quadrature run over udp — the seq/cg variants are
 // single-address-space programs and exprtree has not been ported to the
-// real-time binding.
-func runUDP(app, variant string, nodes, n, iters int, tol float64, protocol filaments.Protocol, tuning filaments.UDPTuning, tracer *filaments.Tracer, trace string, metrics, verbose bool) {
+// real-time binding. An error from the run — including the quiescence
+// check (requests still outstanding after the last barrier) — returns
+// through realMain so teardown is never skipped.
+func runUDP(app, variant string, nodes, n, iters int, tol float64, protocol filaments.Protocol, tuning filaments.UDPTuning, tracer *filaments.Tracer, trace string, metrics, verbose bool) error {
 	if variant != "df" {
-		fail("-transport=udp runs only -variant df (got %q): seq and cg do not use the cluster", variant)
+		return fmt.Errorf("-transport=udp runs only -variant df (got %q): seq and cg do not use the cluster", variant)
 	}
 	var rep *filaments.UDPReport
 	switch app {
@@ -200,25 +216,25 @@ func runUDP(app, variant string, nodes, n, iters int, tol float64, protocol fila
 		cfg := jacobi.Config{N: n, Iters: iters, Nodes: nodes, Protocol: protocol, Tracer: tracer, Tuning: tuning}
 		r, _, _, err := jacobi.DFUDP(cfg)
 		if err != nil {
-			fail("%v", err)
+			return err
 		}
 		rep = r
 	case "matmul":
 		cfg := matmul.Config{N: n, Nodes: nodes, Protocol: protocol, Tracer: tracer, Tuning: tuning}
 		r, _, _, err := matmul.DFUDP(cfg)
 		if err != nil {
-			fail("%v", err)
+			return err
 		}
 		rep = r
 	case "quadrature":
 		cfg := quadrature.Config{Tol: tol, Nodes: nodes, Tracer: tracer, Tuning: tuning}
 		r, _, err := quadrature.DFUDP(cfg, true)
 		if err != nil {
-			fail("%v", err)
+			return err
 		}
 		rep = r
 	default:
-		fail("-app %s is not supported over -transport=udp (supported: jacobi, matmul, quadrature)", app)
+		return fmt.Errorf("-app %s is not supported over -transport=udp (supported: jacobi, matmul, quadrature)", app)
 	}
 
 	fmt.Printf("%s/df on %d nodes over loopback UDP: %.3f wall seconds\n",
@@ -231,13 +247,15 @@ func runUDP(app, variant string, nodes, n, iters int, tol float64, protocol fila
 	}
 	fmt.Printf("network: %d requests, %d retransmits, %d page faults\n", reqs, retrans, faults)
 	if tracer != nil {
-		writeTrace(trace, tracer)
+		if err := writeTrace(trace, tracer); err != nil {
+			return err
+		}
 	}
 	if metrics {
 		printMetrics(rep.Metrics)
 	}
 	if !verbose {
-		return
+		return nil
 	}
 	fmt.Printf("%-5s %8s %8s %8s %10s %8s\n",
 		"node", "faults", "served", "reqs", "retrans", "steals")
@@ -250,22 +268,24 @@ func runUDP(app, variant string, nodes, n, iters int, tol float64, protocol fila
 			nr.Transport.Retransmits,
 			nr.Runtime.StealsGranted)
 	}
+	return nil
 }
 
 // writeTrace exports the collected events as Chrome trace-event JSON.
-func writeTrace(path string, tr *filaments.Tracer) {
+func writeTrace(path string, tr *filaments.Tracer) error {
 	f, err := os.Create(path)
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 	if err := tr.WriteJSON(f); err != nil {
 		f.Close()
-		fail("trace: %v", err)
+		return fmt.Errorf("trace: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		fail("trace: %v", err)
+		return fmt.Errorf("trace: %w", err)
 	}
 	fmt.Printf("trace: %d events -> %s\n", tr.Len(), path)
+	return nil
 }
 
 // printMetrics prints the aggregated cluster-wide counters.
@@ -274,9 +294,4 @@ func printMetrics(samples []filaments.Sample) {
 	for _, s := range samples {
 		fmt.Printf("  %-24s %d\n", s.Name, s.Value)
 	}
-}
-
-func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "dfrun: "+format+"\n", args...)
-	os.Exit(1)
 }

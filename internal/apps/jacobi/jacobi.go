@@ -384,6 +384,32 @@ func dfProgram(cfg Config, ga, gb filaments.Matrix) filaments.Program {
 	}
 }
 
+// udpHost is the slice of the UDPCluster/UDPRun surface the program
+// needs; both satisfy it, so the single-program form (DFUDP) and the
+// service form (DFOn, one job on a live daemon cluster) share one body.
+type udpHost interface {
+	AllocMatrixOwned(rows, cols, owner int) filaments.Matrix
+	Run(filaments.Program) (*filaments.UDPReport, error)
+	PeekMatrix(filaments.Matrix) [][]float64
+}
+
+// dfOn allocates the grids on h, runs the DF program, and peeks the
+// final grid. cfg must already be defaulted.
+func dfOn(cfg Config, h udpHost) (*filaments.UDPReport, [][]float64, error) {
+	n := cfg.N
+	ga := h.AllocMatrixOwned(n, n, 0)
+	gb := h.AllocMatrixOwned(n, n, 0)
+	rep, err := h.Run(dfProgram(cfg, ga, gb))
+	if err != nil {
+		return rep, nil, err
+	}
+	final := ga
+	if cfg.Iters%2 == 1 {
+		final = gb
+	}
+	return rep, h.PeekMatrix(final), nil
+}
+
 // DFUDP runs the same DF program on a single-process real-time cluster:
 // every node is a set of goroutines with its own UDP endpoint on
 // loopback. The returned grid is bitwise-identical to Reference's (both
@@ -406,18 +432,22 @@ func DFUDP(cfg Config) (*filaments.UDPReport, [][]float64, *filaments.UDPCluster
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	n := cfg.N
-	ga := cl.AllocMatrixOwned(n, n, 0)
-	gb := cl.AllocMatrixOwned(n, n, 0)
-	rep, err := cl.Run(dfProgram(cfg, ga, gb))
+	rep, grid, err := dfOn(cfg, cl)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	final := ga
-	if cfg.Iters%2 == 1 {
-		final = gb
-	}
-	return rep, cl.PeekMatrix(final), cl, nil
+	return rep, grid, cl, nil
+}
+
+// DFOn runs the DF program as one job on a live service cluster's run
+// (internal/cluster/daemon submits jobs here). Cluster-wide settings —
+// protocol, tracing, codec — were fixed when the run was started; cfg
+// supplies the problem shape. The grid is bitwise-identical to
+// Reference's, exactly as under DFUDP.
+func DFOn(cfg Config, run *filaments.UDPRun) (*filaments.UDPReport, [][]float64, error) {
+	cfg.Nodes = run.Nodes()
+	cfg.defaults()
+	return dfOn(cfg, run)
 }
 
 // DFNode runs the same DF program as one node of a multi-process cluster

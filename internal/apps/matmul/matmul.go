@@ -281,6 +281,30 @@ func dfProgram(cfg Config, a, b, cm filaments.Matrix) filaments.Program {
 	}
 }
 
+// udpHost is the slice of the UDPCluster/UDPRun surface the program
+// needs; both satisfy it, so the single-program form (DFUDP) and the
+// service form (DFOn, one job on a live daemon cluster) share one body.
+type udpHost interface {
+	AllocMatrixOwned(rows, cols, owner int) filaments.Matrix
+	AllocMatrixStriped(rows, cols int) filaments.Matrix
+	Run(filaments.Program) (*filaments.UDPReport, error)
+	PeekMatrix(filaments.Matrix) [][]float64
+}
+
+// dfOn allocates the matrices on h, runs the DF program, and peeks the
+// product. cfg must already be defaulted.
+func dfOn(cfg Config, h udpHost) (*filaments.UDPReport, [][]float64, error) {
+	n := cfg.N
+	a := h.AllocMatrixOwned(n, n, 0)
+	b := h.AllocMatrixOwned(n, n, 0)
+	cm := h.AllocMatrixStriped(n, n)
+	rep, err := h.Run(dfProgram(cfg, a, b, cm))
+	if err != nil {
+		return rep, nil, err
+	}
+	return rep, h.PeekMatrix(cm), nil
+}
+
 // DFUDP runs the same DF program on a single-process real-time cluster:
 // every node is a set of goroutines with its own UDP endpoint on loopback.
 // The result is bitwise-identical to Reference's (identical inner-product
@@ -302,15 +326,22 @@ func DFUDP(cfg Config) (*filaments.UDPReport, [][]float64, *filaments.UDPCluster
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	n := cfg.N
-	a := cl.AllocMatrixOwned(n, n, 0)
-	b := cl.AllocMatrixOwned(n, n, 0)
-	cm := cl.AllocMatrixStriped(n, n)
-	rep, err := cl.Run(dfProgram(cfg, a, b, cm))
+	rep, prod, err := dfOn(cfg, cl)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	return rep, cl.PeekMatrix(cm), cl, nil
+	return rep, prod, cl, nil
+}
+
+// DFOn runs the DF program as one job on a live service cluster's run
+// (internal/cluster/daemon submits jobs here). Cluster-wide settings —
+// protocol, tracing, codec — were fixed when the run was started; cfg
+// supplies the problem shape. The product is bitwise-identical to
+// Reference's, exactly as under DFUDP.
+func DFOn(cfg Config, run *filaments.UDPRun) (*filaments.UDPReport, [][]float64, error) {
+	cfg.Nodes = run.Nodes()
+	cfg.defaults()
+	return dfOn(cfg, run)
 }
 
 // strip returns the row range [lo, hi) node k computes.

@@ -316,6 +316,23 @@ func DFUDP(cfg Config, stealing bool) (*filaments.UDPReport, float64, error) {
 	return rep, out, nil
 }
 
+// DFOn runs the fork/join program as one job on a live service cluster's
+// run (internal/cluster/daemon submits jobs here). Stealing and
+// WakeFront were fixed when the run was started; cfg supplies the
+// integrand shape. As under DFUDP, steal-race timing makes the summation
+// order nondeterministic, so the area agrees with Reference only to
+// rounding.
+func DFOn(cfg Config, run *filaments.UDPRun) (*filaments.UDPReport, float64, error) {
+	cfg.Nodes = run.Nodes()
+	cfg.defaults()
+	var out float64
+	rep, err := run.Run(dfProgram(cfg, &out))
+	if err != nil {
+		return rep, 0, err
+	}
+	return rep, out, nil
+}
+
 // dfProgram is the DF node program shared by every binding: the simulated
 // cluster and the real-time UDP cluster run exactly this code. cfg must
 // already be defaulted; *out receives the area on node 0.

@@ -1,0 +1,156 @@
+package daemon
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"time"
+
+	"filaments/internal/cluster"
+)
+
+// The coordinator's REST face. JSON in, JSON out, including errors:
+// {"error": "..."} with a meaningful status code, never a bare text
+// body, so clients can always json-decode what they get.
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, apiError{Error: msg})
+}
+
+// memberView renders a cluster.Member with the state as a string.
+type memberView struct {
+	Addr        string `json:"addr"`
+	State       string `json:"state"`
+	Incarnation uint64 `json:"incarnation"`
+	JoinedAt    int64  `json:"joined_at_ns"`
+	LastBeat    int64  `json:"last_beat_ns"`
+}
+
+type clusterView struct {
+	Generation uint64       `json:"generation"`
+	Alive      int          `json:"alive"`
+	Members    []memberView `json:"members"`
+}
+
+func renderView(v cluster.View) clusterView {
+	out := clusterView{Generation: v.Generation, Alive: v.Alive(), Members: make([]memberView, len(v.Members))}
+	for i, m := range v.Members {
+		out.Members[i] = memberView{
+			Addr:        m.Addr,
+			State:       m.State.String(),
+			Incarnation: m.Incarnation,
+			JoinedAt:    m.JoinedAt,
+			LastBeat:    m.LastBeat,
+		}
+	}
+	return out
+}
+
+// Handler returns the coordinator's HTTP API:
+//
+//	POST /jobs            submit a JobSpec, 202 + job record
+//	GET  /jobs            all jobs, submission order
+//	GET  /jobs/{id}       one job; ?wait=5s blocks until done or timeout
+//	GET  /jobs/{id}/trace the job's Chrome trace (submit with "trace": true)
+//	GET  /cluster         membership view
+//	GET  /metrics         live counters + membership generation
+func (co *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", co.apiSubmit)
+	mux.HandleFunc("GET /jobs", co.apiJobs)
+	mux.HandleFunc("GET /jobs/{id}", co.apiJob)
+	mux.HandleFunc("GET /jobs/{id}/trace", co.apiTrace)
+	mux.HandleFunc("GET /cluster", co.apiCluster)
+	mux.HandleFunc("GET /metrics", co.apiMetrics)
+	return mux
+}
+
+func (co *Coordinator) apiSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: "+err.Error())
+		return
+	}
+	j, err := co.Submit(spec)
+	if err != nil {
+		status := http.StatusBadRequest
+		// Capacity and shutdown are the server's condition, not the
+		// client's mistake.
+		if strings.Contains(err.Error(), "queue full") || strings.Contains(err.Error(), "shut down") {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+func (co *Coordinator) apiJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := co.Jobs()
+	views := make([]jobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.view()
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (co *Coordinator) apiJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := co.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if waitSpec := r.URL.Query().Get("wait"); waitSpec != "" {
+		d, err := time.ParseDuration(waitSpec)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad wait duration: "+err.Error())
+			return
+		}
+		select {
+		case <-j.Done():
+		case <-time.After(d):
+		case <-r.Context().Done():
+		}
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (co *Coordinator) apiTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := co.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	trace := j.Trace()
+	if trace == nil {
+		writeError(w, http.StatusNotFound, "no trace for this job (submit with \"trace\": true and wait for completion)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(trace) //nolint:errcheck // client went away; nothing to do
+}
+
+func (co *Coordinator) apiCluster(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, renderView(co.View()))
+}
+
+func (co *Coordinator) apiMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation": co.Generation(),
+		"metrics":    co.Metrics(),
+	})
+}

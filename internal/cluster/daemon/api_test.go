@@ -1,0 +1,174 @@
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func apiServer(t *testing.T, cfg Config) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	co := startCoordinator(t, cfg)
+	srv := httptest.NewServer(co.Handler())
+	t.Cleanup(srv.Close)
+	return co, srv
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding %s body: %v", resp.Request.URL, err)
+	}
+	return v
+}
+
+// TestJobAPIRoundTrip drives a job through the REST face end to end:
+// submit, poll with wait, read the verified result, and list it.
+func TestJobAPIRoundTrip(t *testing.T) {
+	_, srv := apiServer(t, Config{Nodes: 2})
+
+	resp, err := http.Post(srv.URL+"/jobs", "application/json",
+		strings.NewReader(`{"app": "jacobi", "n": 32, "iters": 8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	sub := decode[jobView](t, resp)
+	if sub.ID == "" || sub.State == JobDone {
+		t.Fatalf("submit returned %+v", sub)
+	}
+
+	resp, err = http.Get(fmt.Sprintf("%s/jobs/%s?wait=60s", srv.URL, sub.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decode[jobView](t, resp)
+	if got.State != JobDone {
+		t.Fatalf("job state %q error %q", got.State, got.Error)
+	}
+	if got.Result == nil || !got.Result.OK {
+		t.Fatalf("job result %+v", got.Result)
+	}
+	if !strings.HasPrefix(got.Result.Output, "RESULT OK") {
+		t.Fatalf("output %q", got.Result.Output)
+	}
+	if len(got.Result.Metrics) == 0 {
+		t.Fatal("no per-job metrics in the result")
+	}
+
+	resp, err = http.Get(srv.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := decode[[]jobView](t, resp)
+	if len(list) != 1 || list[0].ID != sub.ID {
+		t.Fatalf("job list %+v", list)
+	}
+}
+
+// TestJobAPIRejections covers the client-error paths: malformed JSON,
+// unknown fields, unknown apps, and missing jobs — each a JSON error
+// body with the right status.
+func TestJobAPIRejections(t *testing.T) {
+	_, srv := apiServer(t, Config{Nodes: 1})
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	for _, body := range []string{
+		`{"app": "jacobi"`,         // malformed JSON
+		`{"app": "sudoku"}`,        // unknown app
+		`{"app": "jacobi", "x":1}`, // unknown field
+		`{"n": 8}`,                 // missing app
+	} {
+		resp := post(body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+		if e := decode[apiError](t, resp); e.Error == "" {
+			t.Fatalf("body %q: no JSON error message", body)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/jobs/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing job: status %d, want 404", resp.StatusCode)
+	}
+	if e := decode[apiError](t, resp); e.Error == "" {
+		t.Fatal("missing job: no JSON error message")
+	}
+
+	resp, err = http.Get(srv.URL + "/jobs/job-999/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing trace: status %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestClusterAndMetricsEndpoints checks the observability faces: the
+// membership view with generation and states, and the counter dump.
+func TestClusterAndMetricsEndpoints(t *testing.T) {
+	co, srv := apiServer(t, Config{Nodes: 2})
+
+	resp, err := http.Get(srv.URL + "/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := decode[clusterView](t, resp)
+	if cv.Generation == 0 || cv.Alive != 2 || len(cv.Members) != 2 {
+		t.Fatalf("cluster view %+v", cv)
+	}
+	for _, m := range cv.Members {
+		if m.State != "alive" {
+			t.Fatalf("member %+v not alive", m)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Generation uint64 `json:"generation"`
+		Metrics    []struct {
+			Name  string `json:"Name"`
+			Value int64  `json:"Value"`
+		} `json:"metrics"`
+	}
+	func() {
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if body.Generation != co.Generation() {
+		t.Fatalf("metrics generation %d, coordinator says %d", body.Generation, co.Generation())
+	}
+	found := false
+	for _, s := range body.Metrics {
+		if s.Name == "cluster.generation" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("membership counters missing from /metrics")
+	}
+}

@@ -1,0 +1,279 @@
+// Package cluster is the lifecycle layer between the transport
+// (udptrans/rtnode) and the applications: which nodes are part of the
+// service, how healthy they are, and which membership generation a
+// caller observed. It is deliberately split in two:
+//
+//   - This package is the pure state machine: explicit-clock, no
+//     goroutines, no locks, no I/O. It is registered as a dflint kernel
+//     package, so kerneltime/kernelspawn/maprange enforce that split —
+//     the same discipline that keeps the DF kernel deterministic keeps
+//     membership decisions replayable from a log of (event, now) pairs.
+//   - cluster/daemon owns the impure shell: the UDP service handlers,
+//     heartbeat timers, the job scheduler, and the HTTP API.
+//
+// Failure detection is heartbeat-based, as ROADMAP item 4 needs it:
+// a member that misses heartbeats decays Alive → Suspect → Dead on
+// Tick; Dead and Left members are remembered (tombstones) so a rejoin
+// is distinguishable from a first join and bumps the member's
+// incarnation number.
+package cluster
+
+import (
+	"sort"
+
+	"filaments/internal/obs"
+)
+
+// State is a member's health, as judged by the coordinator's failure
+// detector.
+type State int32
+
+const (
+	// Alive: heartbeats arriving within Policy.SuspectAfter.
+	Alive State = iota
+	// Suspect: no heartbeat for SuspectAfter; schedulable work drains
+	// away from the node but it is not yet condemned.
+	Suspect
+	// Dead: no heartbeat for DeadAfter; the failure detector has
+	// condemned the node. A later heartbeat or join resurrects it under
+	// a new incarnation.
+	Dead
+	// Left: the node deregistered voluntarily (clean shutdown).
+	Left
+)
+
+func (s State) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	case Left:
+		return "left"
+	default:
+		return "invalid"
+	}
+}
+
+// Policy sets the failure-detector thresholds, in the same nanosecond
+// units as the now arguments. Heartbeat senders should beat several
+// times per SuspectAfter so one lost datagram does not suspect a node.
+type Policy struct {
+	SuspectAfter int64 // Alive → Suspect after this long without a beat
+	DeadAfter    int64 // → Dead after this long without a beat
+}
+
+// DefaultPolicy tolerates two lost 500 ms heartbeats before suspecting
+// and ten before condemning.
+func DefaultPolicy() Policy {
+	return Policy{SuspectAfter: 1_500_000_000, DeadAfter: 5_000_000_000}
+}
+
+// Member is one node's membership record. Addr is the identity: the
+// UDP endpoint address the node serves kernel traffic on.
+type Member struct {
+	Addr        string
+	State       State
+	Incarnation uint64 // bumped each time the member joins anew
+	JoinedAt    int64  // now of the current incarnation's join
+	LastBeat    int64  // now of the last heartbeat (or join)
+}
+
+// View is an immutable snapshot of the membership. Generation increases
+// by one for every state transition of any member, so two Views are
+// identical iff their generations match — scrapers detect restarts and
+// flaps by watching it, and jobs record the generation they were
+// scheduled under.
+type View struct {
+	Generation uint64
+	Members    []Member // sorted by Addr
+}
+
+// Alive counts members in the Alive state.
+func (v View) Alive() int {
+	n := 0
+	for _, m := range v.Members {
+		if m.State == Alive {
+			n++
+		}
+	}
+	return n
+}
+
+// Find returns the member with the given address, if present.
+func (v View) Find(addr string) (Member, bool) {
+	i := sort.Search(len(v.Members), func(i int) bool { return v.Members[i].Addr >= addr })
+	if i < len(v.Members) && v.Members[i].Addr == addr {
+		return v.Members[i], true
+	}
+	return Member{}, false
+}
+
+// Membership is the coordinator's member table. It is a plain
+// single-threaded structure: callers (cluster/daemon) serialize access
+// and supply the clock. Members are kept in a slice sorted by Addr —
+// cluster sizes are tens of nodes, and a sorted slice keeps every
+// iteration deterministic by construction.
+type Membership struct {
+	policy  Policy
+	gen     uint64
+	members []*Member // sorted by Addr
+
+	joins    *obs.Counter
+	rejoins  *obs.Counter
+	leaves   *obs.Counter
+	beats    *obs.Counter
+	suspects *obs.Counter
+	deaths   *obs.Counter
+	genC     *obs.Counter
+	aliveC   *obs.Counter
+}
+
+// New builds an empty membership table under the given policy,
+// surfacing transition counters in reg (reg must be non-nil; pass a
+// fresh obs.NewRegistry() if the caller has no registry of its own).
+func New(policy Policy, reg *obs.Registry) *Membership {
+	if policy.SuspectAfter <= 0 || policy.DeadAfter < policy.SuspectAfter {
+		policy = DefaultPolicy()
+	}
+	return &Membership{
+		policy:   policy,
+		joins:    reg.Counter("cluster.joins"),
+		rejoins:  reg.Counter("cluster.rejoins"),
+		leaves:   reg.Counter("cluster.leaves"),
+		beats:    reg.Counter("cluster.beats"),
+		suspects: reg.Counter("cluster.suspects"),
+		deaths:   reg.Counter("cluster.deaths"),
+		genC:     reg.Counter("cluster.generation"),
+		aliveC:   reg.Counter("cluster.alive"),
+	}
+}
+
+// Policy returns the failure-detector thresholds in force.
+func (ms *Membership) Policy() Policy { return ms.policy }
+
+// Generation returns the current membership generation.
+func (ms *Membership) Generation() uint64 { return ms.gen }
+
+func (ms *Membership) bump() {
+	ms.gen++
+	ms.genC.SetMax(int64(ms.gen))
+	alive := int64(0)
+	for _, m := range ms.members {
+		if m.State == Alive {
+			alive++
+		}
+	}
+	// The counter is monotonic-friendly but Add takes deltas; store the
+	// absolute value by resetting via delta.
+	ms.aliveC.Add(alive - ms.aliveC.Load())
+}
+
+func (ms *Membership) find(addr string) *Member {
+	i := sort.Search(len(ms.members), func(i int) bool { return ms.members[i].Addr >= addr })
+	if i < len(ms.members) && ms.members[i].Addr == addr {
+		return ms.members[i]
+	}
+	return nil
+}
+
+// Join admits (or re-admits) addr as Alive and returns its record. A
+// join over a live membership is idempotent — a duplicate JoinMsg
+// retransmission does not bump the generation — while a join over a
+// Suspect/Dead/Left tombstone is a rejoin: the incarnation advances so
+// observers can tell the new instance's heartbeats from a ghost's.
+func (ms *Membership) Join(addr string, now int64) Member {
+	m := ms.find(addr)
+	switch {
+	case m == nil:
+		m = &Member{Addr: addr, State: Alive, Incarnation: 1, JoinedAt: now, LastBeat: now}
+		ms.members = append(ms.members, m)
+		sort.Slice(ms.members, func(i, j int) bool { return ms.members[i].Addr < ms.members[j].Addr })
+		ms.joins.Inc()
+		ms.bump()
+	case m.State != Alive:
+		m.State = Alive
+		m.Incarnation++
+		m.JoinedAt = now
+		m.LastBeat = now
+		ms.rejoins.Inc()
+		ms.bump()
+	default:
+		m.LastBeat = now // duplicate join: refresh, no transition
+	}
+	return *m
+}
+
+// Heartbeat records a beat from addr. known=false means the coordinator
+// has no live record (never joined, or condemned and garbage-collected):
+// the ack tells the sender to rejoin. A beat that revives a Suspect
+// member is a generation-bumping transition; a beat from a Dead or Left
+// member is refused (rejoin required), so a ghost instance cannot
+// silently resurrect an identity a new incarnation may have reclaimed.
+func (ms *Membership) Heartbeat(addr string, now int64) (gen uint64, known bool) {
+	m := ms.find(addr)
+	if m == nil || m.State == Dead || m.State == Left {
+		return ms.gen, false
+	}
+	ms.beats.Inc()
+	m.LastBeat = now
+	if m.State == Suspect {
+		m.State = Alive
+		ms.bump()
+	}
+	return ms.gen, true
+}
+
+// Leave deregisters addr voluntarily. Idempotent.
+func (ms *Membership) Leave(addr string, now int64) (gen uint64) {
+	m := ms.find(addr)
+	if m != nil && m.State != Left {
+		m.State = Left
+		m.LastBeat = now
+		ms.leaves.Inc()
+		ms.bump()
+	}
+	return ms.gen
+}
+
+// Tick runs the failure detector at time now: members decay
+// Alive → Suspect after Policy.SuspectAfter without a beat and
+// Suspect → Dead after Policy.DeadAfter. Returns true if any state
+// changed. The caller chooses the tick cadence; thresholds are measured
+// from the last beat, not the last tick, so a slow ticker only delays
+// detection, never misdetects.
+func (ms *Membership) Tick(now int64) bool {
+	changed := false
+	for _, m := range ms.members {
+		idle := now - m.LastBeat
+		switch m.State {
+		case Alive:
+			if idle >= ms.policy.SuspectAfter {
+				m.State = Suspect
+				ms.suspects.Inc()
+				changed = true
+			}
+		case Suspect:
+			if idle >= ms.policy.DeadAfter {
+				m.State = Dead
+				ms.deaths.Inc()
+				changed = true
+			}
+		}
+	}
+	if changed {
+		ms.bump()
+	}
+	return changed
+}
+
+// View snapshots the membership. The returned slice is a copy.
+func (ms *Membership) View() View {
+	v := View{Generation: ms.gen, Members: make([]Member, len(ms.members))}
+	for i, m := range ms.members {
+		v.Members[i] = *m
+	}
+	return v
+}

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"testing"
+
+	"filaments/internal/obs"
+)
+
+// The membership tests drive the state machine on a virtual clock —
+// plain int64 nanoseconds — so every decay path is exact and
+// deterministic, per the package's explicit-clock design.
+
+const (
+	sec     = int64(1_000_000_000)
+	suspect = 2 * sec
+	dead    = 6 * sec
+)
+
+func newMS(t *testing.T) *Membership {
+	t.Helper()
+	return New(Policy{SuspectAfter: suspect, DeadAfter: dead}, obs.NewRegistry())
+}
+
+func state(t *testing.T, ms *Membership, addr string) State {
+	t.Helper()
+	m, ok := ms.View().Find(addr)
+	if !ok {
+		t.Fatalf("member %q not in view", addr)
+	}
+	return m.State
+}
+
+func TestJoinIsIdempotent(t *testing.T) {
+	ms := newMS(t)
+	ms.Join("a:1", 0)
+	gen := ms.Generation()
+	if gen == 0 {
+		t.Fatal("join did not bump the generation")
+	}
+	// A retransmitted join must not look like a membership change.
+	m := ms.Join("a:1", sec)
+	if ms.Generation() != gen {
+		t.Fatalf("duplicate join bumped generation %d -> %d", gen, ms.Generation())
+	}
+	if m.Incarnation != 1 || m.LastBeat != sec {
+		t.Fatalf("duplicate join: incarnation %d lastbeat %d, want 1, %d", m.Incarnation, m.LastBeat, sec)
+	}
+}
+
+func TestDecayAliveSuspectDead(t *testing.T) {
+	ms := newMS(t)
+	ms.Join("a:1", 0)
+	if ms.Tick(suspect - 1) {
+		t.Fatal("tick before SuspectAfter changed state")
+	}
+	if !ms.Tick(suspect) || state(t, ms, "a:1") != Suspect {
+		t.Fatalf("no Alive->Suspect at SuspectAfter; state %v", state(t, ms, "a:1"))
+	}
+	if ms.Tick(dead - 1) {
+		t.Fatal("tick before DeadAfter changed state")
+	}
+	if !ms.Tick(dead) || state(t, ms, "a:1") != Dead {
+		t.Fatalf("no Suspect->Dead at DeadAfter; state %v", state(t, ms, "a:1"))
+	}
+}
+
+func TestHeartbeatRevivesSuspect(t *testing.T) {
+	ms := newMS(t)
+	ms.Join("a:1", 0)
+	ms.Tick(suspect)
+	gen := ms.Generation()
+	g, known := ms.Heartbeat("a:1", suspect+sec)
+	if !known || g != gen+1 || state(t, ms, "a:1") != Alive {
+		t.Fatalf("beat on Suspect: known=%v gen=%d state=%v, want true, %d, alive", known, g, state(t, ms, "a:1"), gen+1)
+	}
+	// Thresholds measure from the latest beat, not the join.
+	if ms.Tick(suspect + 2*sec) {
+		t.Fatal("fresh beat did not reset the decay clock")
+	}
+}
+
+func TestHeartbeatRefusedForDeadAndUnknown(t *testing.T) {
+	ms := newMS(t)
+	if _, known := ms.Heartbeat("ghost:1", 0); known {
+		t.Fatal("beat from a never-joined node was accepted")
+	}
+	ms.Join("a:1", 0)
+	ms.Tick(suspect)
+	ms.Tick(dead)
+	if _, known := ms.Heartbeat("a:1", dead+1); known {
+		t.Fatal("beat resurrected a Dead member without a rejoin")
+	}
+	if state(t, ms, "a:1") != Dead {
+		t.Fatal("refused beat still changed state")
+	}
+}
+
+func TestRejoinBumpsIncarnation(t *testing.T) {
+	ms := newMS(t)
+	ms.Join("a:1", 0)
+	ms.Tick(suspect)
+	ms.Tick(dead)
+	m := ms.Join("a:1", dead+sec)
+	if m.Incarnation != 2 || m.State != Alive {
+		t.Fatalf("rejoin after death: incarnation %d state %v, want 2, alive", m.Incarnation, m.State)
+	}
+	if _, known := ms.Heartbeat("a:1", dead+2*sec); !known {
+		t.Fatal("beat after rejoin refused")
+	}
+}
+
+func TestLeaveIsVoluntaryAndIdempotent(t *testing.T) {
+	ms := newMS(t)
+	ms.Join("a:1", 0)
+	ms.Join("b:2", 0)
+	gen := ms.Leave("a:1", sec)
+	if state(t, ms, "a:1") != Left {
+		t.Fatal("leave did not mark the member Left")
+	}
+	if g := ms.Leave("a:1", 2*sec); g != gen {
+		t.Fatalf("duplicate leave bumped generation %d -> %d", gen, g)
+	}
+	if _, known := ms.Heartbeat("a:1", 2*sec); known {
+		t.Fatal("beat from a Left member was accepted")
+	}
+	// Left members never decay further; only live ones do. (Decay is one
+	// step per tick: Suspect on the first, Dead on the next.)
+	ms.Tick(dead * 10)
+	ms.Tick(dead * 20)
+	if state(t, ms, "a:1") != Left {
+		t.Fatal("Left member decayed")
+	}
+	if state(t, ms, "b:2") != Dead {
+		t.Fatal("live member did not decay")
+	}
+}
+
+func TestViewIsASnapshot(t *testing.T) {
+	ms := newMS(t)
+	ms.Join("a:1", 0)
+	v := ms.View()
+	ms.Join("b:2", 0)
+	if len(v.Members) != 1 {
+		t.Fatal("view mutated after snapshot")
+	}
+	if v.Alive() != 1 {
+		t.Fatalf("alive = %d, want 1", v.Alive())
+	}
+	if _, ok := v.Find("b:2"); ok {
+		t.Fatal("snapshot sees later join")
+	}
+	w := ms.View()
+	if w.Generation <= v.Generation {
+		t.Fatalf("generation did not advance: %d then %d", v.Generation, w.Generation)
+	}
+}

@@ -121,3 +121,49 @@ func Aggregate(regs ...*Registry) []Sample {
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
+
+// Merge sums several sample sets by name — Aggregate over snapshots that
+// have already been taken. The result is sorted by name.
+func Merge(sets ...[]Sample) []Sample {
+	var order []string
+	idx := make(map[string]int)
+	var totals []int64
+	for _, set := range sets {
+		for _, s := range set {
+			i, ok := idx[s.Name]
+			if !ok {
+				i = len(order)
+				idx[s.Name] = i
+				order = append(order, s.Name)
+				totals = append(totals, 0)
+			}
+			totals[i] += s.Value
+		}
+	}
+	out := make([]Sample, len(order))
+	for i, n := range order {
+		out[i] = Sample{Name: n, Value: totals[i]}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Delta subtracts one snapshot from a later one of the same counters,
+// matched by name — the interval view that scopes a long-lived
+// endpoint's cumulative counters to a single run. Counters absent from
+// before are taken as having started at zero; counters absent from
+// after (none, in practice: registries never forget) are dropped. The
+// result is sorted by name, zero-valued entries included so the counter
+// set stays stable across intervals.
+func Delta(after, before []Sample) []Sample {
+	base := make(map[string]int64, len(before))
+	for _, s := range before {
+		base[s.Name] = s.Value
+	}
+	out := make([]Sample, len(after))
+	for i, s := range after {
+		out[i] = Sample{Name: s.Name, Value: s.Value - base[s.Name]}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,119 @@
+package rtnode
+
+import (
+	"encoding/binary"
+	"net"
+	"sync"
+
+	"filaments/internal/udptrans"
+)
+
+// Service-ID lanes.
+//
+// A udptrans endpoint owns one service table and one event handler, which
+// was fine while an endpoint's lifetime was one program run. The service
+// layer (internal/cluster) keeps endpoints alive across many runs — and
+// runs several concurrently — so the kernel stacks of different runs must
+// share an endpoint without colliding. A lane is the namespacing unit:
+// run k's Transport registers kernel service id s as wire service
+// k*LaneStride+s, and prefixes every one-way event with its lane so the
+// EventMux can route it to the right run's handler chain. The kernel
+// layers never see lanes; their ServiceIDs are lane-relative, exactly as
+// before.
+
+// LaneStride is the wire-service-id width of one lane. Kernel service ids
+// (dsm 10–13, reduce 20, filament 30–33) all sit below it.
+const LaneStride = 64
+
+// MaxLanes bounds concurrent lanes per endpoint. Wire ids above
+// MaxLanes*LaneStride are reserved for non-kernel services (the
+// cluster-membership services live at 0xF000 and up).
+const MaxLanes = 64
+
+// EventMux owns an endpoint's event handler and transport hooks, routing
+// lane-prefixed events (and per-service retransmit hooks) to the
+// Transport attached on each lane. Create one per endpoint; transports
+// attach and detach as runs come and go. An event for a detached lane is
+// dropped — events are unreliable by contract, and a straggler from a
+// finished run has no receiver by design.
+type EventMux struct {
+	ep *udptrans.Endpoint
+
+	mu    sync.Mutex
+	lanes map[uint16]*Transport
+}
+
+// NewEventMux wraps ep's event handler and hooks. It must be created
+// before traffic flows, and at most once per endpoint.
+func NewEventMux(ep *udptrans.Endpoint) *EventMux {
+	m := &EventMux{ep: ep, lanes: make(map[uint16]*Transport)}
+	ep.SetEventHandler(m.dispatch)
+	ep.SetRetransmitHook(m.retransmit)
+	ep.SetEventDropHook(m.eventDrop)
+	return m
+}
+
+// Endpoint returns the wrapped endpoint.
+func (m *EventMux) Endpoint() *udptrans.Endpoint { return m.ep }
+
+func (m *EventMux) attach(lane uint16, tr *Transport) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.lanes[lane]; dup {
+		panic("rtnode: lane already attached")
+	}
+	m.lanes[lane] = tr
+}
+
+func (m *EventMux) detach(lane uint16) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.lanes, lane)
+}
+
+func (m *EventMux) lane(lane uint16) *Transport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lanes[lane]
+}
+
+// dispatch routes one event datagram: the uvarint lane prefix selects the
+// transport, the rest is the kernel payload.
+func (m *EventMux) dispatch(from *net.UDPAddr, b []byte) {
+	lane, n := binary.Uvarint(b)
+	if n <= 0 || lane >= MaxLanes {
+		return // malformed or stray
+	}
+	if tr := m.lane(uint16(lane)); tr != nil {
+		tr.handleEvent(from, b[n:])
+	}
+}
+
+// retransmit routes a retransmission trace to the lane the wire service
+// id belongs to; retransmits of non-lane services (membership) are not
+// traced.
+func (m *EventMux) retransmit(svc uint16, attempt int) {
+	lane := svc / LaneStride
+	if lane >= MaxLanes {
+		return
+	}
+	if tr := m.lane(lane); tr != nil {
+		tr.traceRetransmit(svc%LaneStride, attempt)
+	}
+}
+
+// eventDrop fans the dropped-event trace to every attached transport: the
+// endpoint cannot know which lane's event was shed, and the point of the
+// instant is "a release may be delayed here", which is true for all of
+// them.
+func (m *EventMux) eventDrop() {
+	m.mu.Lock()
+	trs := make([]*Transport, 0, len(m.lanes))
+	for _, tr := range m.lanes {
+		trs = append(trs, tr)
+	}
+	m.mu.Unlock()
+	for _, tr := range trs {
+		tr.traceEventDrop()
+	}
+}

@@ -3,6 +3,7 @@ package rtnode
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -63,37 +64,70 @@ func (c Codec) String() string {
 type Transport struct {
 	node  *Node
 	ep    *udptrans.Endpoint
+	mux   *EventMux
+	lane  uint16
 	codec Codec
+
+	// lanePrefix is uvarint(lane), prepended to every outgoing event so
+	// the receiving EventMux can route it (mux.go).
+	lanePrefix []byte
 
 	peers []*net.UDPAddr           // indexed by NodeID
 	ids   map[string]kernel.NodeID // reverse: observed source address → id
 	raw   []func(from kernel.NodeID, payload any) bool
 
+	svcs []uint16 // wire service ids registered on ep, for Detach
+
 	outstanding int // guarded by node.mu
 	inflight    sync.WaitGroup
 }
 
-// NewTransport wraps ep as node's kernel.Transport. Peers must be
-// installed with SetPeers before traffic flows.
+// NewTransport wraps ep as node's kernel.Transport on lane 0, creating
+// the endpoint's EventMux — the single-run form, where the endpoint
+// lives exactly as long as the transport. Peers must be installed with
+// SetPeers before traffic flows.
 func NewTransport(node *Node, ep *udptrans.Endpoint) *Transport {
-	tr := &Transport{node: node, ep: ep, ids: make(map[string]kernel.NodeID)}
-	ep.SetEventHandler(tr.handleEvent)
-	// Surface transport retransmissions in the node's trace. Now() and
-	// the trace sink are goroutine-safe, so the hook may run on any
-	// caller goroutine.
-	o := node.Obs()
-	ep.SetRetransmitHook(func(svc uint16, attempt int) {
-		o.Trace(int64(node.Now()), "net", "retransmit",
-			obs.Arg{Key: "svc", Val: int64(svc)}, obs.Arg{Key: "attempt", Val: int64(attempt)})
-	})
-	// Same for dropped events: a one-way datagram shed by a full worker
-	// queue (a barrier release, typically) delays whoever waited on it by
-	// a retransmission round-trip; make that visible in the trace instead
-	// of silent.
-	ep.SetEventDropHook(func() {
-		o.Trace(int64(node.Now()), "net", "event_dropped")
-	})
+	return NewTransportOn(NewEventMux(ep), node, 0)
+}
+
+// NewTransportOn wraps the mux's endpoint as node's kernel.Transport on
+// the given lane — the run-many form: the mux (and its endpoint) outlive
+// the transport, which registers its services under lane-offset wire ids
+// and tears them back down in Detach. Peers must be installed with
+// SetPeers before traffic flows.
+func NewTransportOn(mux *EventMux, node *Node, lane uint16) *Transport {
+	if lane >= MaxLanes {
+		panic(fmt.Sprintf("rtnode: lane %d out of range (max %d)", lane, MaxLanes-1))
+	}
+	tr := &Transport{
+		node:       node,
+		ep:         mux.Endpoint(),
+		mux:        mux,
+		lane:       lane,
+		lanePrefix: binary.AppendUvarint(nil, uint64(lane)),
+		ids:        make(map[string]kernel.NodeID),
+	}
+	mux.attach(lane, tr)
 	return tr
+}
+
+// traceRetransmit surfaces a transport retransmission in the node's
+// trace. Now() and the trace sink are goroutine-safe, so this may run on
+// any caller goroutine (it is invoked from the endpoint's retry timer
+// via the mux).
+func (tr *Transport) traceRetransmit(svc uint16, attempt int) {
+	n := tr.node
+	n.Obs().Trace(int64(n.Now()), "net", "retransmit",
+		obs.Arg{Key: "svc", Val: int64(svc)}, obs.Arg{Key: "attempt", Val: int64(attempt)})
+}
+
+// traceEventDrop surfaces a dropped one-way datagram: an event shed by a
+// full worker queue (a barrier release, typically) delays whoever waited
+// on it by a retransmission round-trip; make that visible in the trace
+// instead of silent.
+func (tr *Transport) traceEventDrop() {
+	n := tr.node
+	n.Obs().Trace(int64(n.Now()), "net", "event_dropped")
 }
 
 // SetCodec selects the wire codec. Must be called before traffic flows
@@ -113,11 +147,37 @@ func (tr *Transport) SetPeers(peers []*net.UDPAddr) {
 func (tr *Transport) Endpoint() *udptrans.Endpoint { return tr.ep }
 
 // Close shuts the transport down: the endpoint closes (failing pending
-// calls), and every async request goroutine drains.
+// calls), and every async request goroutine drains. The single-run form
+// of teardown — a run-many endpoint uses Detach instead and closes the
+// endpoint only once, at daemon shutdown.
 func (tr *Transport) Close() error {
 	err := tr.ep.Close()
 	tr.inflight.Wait()
 	return err
+}
+
+// Detach tears this transport off its endpoint without closing the
+// socket: the lane detaches from the mux (late events for it are
+// dropped — they are unreliable by contract), the lane's services
+// unregister, and async request goroutines drain. The caller must have
+// reached quiescence first — every thread past its final synchronization
+// point and Outstanding()==0 — because an unregistered service silently
+// ignores requests, so a peer still retrying against it would spin
+// forever. Must be called outside node context.
+func (tr *Transport) Detach() {
+	tr.mux.detach(tr.lane)
+	for _, id := range tr.svcs {
+		tr.ep.Unregister(id)
+	}
+	tr.inflight.Wait()
+}
+
+// wireSvc maps a lane-relative kernel service id to its wire service id.
+func (tr *Transport) wireSvc(id kernel.ServiceID) uint16 {
+	if id < 0 || int(id) >= LaneStride {
+		panic(fmt.Sprintf("rtnode: kernel service id %d outside lane stride %d", id, LaneStride))
+	}
+	return uint16(id) + tr.lane*LaneStride
 }
 
 func (tr *Transport) idOf(addr *net.UDPAddr) (kernel.NodeID, bool) {
@@ -207,7 +267,9 @@ func (tr *Transport) unmarshal(b []byte) any {
 // requester's retransmission recovers, as in the paper).
 func (tr *Transport) Register(id kernel.ServiceID, s kernel.Service) {
 	n := tr.node
-	tr.ep.Register(uint16(id), udptrans.Service{
+	wid := tr.wireSvc(id)
+	tr.svcs = append(tr.svcs, wid)
+	tr.ep.Register(wid, udptrans.Service{
 		Idempotent: s.Idempotent,
 		Handler: func(from *net.UDPAddr, req []byte) ([]byte, bool) {
 			src, known := tr.idOf(from)
@@ -270,8 +332,9 @@ func (tr *Transport) Call(t kernel.Thread, dst kernel.NodeID, svc kernel.Service
 	tr.outstanding++
 	data, release := tr.marshal(req)
 	addr := tr.peers[dst]
+	wid := tr.wireSvc(svc)
 	n.mu.Unlock()
-	reply, ok := tr.call(context.Background(), addr, uint16(svc), data)
+	reply, ok := tr.call(context.Background(), addr, wid, data)
 	if release != nil {
 		release()
 	}
@@ -323,6 +386,7 @@ func (tr *Transport) RequestAsync(dst kernel.NodeID, svc kernel.ServiceID, req a
 	tr.outstanding++
 	data, relReq := tr.marshal(req)
 	addr := tr.peers[dst]
+	wid := tr.wireSvc(svc)
 	tr.inflight.Add(1)
 	go func() {
 		defer tr.inflight.Done()
@@ -331,7 +395,7 @@ func (tr *Transport) RequestAsync(dst kernel.NodeID, svc kernel.ServiceID, req a
 		// which is released only after the callback — run to completion
 		// under the node monitor — returns. Callbacks that retain payload
 		// bytes copy them (the kernel contract; DSM install does).
-		reply, relReply, ok := tr.callBuffered(ctx, addr, uint16(svc), data)
+		reply, relReply, ok := tr.callBuffered(ctx, addr, wid, data)
 		if relReq != nil {
 			relReq()
 		}
@@ -362,13 +426,31 @@ func (tr *Transport) RequestSized(dst kernel.NodeID, svc kernel.ServiceID, req a
 	return tr.RequestAsync(dst, svc, req, size, cat, cb)
 }
 
+// marshalEvent encodes an event payload behind the lane prefix, so the
+// receiving mux can route it. Unlike marshal, a nil payload still yields
+// bytes (the bare prefix — the remainder decodes back to nil). Release
+// semantics match marshal: nil in gob mode, pooled buffer otherwise.
+func (tr *Transport) marshalEvent(v any) (data []byte, release func()) {
+	if tr.codec == CodecGob {
+		body := encodePayload(v)
+		buf := make([]byte, 0, len(tr.lanePrefix)+len(body))
+		return append(append(buf, tr.lanePrefix...), body...), nil
+	}
+	bp := payloadPool.Get().(*[]byte)
+	*bp = AppendPayload(append((*bp)[:0], tr.lanePrefix...), v)
+	return *bp, func() {
+		*bp = (*bp)[:0]
+		payloadPool.Put(bp)
+	}
+}
+
 // Send transmits an unreliable one-way datagram; Broadcast fans out to
 // every peer but this node. Loss is tolerated by the protocols above
 // (e.g. a lost barrier release is recovered by arrive retransmission).
 func (tr *Transport) Send(dst kernel.NodeID, payload any, size int, cat kernel.Category) {
 	n := tr.node
 	n.acct[cat] += n.model.SendCost(size)
-	data, release := tr.marshal(payload)
+	data, release := tr.marshalEvent(payload)
 	// SendEvent copies the payload into its frame (or batch) before
 	// returning, so the pooled encode buffer can be released right after.
 	if dst == kernel.Broadcast {

@@ -22,6 +22,7 @@ func RunAll(t *testing.T, h Harness) {
 	t.Run("ConcurrentClients", func(t *testing.T) { scenarioConcurrentClients(t, h) })
 	t.Run("CrossCall", func(t *testing.T) { scenarioCrossCall(t, h) })
 	t.Run("StatsUnderLoad", func(t *testing.T) { scenarioStatsUnderLoad(t, h) })
+	t.Run("ServiceReuse", func(t *testing.T) { scenarioServiceReuse(t, h) })
 }
 
 // checkedHarness wraps a harness so that every cluster it builds asserts
@@ -43,6 +44,16 @@ func (c *checkedCluster) Run(t *testing.T, workers ...Worker) {
 }
 
 func (c *checkedCluster) Outstanding() int { return c.inner.Outstanding() }
+
+// reregisterer unwraps the leak-check decorator and reports whether the
+// transport's cluster offers the optional Reregisterer capability.
+func reregisterer(cl Cluster) (Reregisterer, bool) {
+	if c, ok := cl.(*checkedCluster); ok {
+		cl = c.inner
+	}
+	r, ok := cl.(Reregisterer)
+	return r, ok
+}
 
 // Service ids shared by the scenarios.
 const (
@@ -311,6 +322,36 @@ func scenarioStatsUnderLoad(t *testing.T, h Harness) {
 		}})
 	}
 	cl.Run(t, workers...)
+}
+
+// Endpoint reuse across runs: a quiescent service is torn down and a
+// fresh instance registered under the same id on the same endpoint, as
+// the service daemon does between jobs. The second generation's handler
+// must serve subsequent calls, and the first generation's reply cache
+// must not leak stale replies into them.
+func scenarioServiceReuse(t *testing.T, h Harness) {
+	cl := h(t, Config{
+		Nodes:    2,
+		Services: map[int]func(int) Service{svcEcho: echoService("gen1:")},
+	})
+	rr, ok := reregisterer(cl)
+	if !ok {
+		t.Skip("transport does not support service reregistration")
+	}
+	cl.Run(t, Worker{Node: 0, Body: func(c Caller) {
+		for i := 0; i < 4; i++ {
+			if got := mustCall(t, c, 1, svcEcho, []byte("x")); string(got) != "gen1:x" {
+				t.Errorf("gen1 call %d got %q", i, got)
+			}
+		}
+		rr.Reregister(1, svcEcho, echoService("gen2:"))
+		for i := 0; i < 4; i++ {
+			msg := fmt.Sprintf("y%d", i)
+			if got := mustCall(t, c, 1, svcEcho, []byte(msg)); string(got) != "gen2:"+msg {
+				t.Errorf("gen2 call %d got %q (stale generation answered)", i, got)
+			}
+		}
+	}})
 }
 
 // Symmetric cross-call: both nodes call a service on the other whose

@@ -87,6 +87,18 @@ type Cluster interface {
 	Outstanding() int
 }
 
+// Reregisterer is an optional Cluster capability: a transport whose
+// endpoints outlive one program run (the service daemon keeps sockets up
+// across jobs) must be able to unregister a quiescent service and
+// register a fresh instance under the same id. The ServiceReuse scenario
+// exercises it; clusters without the capability skip that scenario.
+type Reregisterer interface {
+	// Reregister replaces node's service svc with a fresh instance from
+	// factory. Only valid while the service is quiescent: no requests for
+	// svc in flight toward node.
+	Reregister(node, svc int, factory func(node int) Service)
+}
+
 // Harness builds a transport's cluster for one scenario. Cleanup should be
 // registered on t.
 type Harness func(t *testing.T, cfg Config) Cluster

@@ -37,6 +37,32 @@ func (cl *udpCluster) Outstanding() int {
 	return n
 }
 
+// Reregister implements the suite's optional endpoint-reuse capability:
+// the daemon's between-jobs move of unregistering a quiescent service
+// and installing a fresh one under the same id.
+func (cl *udpCluster) Reregister(node, svc int, factory func(node int) transconf.Service) {
+	ep := cl.eps[node]
+	ep.Unregister(uint16(svc))
+	cl.register(ep, svc, factory(node))
+}
+
+// register installs one suite service on ep, bridging the suite handler
+// signature to the endpoint's.
+func (cl *udpCluster) register(ep *Endpoint, svc int, s transconf.Service) {
+	caller := &udpCaller{cl: cl, ep: ep}
+	handler := s.Handler
+	ep.Register(uint16(svc), Service{
+		Idempotent: s.Idempotent,
+		Handler: func(from *net.UDPAddr, req []byte) ([]byte, bool) {
+			var c transconf.Caller
+			if s.Calls {
+				c = caller
+			}
+			return handler(c, cl.ids[from.String()], req)
+		},
+	})
+}
+
 func (cl *udpCluster) Run(t *testing.T, workers ...transconf.Worker) {
 	if cl.probe {
 		// Hammer every endpoint's Stats() from a foreign goroutine for
@@ -135,19 +161,7 @@ func udpHarness(t *testing.T, cfg transconf.Config) transconf.Cluster {
 	}
 	for svc, factory := range cfg.Services {
 		for node, ep := range cl.eps {
-			s := factory(node)
-			caller := &udpCaller{cl: cl, ep: ep}
-			handler := s.Handler
-			ep.Register(uint16(svc), Service{
-				Idempotent: s.Idempotent,
-				Handler: func(from *net.UDPAddr, req []byte) ([]byte, bool) {
-					var c transconf.Caller
-					if s.Calls {
-						c = caller
-					}
-					return handler(c, cl.ids[from.String()], req)
-				},
-			})
+			cl.register(ep, svc, factory(node))
 		}
 	}
 	return cl
