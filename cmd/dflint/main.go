@@ -4,7 +4,9 @@
 // packages; no blocking calls in node-context handlers; gob and binary
 // codec registrations for every concrete wire payload; and the
 // whole-program rules (codec symmetry, lock ordering, hot-path
-// allocation freedom, frame escape).
+// allocation freedom, frame escape), plus the protocol-contract tier
+// (handler idempotence, the wire-tag namespace and WIRE.lock manifest,
+// state-machine exhaustiveness/transitions, atomic-access discipline).
 //
 // It runs two ways:
 //
@@ -31,6 +33,13 @@
 //	-sarif FILE    additionally write a SARIF 2.1.0 log to FILE
 //	-allowlist     print the //dflint:allow baseline lines and exit
 //	-fix-baseline  rewrite internal/lint/allow-baseline.txt in place
+//	-tags          print the wire-tag map (tag, type, enc shape) and exit
+//	-fix-wirelock  rewrite WIRE.lock at the module root and exit
+//
+// When a WIRE.lock manifest exists at the module root, standalone runs
+// diff it against the program's registered codecs and report any drift
+// as tagspace diagnostics: renumbered tags and reordered fields fail CI
+// until the manifest is regenerated deliberately.
 package main
 
 import (
@@ -183,6 +192,8 @@ func runStandalone(args []string) int {
 		sarifPath   string
 		allowlist   bool
 		fixBaseline bool
+		tagsDump    bool
+		fixWirelock bool
 		patterns    []string
 	)
 	for i := 0; i < len(args); i++ {
@@ -193,6 +204,10 @@ func runStandalone(args []string) int {
 			allowlist = true
 		case a == "-fix-baseline":
 			fixBaseline = true
+		case a == "-tags":
+			tagsDump = true
+		case a == "-fix-wirelock":
+			fixWirelock = true
 		case a == "-sarif":
 			i++
 			if i >= len(args) {
@@ -203,7 +218,7 @@ func runStandalone(args []string) int {
 		case strings.HasPrefix(a, "-sarif="):
 			sarifPath = strings.TrimPrefix(a, "-sarif=")
 		case strings.HasPrefix(a, "-"):
-			fmt.Fprintf(os.Stderr, "usage: dflint [-json] [-sarif file] [-allowlist] [-fix-baseline] [packages]\n       go vet -vettool=$(which dflint) [packages]\n")
+			fmt.Fprintf(os.Stderr, "usage: dflint [-json] [-sarif file] [-allowlist] [-fix-baseline] [-tags] [-fix-wirelock] [packages]\n       go vet -vettool=$(which dflint) [packages]\n")
 			return 2
 		default:
 			patterns = append(patterns, a)
@@ -243,6 +258,10 @@ func runStandalone(args []string) int {
 		prog.Units = append(prog.Units, unit)
 	}
 
+	if tagsDump || fixWirelock {
+		return runWireTags(prog, tagsDump, fixWirelock, exit)
+	}
+
 	// Per-package analyzers run over the pattern-matched units,
 	// preferring a package's test variant (whose GoFiles are a superset)
 	// so _test.go files are covered without analyzing shared files
@@ -268,6 +287,8 @@ func runStandalone(args []string) int {
 		diags = append(diags, lint.Run(lint.Analyzers(), loader.fset, unit.Files, unit.Pkg, unit.Info)...)
 	}
 	diags = append(diags, lint.RunProgram(lint.ProgramAnalyzers(), prog)...)
+	diags = append(diags, lint.RunProgram(lint.ProtocolAnalyzers(), prog)...)
+	diags = append(diags, wireLockDrift(prog)...)
 	diags = dedupeDiags(diags)
 
 	cwd, _ := os.Getwd()
@@ -296,6 +317,56 @@ func runStandalone(args []string) int {
 		exit = 2
 	}
 	return exit
+}
+
+// runWireTags implements -tags (print the wire-tag map) and
+// -fix-wirelock (rewrite the module-root manifest).
+func runWireTags(prog *lint.Program, dump, fix bool, exit int) int {
+	tags := lint.WireTags(prog)
+	if dump {
+		fmt.Printf("tag\ttype\tenc shape\n")
+		for _, t := range tags {
+			fmt.Printf("%d\t%s\t%s\n", t.Tag, t.Type, t.Shape)
+		}
+		return exit
+	}
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dflint: %v\n", err)
+		return 1
+	}
+	target := filepath.Join(root, "WIRE.lock")
+	if err := os.WriteFile(target, []byte(lint.FormatWireLock(tags)), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "dflint: %v\n", err)
+		return 1
+	}
+	fmt.Printf("dflint: wrote %d wire tags to %s\n", len(tags), target)
+	return exit
+}
+
+// wireLockDrift diffs the checked-in WIRE.lock (when one exists at the
+// module root) against the program's registered codecs. Drift surfaces
+// as tagspace diagnostics so the allow machinery, JSON, and SARIF paths
+// all apply.
+func wireLockDrift(prog *lint.Program) []lint.Diagnostic {
+	root, err := findModuleRoot()
+	if err != nil {
+		return nil
+	}
+	lockPath := filepath.Join(root, "WIRE.lock")
+	data, err := os.ReadFile(lockPath)
+	if err != nil {
+		return nil // no manifest checked in: nothing to hold the line against
+	}
+	var diags []lint.Diagnostic
+	for _, why := range lint.DiffWireLock(string(data), lint.WireTags(prog)) {
+		diags = append(diags, lint.Diagnostic{
+			Analyzer: "tagspace",
+			Pos:      token.Position{Filename: lockPath, Line: 1, Column: 1},
+			Message:  "WIRE.lock drift: " + why + "; if the protocol change is deliberate and reviewed, regenerate with: dflint -fix-wirelock ./...",
+		})
+	}
+	return diags
 }
 
 // dedupeDiags sorts by position and drops diagnostics that repeat at
@@ -540,6 +611,9 @@ func writeSARIF(path string, diags []lint.Diagnostic) error {
 		addRule(a.Name, a.Doc)
 	}
 	for _, a := range lint.ProgramAnalyzers() {
+		addRule(a.Name, a.Doc)
+	}
+	for _, a := range lint.ProtocolAnalyzers() {
 		addRule(a.Name, a.Doc)
 	}
 

@@ -11,6 +11,9 @@ import (
 
 // JobState is a job's position in its lifecycle:
 // queued → running → done | failed.
+//
+//dflint:states
+//dflint:transitions JobQueued->JobRunning JobRunning->JobDone JobRunning->JobFailed
 type JobState string
 
 const (

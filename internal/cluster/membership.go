@@ -26,6 +26,10 @@ import (
 
 // State is a member's health, as judged by the coordinator's failure
 // detector.
+//
+//dflint:states
+//dflint:transitions Alive->Suspect Suspect->Dead Suspect->Alive Dead->Alive Left->Alive
+//dflint:transitions Alive->Left Suspect->Left Dead->Left
 type State int32
 
 const (
@@ -261,6 +265,9 @@ func (ms *Membership) Tick(now int64) bool {
 				ms.deaths.Inc()
 				changed = true
 			}
+		case Dead, Left:
+			// Terminal for the detector: only a rejoin resurrects them,
+			// and that goes through Join, not the ticker.
 		}
 	}
 	if changed {

@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField enforces all-or-nothing atomicity on shared counters: a
+// location that is accessed through sync/atomic anywhere in the program
+// may never be read or written plainly anywhere else. A mixed access
+// pattern is the classic torn-counter bug — the plain read races the
+// atomic writer, the race detector only catches it when both paths run
+// in one test, and on weak memory the plain read can see a stale value
+// forever.
+//
+// Two forms are checked, matching the two idioms in this module:
+//
+//  1. Function-style atomics: any `&x.f` (or `&pkgVar`) passed to a
+//     sync/atomic function marks that field for the whole program; a
+//     plain mention of the field outside an atomic call's argument or
+//     another address-taking is flagged.
+//
+//  2. Typed atomics (atomic.Int64, atomic.Bool, atomic.Value, ... — the
+//     obs metric fields and the udptrans sequence counters): the value
+//     may only be used as a method-call receiver or have its address
+//     taken. Assigning it, copying it into a variable, or passing it by
+//     value silently forks the counter (each copy counts alone); all
+//     are flagged.
+var AtomicField = &ProgramAnalyzer{
+	Name: "atomicfield",
+	Doc: "forbid plain reads/writes of fields accessed via sync/atomic and " +
+		"value copies of typed atomics",
+	Run: runAtomicField,
+}
+
+func runAtomicField(pass *ProgramPass) {
+	// Pass 1, program-wide: which objects are atomically accessed, and
+	// which identifier positions are sanctioned (atomic call arguments
+	// and other address-takings — taking the address is not a data
+	// access).
+	targets := make(map[types.Object]token.Position)
+	allowed := make(map[token.Pos]bool)
+	for _, u := range pass.Program.Units {
+		info := u.Info
+		for _, f := range u.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					callee := useOf(info, n.Fun)
+					if callee == nil || !atomicPkg(callee.Pkg()) {
+						return true
+					}
+					for _, arg := range n.Args {
+						ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+						if !ok || ue.Op != token.AND {
+							continue
+						}
+						obj, id := addrTarget(info, ue.X)
+						if obj == nil {
+							continue
+						}
+						if _, have := targets[obj]; !have {
+							targets[obj] = pass.Program.Fset.Position(n.Pos())
+						}
+						allowed[id.Pos()] = true
+					}
+				case *ast.UnaryExpr:
+					// Any other address-taking of any object: sanctioned
+					// (the pointer presumably feeds an atomic elsewhere;
+					// framescope/escape rules police pointers).
+					if n.Op == token.AND {
+						if _, id := addrTarget(info, n.X); id != nil {
+							allowed[id.Pos()] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: flag plain accesses of marked objects and value uses of
+	// typed atomics.
+	for _, u := range pass.Program.Units {
+		info := u.Info
+		for _, f := range u.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					obj := info.Uses[n.Sel]
+					if at, hot := targets[obj]; hot && !allowed[n.Sel.Pos()] {
+						pass.Reportf(n.Sel.Pos(),
+							"plain access to %s, which is accessed atomically at %s — every access must go through sync/atomic",
+							n.Sel.Name, at)
+					}
+				case *ast.Ident:
+					obj := info.Uses[n]
+					v, isVar := obj.(*types.Var)
+					if !isVar || v.IsField() || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+						return true
+					}
+					if at, hot := targets[obj]; hot && !allowed[n.Pos()] {
+						pass.Reportf(n.Pos(),
+							"plain access to %s, which is accessed atomically at %s — every access must go through sync/atomic",
+							n.Name, at)
+					}
+				case *ast.AssignStmt:
+					for _, e := range n.Lhs {
+						flagAtomicValue(pass, info, e, "assigned over")
+					}
+					for _, e := range n.Rhs {
+						flagAtomicValue(pass, info, e, "copied")
+					}
+				case *ast.ValueSpec:
+					for _, e := range n.Values {
+						flagAtomicValue(pass, info, e, "copied")
+					}
+				case *ast.CallExpr:
+					for _, e := range n.Args {
+						flagAtomicValue(pass, info, e, "passed by value")
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// flagAtomicValue reports e when it is a typed-atomic VALUE expression
+// (not a pointer, not an address-taking).
+func flagAtomicValue(pass *ProgramPass, info *types.Info, e ast.Expr, how string) {
+	e = ast.Unparen(e)
+	if ue, ok := e.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		return
+	}
+	// A composite literal of the atomic type itself (zero-value reset
+	// idiom does not exist for atomics; initializing a struct containing
+	// one is handled by the field's enclosing literal, not here).
+	tv, ok := info.Types[e]
+	if !ok || !tv.IsValue() || !atomicNamedType(tv.Type) {
+		return
+	}
+	pass.Reportf(e.Pos(),
+		"typed atomic %s %s as a value — each copy is an independent counter and copying races its writers; use its methods, or a pointer",
+		types.ExprString(e), how)
+}
+
+// atomicPkg reports whether pkg is sync/atomic (accepting the bare
+// path fixtures use).
+func atomicPkg(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == "sync/atomic" || pkg.Path() == "atomic"
+}
+
+// atomicNamedType reports whether t is a named type declared by
+// sync/atomic (Int32, Int64, Uint64, Bool, Value, Pointer[T], ...).
+func atomicNamedType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return atomicPkg(named.Obj().Pkg())
+}
+
+// addrTarget resolves the terminal object an address-of expression
+// names: the field for &x.f, the variable for &v. Index expressions
+// (&s[i]) have per-element granularity the object model cannot carry
+// and resolve to nothing.
+func addrTarget(info *types.Info, e ast.Expr) (types.Object, *ast.Ident) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v, e
+		}
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.IsField() {
+			return v, e.Sel
+		}
+	}
+	return nil, nil
+}

@@ -92,6 +92,7 @@ type shapeNode struct {
 	loop  []shapeNode // non-nil: repeated body
 	fixed int         // >0: loop over a fixed-size array of this length
 	opt   []shapeNode // non-nil: conditionally present segment
+	label string      // optional field name (WIRE.lock manifests only)
 }
 
 func renderShape(s []shapeNode) string {
@@ -111,6 +112,10 @@ func renderShape(s []shapeNode) string {
 			fmt.Fprintf(&b, "?(%s)", renderShape(n.opt))
 		default:
 			b.WriteString(n.op.String())
+			if n.label != "" {
+				b.WriteByte(':')
+				b.WriteString(n.label)
+			}
 		}
 	}
 	return b.String()
@@ -144,9 +149,9 @@ func checkCodecPair(pass *Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.C
 		tag = tv.Value.String()
 	}
 
-	encX := &shapeExtractor{pass: pass, decls: decls}
+	encX := &shapeExtractor{info: pass.Info, decls: decls}
 	enc := encX.fromExpr(call.Args[2])
-	decX := &shapeExtractor{pass: pass, decls: decls}
+	decX := &shapeExtractor{info: pass.Info, decls: decls}
 	dec := decX.fromExpr(call.Args[3])
 	if encX.opaque || decX.opaque {
 		return // beyond the wire-shape abstraction; see the analyzer doc
@@ -161,9 +166,14 @@ func checkCodecPair(pass *Pass, decls map[*types.Func]*ast.FuncDecl, call *ast.C
 // --- Shape extraction. ---
 
 type shapeExtractor struct {
-	pass   *Pass
-	decls  map[*types.Func]*ast.FuncDecl
-	stack  []*types.Func // inlining chain, for cycle detection
+	info  *types.Info
+	decls map[*types.Func]*ast.FuncDecl
+	stack []*types.Func // inlining chain, for cycle detection
+	// labels: record the encoded field's name on each primitive op
+	// (best effort, from the argument expression), for the WIRE.lock
+	// manifest — a same-width field reorder then still changes the
+	// rendered shape.
+	labels bool
 	opaque bool
 }
 
@@ -174,7 +184,7 @@ func (x *shapeExtractor) fromExpr(fn ast.Expr) []shapeNode {
 	case *ast.FuncLit:
 		return x.stmts(e.Body.List)
 	default:
-		if callee, ok := useOf(x.pass.Info, e).(*types.Func); ok {
+		if callee, ok := useOf(x.info, e).(*types.Func); ok {
 			return x.inline(callee)
 		}
 	}
@@ -379,7 +389,11 @@ func (x *shapeExtractor) call(c *ast.CallExpr) []shapeNode {
 	// Enc/Dec primitive method?
 	if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok && x.isCodecRecv(sel.X) {
 		if op, ok := primOps[sel.Sel.Name]; ok {
-			return append(out, shapeNode{op: op})
+			n := shapeNode{op: op}
+			if x.labels && len(c.Args) > 0 {
+				n.label = labelExpr(c.Args[0])
+			}
+			return append(out, n)
 		}
 		switch sel.Sel.Name {
 		case "Fail", "Remaining", "Bad":
@@ -391,7 +405,7 @@ func (x *shapeExtractor) call(c *ast.CallExpr) []shapeNode {
 		return nil
 	}
 
-	obj := useOf(x.pass.Info, c.Fun)
+	obj := useOf(x.info, c.Fun)
 	switch {
 	case isPkgObj(obj, "filaments/internal/rtnode", "EncodeAny"),
 		isPkgObj(obj, "filaments/internal/rtnode", "DecodeAny"):
@@ -404,7 +418,7 @@ func (x *shapeExtractor) call(c *ast.CallExpr) []shapeNode {
 		// A foreign callee handed the live Enc/Dec can move the stream
 		// invisibly; anything else cannot touch it.
 		for _, a := range c.Args {
-			if tv, ok := x.pass.Info.Types[a]; ok && (isPkgType(tv.Type, "filaments/internal/rtnode", "Enc") || isPkgType(tv.Type, "filaments/internal/rtnode", "Dec")) {
+			if tv, ok := x.info.Types[a]; ok && (isPkgType(tv.Type, "filaments/internal/rtnode", "Enc") || isPkgType(tv.Type, "filaments/internal/rtnode", "Dec")) {
 				x.opaque = true
 				return nil
 			}
@@ -416,7 +430,7 @@ func (x *shapeExtractor) call(c *ast.CallExpr) []shapeNode {
 // isCodecRecv reports whether e is a value of type rtnode.Enc or
 // rtnode.Dec (possibly behind a pointer).
 func (x *shapeExtractor) isCodecRecv(e ast.Expr) bool {
-	tv, ok := x.pass.Info.Types[e]
+	tv, ok := x.info.Types[e]
 	if !ok {
 		return false
 	}
@@ -427,7 +441,7 @@ func (x *shapeExtractor) isCodecRecv(e ast.Expr) bool {
 // rangeLen returns the length of e's type when ranging over it repeats
 // the body a fixed number of times (an array), else 0.
 func (x *shapeExtractor) rangeLen(e ast.Expr) int {
-	tv, ok := x.pass.Info.Types[e]
+	tv, ok := x.info.Types[e]
 	if !ok || tv.Type == nil {
 		return 0
 	}
@@ -456,7 +470,7 @@ func (x *shapeExtractor) containsOps(n ast.Node) bool {
 				return false
 			}
 		}
-		obj := useOf(x.pass.Info, call.Fun)
+		obj := useOf(x.info, call.Fun)
 		if isPkgObj(obj, "filaments/internal/rtnode", "EncodeAny") || isPkgObj(obj, "filaments/internal/rtnode", "DecodeAny") {
 			found = true
 			return false
@@ -531,4 +545,27 @@ func loopCount(n shapeNode) string {
 		return fmt.Sprintf("a fixed-size array of %d", n.fixed)
 	}
 	return "a counted sequence"
+}
+
+// labelExpr renders the field name an encoder argument names: the final
+// selector of m.Gen, through conversions like uint64(m.Gen). Best
+// effort; unknown shapes label as "".
+func labelExpr(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.IndexExpr:
+		return labelExpr(e.X)
+	case *ast.StarExpr:
+		return labelExpr(e.X)
+	case *ast.CallExpr:
+		if len(e.Args) == 1 {
+			return labelExpr(e.Args[0])
+		}
+	case *ast.SliceExpr:
+		return labelExpr(e.X)
+	}
+	return ""
 }

@@ -1,0 +1,642 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The SSA-lite dataflow core behind the protocol-contract tier.
+//
+// The protocol analyzers (handleridem, statemach) need a question the
+// AST alone cannot answer: "is this statement protected by a branch on
+// some condition?" — where the protection can be AST nesting
+// (`if !dup { m[k] = v }`) or an early exit (`if dup { return };
+// m[k] = v`). Both are the same property on a control-flow graph: a
+// dominating branch block with at least one outgoing edge that cannot
+// reach the statement without coming back through the branch.
+//
+// So this file builds, per function body:
+//
+//   - a statement-level CFG (Flow/FlowBlock) with labeled out-edges
+//     recording which condition outcome each edge represents,
+//   - dominators over that graph (iterative dataflow on reverse
+//     postorder; the graph is tiny — one node per basic block of one
+//     function — so the textbook algorithm is plenty),
+//   - the guard query above (Flow.Guards), and
+//   - def-use chains (BuildDefUse) for the state-machine analyzer.
+//
+// Deliberate simplifications, safe for "is there a guard" questions
+// because they only ever add edges (making guards harder, never easier,
+// to prove): goto branches to the function exit; panic calls terminate
+// their block into the exit; defer/go statements are ordinary nodes.
+
+// An EdgeKind labels which outcome of a branching block an edge
+// represents, so analyzers can reason about guard polarity.
+type EdgeKind int
+
+const (
+	// EdgeAlways is an unconditional edge.
+	EdgeAlways EdgeKind = iota
+	// EdgeTrue is taken when the block's Cond evaluates true (if/for
+	// bodies, range iterations).
+	EdgeTrue
+	// EdgeFalse is taken when the block's Cond evaluates false (else
+	// branches, loop exits).
+	EdgeFalse
+	// EdgeCase is taken when a switch/type-switch/select clause
+	// matches; Clause carries the clause.
+	EdgeCase
+	// EdgeNoCase is taken when no case of a default-less switch
+	// matches.
+	EdgeNoCase
+)
+
+// A FlowEdge is one control-flow successor edge.
+type FlowEdge struct {
+	To   *FlowBlock
+	Kind EdgeKind
+	// Clause is the matched *ast.CaseClause or *ast.CommClause for
+	// EdgeCase edges, nil otherwise.
+	Clause ast.Stmt
+}
+
+// A FlowBlock is one basic block: a maximal run of straight-line
+// statements followed by at most one branching construct.
+type FlowBlock struct {
+	// Index is the block's position in Flow.Blocks.
+	Index int
+	// Nodes are the non-branching statements executed in order. The
+	// branching statement itself (if/for/switch/select head) is not a
+	// node; its condition lives in Cond.
+	Nodes []ast.Node
+	// Cond is the branch condition evaluated at the end of the block:
+	// the if/for condition, the switch tag (nil for a bare switch),
+	// the type-switch operand, or the ranged expression. Nil for
+	// unconditional blocks.
+	Cond ast.Expr
+	// Succs are the outgoing edges in source order.
+	Succs []FlowEdge
+
+	preds []*FlowBlock
+	idom  *FlowBlock
+	order int // reverse-postorder number; -1 when unreachable
+}
+
+// A Flow is the control-flow graph of one function body.
+type Flow struct {
+	Entry  *FlowBlock
+	Exit   *FlowBlock
+	Blocks []*FlowBlock
+
+	blockOf map[ast.Node]*FlowBlock
+}
+
+// flowBuilder carries the state of one BuildFlow run.
+type flowBuilder struct {
+	flow *Flow
+	cur  *FlowBlock
+	// breakTo/continueTo are the innermost targets; labels maps label
+	// names to their loop's targets for labeled break/continue.
+	breakTo    []*FlowBlock
+	continueTo []*FlowBlock
+	labels     map[string]*labelTargets
+	// nextCase is the fallthrough target while building a case body.
+	nextCase *FlowBlock
+}
+
+type labelTargets struct {
+	brk, cont *FlowBlock
+}
+
+// BuildFlow constructs the control-flow graph of one function body.
+func BuildFlow(body *ast.BlockStmt) *Flow {
+	f := &Flow{blockOf: make(map[ast.Node]*FlowBlock)}
+	b := &flowBuilder{flow: f, labels: make(map[string]*labelTargets)}
+	f.Entry = b.newBlock()
+	f.Exit = b.newBlock()
+	b.cur = f.Entry
+	b.stmts(body.List)
+	b.edge(b.cur, f.Exit, EdgeAlways, nil)
+	f.computeDominators()
+	return f
+}
+
+func (b *flowBuilder) newBlock() *FlowBlock {
+	blk := &FlowBlock{Index: len(b.flow.Blocks), order: -1}
+	b.flow.Blocks = append(b.flow.Blocks, blk)
+	return blk
+}
+
+func (b *flowBuilder) edge(from, to *FlowBlock, kind EdgeKind, clause ast.Stmt) {
+	from.Succs = append(from.Succs, FlowEdge{To: to, Kind: kind, Clause: clause})
+	to.preds = append(to.preds, from)
+}
+
+// add records a straight-line statement in the current block.
+func (b *flowBuilder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+	b.flow.blockOf[n] = b.cur
+}
+
+// terminate ends the current block with an edge to target and starts a
+// fresh (initially unreachable) block for any dead code that follows.
+func (b *flowBuilder) terminate(target *FlowBlock, kind EdgeKind) {
+	b.edge(b.cur, target, kind, nil)
+	b.cur = b.newBlock()
+}
+
+func (b *flowBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *flowBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.terminate(b.flow.Exit, EdgeAlways)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				b.terminate(b.flow.Exit, EdgeAlways)
+			}
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.cur
+		head.Cond = s.Cond
+		then := b.newBlock()
+		join := b.newBlock()
+		b.edge(head, then, EdgeTrue, nil)
+		b.cur = then
+		b.stmts(s.Body.List)
+		b.edge(b.cur, join, EdgeAlways, nil)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(head, els, EdgeFalse, nil)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, join, EdgeAlways, nil)
+		} else {
+			b.edge(head, join, EdgeFalse, nil)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		post := b.newBlock()
+		after := b.newBlock()
+		b.edge(b.cur, head, EdgeAlways, nil)
+		head.Cond = s.Cond
+		b.edge(head, body, EdgeTrue, nil)
+		if s.Cond != nil {
+			b.edge(head, after, EdgeFalse, nil)
+		}
+		b.pushLoop(s, after, post)
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.popLoop()
+		b.edge(b.cur, post, EdgeAlways, nil)
+		b.cur = post
+		if s.Post != nil {
+			b.add(s.Post)
+		}
+		b.edge(b.cur, head, EdgeAlways, nil)
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(b.cur, head, EdgeAlways, nil)
+		head.Cond = s.X
+		head.Nodes = append(head.Nodes, s)
+		b.flow.blockOf[s] = head
+		b.edge(head, body, EdgeTrue, nil)
+		b.edge(head, after, EdgeFalse, nil)
+		b.pushLoop(s, after, head)
+		b.cur = body
+		b.stmts(s.Body.List)
+		b.popLoop()
+		b.edge(b.cur, head, EdgeAlways, nil)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.cur
+		head.Cond = s.Tag
+		b.switchClauses(s, head, s.Body.List)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.cur
+		head.Cond = typeSwitchOperand(s)
+		b.add(s.Assign)
+		b.switchClauses(s, head, s.Body.List)
+
+	case *ast.SelectStmt:
+		head := b.cur
+		b.switchClauses(s, head, s.Body.List)
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.branchTarget(s.Label, true); t != nil {
+				b.terminate(t, EdgeAlways)
+			} else {
+				b.terminate(b.flow.Exit, EdgeAlways)
+			}
+		case token.CONTINUE:
+			if t := b.branchTarget(s.Label, false); t != nil {
+				b.terminate(t, EdgeAlways)
+			} else {
+				b.terminate(b.flow.Exit, EdgeAlways)
+			}
+		case token.FALLTHROUGH:
+			if b.nextCase != nil {
+				b.terminate(b.nextCase, EdgeAlways)
+			}
+		case token.GOTO:
+			// Conservative: a goto may reach anywhere, so route it to
+			// the exit; guards are never *proved* by this edge.
+			b.terminate(b.flow.Exit, EdgeAlways)
+		}
+
+	case *ast.LabeledStmt:
+		// Pre-register the label so break/continue inside the labeled
+		// loop resolve; non-loop labeled statements just pass through.
+		switch inner := s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			b.labels[s.Label.Name] = &labelTargets{}
+			b.stmt(inner.(ast.Stmt))
+		default:
+			b.stmt(s.Stmt)
+		}
+
+	default:
+		// Assignments, declarations, inc/dec, send, defer, go, empty.
+		b.add(s)
+	}
+}
+
+// switchClauses builds the clause blocks of a switch, type switch, or
+// select: head gets one EdgeCase edge per clause (plus EdgeNoCase when
+// there is no default), and every clause body flows into a shared join.
+func (b *flowBuilder) switchClauses(sw ast.Stmt, head *FlowBlock, clauses []ast.Stmt) {
+	join := b.newBlock()
+	blocks := make([]*FlowBlock, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i], EdgeCase, c)
+		if isDefaultClause(c) {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, join, EdgeNoCase, nil)
+	}
+	b.breakTo = append(b.breakTo, join)
+	b.continueTo = append(b.continueTo, nil)
+	savedNext := b.nextCase
+	for i, c := range clauses {
+		b.cur = blocks[i]
+		if i+1 < len(blocks) {
+			b.nextCase = blocks[i+1]
+		} else {
+			b.nextCase = nil
+		}
+		b.stmts(clauseBody(c))
+		b.edge(b.cur, join, EdgeAlways, nil)
+	}
+	b.nextCase = savedNext
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.continueTo = b.continueTo[:len(b.continueTo)-1]
+	b.cur = join
+	_ = sw
+}
+
+func (b *flowBuilder) pushLoop(s ast.Stmt, brk, cont *FlowBlock) {
+	b.breakTo = append(b.breakTo, brk)
+	b.continueTo = append(b.continueTo, cont)
+	// If this loop is the body of a labeled statement registered just
+	// before, bind the label's targets now.
+	for _, lt := range b.labels {
+		if lt.brk == nil && lt.cont == nil {
+			lt.brk, lt.cont = brk, cont
+		}
+	}
+	_ = s
+}
+
+func (b *flowBuilder) popLoop() {
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.continueTo = b.continueTo[:len(b.continueTo)-1]
+}
+
+// branchTarget resolves a break (brk=true) or continue target, walking
+// past select/switch frames (whose continueTo is nil) for continue.
+func (b *flowBuilder) branchTarget(label *ast.Ident, brk bool) *FlowBlock {
+	if label != nil {
+		if lt := b.labels[label.Name]; lt != nil {
+			if brk {
+				return lt.brk
+			}
+			return lt.cont
+		}
+		return nil
+	}
+	if brk {
+		if n := len(b.breakTo); n > 0 {
+			return b.breakTo[n-1]
+		}
+		return nil
+	}
+	for i := len(b.continueTo) - 1; i >= 0; i-- {
+		if b.continueTo[i] != nil {
+			return b.continueTo[i]
+		}
+	}
+	return nil
+}
+
+func isDefaultClause(c ast.Stmt) bool {
+	switch c := c.(type) {
+	case *ast.CaseClause:
+		return c.List == nil
+	case *ast.CommClause:
+		return c.Comm == nil
+	}
+	return false
+}
+
+func clauseBody(c ast.Stmt) []ast.Stmt {
+	switch c := c.(type) {
+	case *ast.CaseClause:
+		return c.Body
+	case *ast.CommClause:
+		return c.Body
+	}
+	return nil
+}
+
+// typeSwitchOperand extracts the switched expression of a type switch
+// (`switch v := x.(type)` or `switch x.(type)`).
+func typeSwitchOperand(s *ast.TypeSwitchStmt) ast.Expr {
+	var e ast.Expr
+	switch a := s.Assign.(type) {
+	case *ast.AssignStmt:
+		e = a.Rhs[0]
+	case *ast.ExprStmt:
+		e = a.X
+	}
+	if ta, ok := ast.Unparen(e).(*ast.TypeAssertExpr); ok {
+		return ta.X
+	}
+	return e
+}
+
+// --- Dominators. ---
+
+// computeDominators runs the iterative dominator algorithm (Cooper,
+// Harvey & Kennedy) over the reachable blocks in reverse postorder.
+func (f *Flow) computeDominators() {
+	// Reverse postorder over successor edges from Entry.
+	var post []*FlowBlock
+	seen := make([]bool, len(f.Blocks))
+	var dfs func(b *FlowBlock)
+	dfs = func(b *FlowBlock) {
+		seen[b.Index] = true
+		for _, e := range b.Succs {
+			if !seen[e.To.Index] {
+				dfs(e.To)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(f.Entry)
+	rpo := make([]*FlowBlock, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		post[i].order = len(rpo)
+		rpo = append(rpo, post[i])
+	}
+
+	intersect := func(a, b *FlowBlock) *FlowBlock {
+		for a != b {
+			for a.order > b.order {
+				a = a.idom
+			}
+			for b.order > a.order {
+				b = b.idom
+			}
+		}
+		return a
+	}
+
+	f.Entry.idom = f.Entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo[1:] {
+			var idom *FlowBlock
+			for _, p := range b.preds {
+				if p.order < 0 || p.idom == nil {
+					continue // unreachable predecessor
+				}
+				if idom == nil {
+					idom = p
+				} else {
+					idom = intersect(idom, p)
+				}
+			}
+			if idom != nil && b.idom != idom {
+				b.idom = idom
+				changed = true
+			}
+		}
+	}
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (f *Flow) Dominates(a, b *FlowBlock) bool {
+	if a.order < 0 || b.order < 0 {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		if b == f.Entry || b.idom == nil {
+			return false
+		}
+		b = b.idom
+	}
+}
+
+// BlockOf returns the block holding the statement n was recorded in,
+// nil if n is not a recorded node (e.g. it is nested inside another
+// statement — callers should pass the enclosing statement).
+func (f *Flow) BlockOf(n ast.Node) *FlowBlock {
+	return f.blockOf[n]
+}
+
+// A Guard is one branching block that stands between the function entry
+// and a guarded block: the branch dominates the block, and at least one
+// of its outcomes cannot reach the block (without re-traversing the
+// branch), so the condition genuinely decides whether the block runs.
+type Guard struct {
+	// Block is the branching block.
+	Block *FlowBlock
+	// Cond is Block.Cond (may be nil for bare switch/select heads).
+	Cond ast.Expr
+	// Taken are the out-edges of Block that lead to the guarded block;
+	// their kinds give the polarity under which the block executes.
+	Taken []FlowEdge
+}
+
+// Guards returns every guard of block b, innermost last.
+func (f *Flow) Guards(b *FlowBlock) []Guard {
+	if b == nil || b.order < 0 {
+		return nil
+	}
+	var out []Guard
+	for _, d := range f.Blocks {
+		if d == b || len(d.Succs) < 2 || !f.Dominates(d, b) {
+			continue
+		}
+		var taken []FlowEdge
+		skips := false
+		for _, e := range d.Succs {
+			if f.reachesAvoiding(e.To, b, d) {
+				taken = append(taken, e)
+			} else {
+				skips = true
+			}
+		}
+		if skips && len(taken) > 0 {
+			out = append(out, Guard{Block: d, Cond: d.Cond, Taken: taken})
+		}
+	}
+	// Innermost (highest rpo order) last.
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[i].Block.order > out[j].Block.order {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// reachesAvoiding reports whether target is reachable from start
+// without passing through avoid. Loops make plain reachability useless
+// for guard queries (the back edge reaches everything); excluding the
+// branch block itself asks the right question — "can this outcome reach
+// the statement before control re-evaluates the condition?".
+func (f *Flow) reachesAvoiding(start, target, avoid *FlowBlock) bool {
+	if start == avoid {
+		return false
+	}
+	if start == target {
+		return true
+	}
+	seen := make([]bool, len(f.Blocks))
+	stack := []*FlowBlock{start}
+	seen[start.Index] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range b.Succs {
+			n := e.To
+			if n == avoid || seen[n.Index] {
+				continue
+			}
+			if n == target {
+				return true
+			}
+			seen[n.Index] = true
+			stack = append(stack, n)
+		}
+	}
+	return false
+}
+
+// --- Def-use chains. ---
+
+// A DefUse indexes, for one function body, which identifiers write and
+// which read each types.Object.
+type DefUse struct {
+	// Defs maps an object to the statements that assign it (including
+	// its declaration, := and =, inc/dec, and range key/value).
+	Defs map[types.Object][]ast.Node
+	// Uses maps an object to the identifiers that read it.
+	Uses map[types.Object][]*ast.Ident
+}
+
+// BuildDefUse walks body (skipping nested function literals) and
+// classifies every resolved identifier as a definition or a use.
+func BuildDefUse(info *types.Info, body *ast.BlockStmt) *DefUse {
+	du := &DefUse{
+		Defs: make(map[types.Object][]ast.Node),
+		Uses: make(map[types.Object][]*ast.Ident),
+	}
+	written := make(map[*ast.Ident]ast.Node)
+	markLHS := func(e ast.Expr, at ast.Node) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			written[id] = at
+		}
+	}
+	inspectSkipNestedFuncs(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				markLHS(lhs, n)
+			}
+		case *ast.IncDecStmt:
+			markLHS(n.X, n)
+		case *ast.RangeStmt:
+			markLHS(n.Key, n)
+			markLHS(n.Value, n)
+		}
+		return true
+	})
+	inspectSkipNestedFuncs(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := info.Defs[id]; obj != nil {
+			du.Defs[obj] = append(du.Defs[obj], id)
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if at, w := written[id]; w {
+			du.Defs[obj] = append(du.Defs[obj], at)
+		} else {
+			du.Uses[obj] = append(du.Uses[obj], id)
+		}
+		return true
+	})
+	return du
+}

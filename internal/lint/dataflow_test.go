@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// parseBody type-checks one single-file package and returns the named
+// function's body with its type info.
+func parseBody(t *testing.T, src, fn string) (*types.Info, *ast.BlockStmt) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "flow.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := NewInfo()
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return info, fd.Body
+		}
+	}
+	t.Fatalf("no function %s", fn)
+	return nil, nil
+}
+
+// findAssign locates the assignment whose sole LHS renders to lhs and
+// whose RHS renders to rhs.
+func findAssign(t *testing.T, body *ast.BlockStmt, lhs, rhs string) *ast.AssignStmt {
+	t.Helper()
+	var out *ast.AssignStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		if types.ExprString(as.Lhs[0]) == lhs && types.ExprString(as.Rhs[0]) == rhs {
+			out = as
+		}
+		return true
+	})
+	if out == nil {
+		t.Fatalf("no assignment %s = %s", lhs, rhs)
+	}
+	return out
+}
+
+const flowSrc = `package p
+
+func f(x int, done bool) int {
+	y := 0
+	if x > 0 {
+		y = 1
+		return y
+	}
+	y = 2
+	for i := 0; i < x; i++ {
+		if done {
+			y = 3
+		}
+	}
+	switch x {
+	case 1:
+		y = 10
+	default:
+		y = 20
+	}
+	return y
+}
+`
+
+func TestFlowDominators(t *testing.T) {
+	_, body := parseBody(t, flowSrc, "f")
+	f := BuildFlow(body)
+
+	inThen := f.BlockOf(findAssign(t, body, "y", "1"))
+	afterIf := f.BlockOf(findAssign(t, body, "y", "2"))
+	inLoop := f.BlockOf(findAssign(t, body, "y", "3"))
+	if inThen == nil || afterIf == nil || inLoop == nil {
+		t.Fatalf("statements not mapped to blocks")
+	}
+
+	if !f.Dominates(f.Entry, inThen) || !f.Dominates(f.Entry, afterIf) {
+		t.Errorf("entry must dominate every block")
+	}
+	if f.Dominates(inThen, afterIf) {
+		t.Errorf("the taken-branch block must not dominate the join")
+	}
+	if !f.Dominates(afterIf, inLoop) {
+		t.Errorf("straight-line predecessor must dominate the loop body")
+	}
+}
+
+func TestFlowGuards(t *testing.T) {
+	_, body := parseBody(t, flowSrc, "f")
+	f := BuildFlow(body)
+
+	// y = 1 is guarded by `x > 0`, taken on the true edge only.
+	guards := f.Guards(f.BlockOf(findAssign(t, body, "y", "1")))
+	if len(guards) != 1 {
+		t.Fatalf("y = 1: got %d guards, want 1", len(guards))
+	}
+	if got := types.ExprString(guards[0].Cond); got != "x > 0" {
+		t.Errorf("y = 1 guard cond = %q, want \"x > 0\"", got)
+	}
+	for _, e := range guards[0].Taken {
+		if e.Kind != EdgeTrue {
+			t.Errorf("y = 1 taken edge kind = %v, want EdgeTrue", e.Kind)
+		}
+	}
+
+	// y = 2 runs after the if rejoins only because the then-branch
+	// returns: `x > 0` still decides whether it runs (false edge).
+	guards = f.Guards(f.BlockOf(findAssign(t, body, "y", "2")))
+	if len(guards) != 1 || types.ExprString(guards[0].Cond) != "x > 0" {
+		t.Fatalf("y = 2: want the early-return guard \"x > 0\", got %d guards", len(guards))
+	}
+	for _, e := range guards[0].Taken {
+		if e.Kind != EdgeFalse {
+			t.Errorf("y = 2 taken edge kind = %v, want EdgeFalse", e.Kind)
+		}
+	}
+
+	// y = 3 sits in an if inside a loop. The loop's back edge must not
+	// wash out the `done` guard (the reaches-avoiding rule).
+	guards = f.Guards(f.BlockOf(findAssign(t, body, "y", "3")))
+	conds := map[string]bool{}
+	for _, g := range guards {
+		if g.Cond != nil {
+			conds[types.ExprString(g.Cond)] = true
+		}
+	}
+	if !conds["done"] {
+		t.Errorf("y = 3: guard set %v must include the in-loop condition \"done\"", conds)
+	}
+	if !conds["i < x"] {
+		t.Errorf("y = 3: guard set %v must include the loop condition \"i < x\"", conds)
+	}
+
+	// The final return is NOT guarded by the switch (both arms rejoin),
+	// but it is by the early return's condition and by the loop exit:
+	// reaching it means x > 0 was false and i < x last evaluated false.
+	var ret ast.Stmt
+	for _, s := range body.List {
+		if _, ok := s.(*ast.ReturnStmt); ok {
+			ret = s
+		}
+	}
+	conds = map[string]bool{}
+	for _, g := range f.Guards(f.BlockOf(ret)) {
+		if g.Cond != nil {
+			conds[types.ExprString(g.Cond)] = true
+		}
+		for _, e := range g.Taken {
+			if e.Kind == EdgeTrue {
+				t.Errorf("final return guard %q taken on the true edge", types.ExprString(g.Cond))
+			}
+		}
+	}
+	if len(conds) != 2 || !conds["x > 0"] || !conds["i < x"] {
+		t.Errorf("final return: guard set %v, want {x > 0, i < x}", conds)
+	}
+}
+
+func TestFlowSwitchGuards(t *testing.T) {
+	_, body := parseBody(t, flowSrc, "f")
+	f := BuildFlow(body)
+
+	// y = 10 is reached only through `case 1`.
+	guards := f.Guards(f.BlockOf(findAssign(t, body, "y", "10")))
+	foundCase := false
+	for _, g := range guards {
+		for _, e := range g.Taken {
+			if e.Kind == EdgeCase {
+				if cc, ok := e.Clause.(*ast.CaseClause); ok && len(cc.List) == 1 {
+					foundCase = true
+				}
+			}
+		}
+	}
+	if !foundCase {
+		t.Errorf("y = 10 must be guarded by its case clause edge")
+	}
+}
+
+func TestBuildDefUse(t *testing.T) {
+	info, body := parseBody(t, flowSrc, "f")
+	du := BuildDefUse(info, body)
+
+	var y types.Object
+	for obj := range du.Defs {
+		if obj.Name() == "y" {
+			y = obj
+		}
+	}
+	if y == nil {
+		t.Fatalf("no defs recorded for y")
+	}
+	// y := 0, y = 1, y = 2, y = 3, y = 10, y = 20.
+	if got := len(du.Defs[y]); got != 6 {
+		t.Errorf("y: got %d defs, want 6", got)
+	}
+	// return y (twice); the writes' LHS mentions are defs, not uses.
+	if got := len(du.Uses[y]); got != 2 {
+		t.Errorf("y: got %d uses, want 2", got)
+	}
+}

@@ -1,0 +1,735 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HandlerIdem verifies the at-least-once delivery contract that every
+// transport in this module states in prose: a handler registered with
+// Idempotent: true is re-executed for duplicate requests, and a
+// HandleRaw handler receives raw datagrams the network itself can
+// duplicate, so both must tolerate running twice with the same message.
+//
+// "Tolerate" is checked structurally. A mutation of shared state —
+// state reachable from the handler's receiver, from a captured
+// variable, or from a package variable — is idempotent when it is a
+// pure overwrite (`x.f = v`, a map store, a delete, `|=`, `&=`): the
+// second execution writes the same value. It is NOT idempotent when it
+// accumulates (`x.f++`, `x.f += v`, `x.s = append(x.s, v)`, any
+// assignment whose right side reads its own target), sends on a shared
+// channel, or closes one (a double close panics). Non-idempotent
+// mutations are accepted only when a dominating branch — AST nesting or
+// an early return, the CFG treats them alike — tests *persistent* state
+// (the dedup/sequence guards the transports rely on: `if st.released`,
+// `if !st.arrived[from]`, `case m == nil`). A guard that only inspects
+// the request is no protection: a duplicate carries the same request
+// and passes it again.
+//
+// The analysis is interprocedural over the static call graph: a helper
+// with an unguarded non-idempotent mutation of its receiver or a
+// pointer parameter charges every call site that passes shared state
+// in, and the call site then needs its own guard (this is how
+// Membership.bump's gen++ is accepted — every handler-reachable call
+// site is inside a state-tested branch). Dynamic calls (kernel
+// interface methods, function values) are opaque leaves; bodies outside
+// the program (stdlib) are assumed non-mutating.
+//
+// Deliberate exemptions, by policy: methods on sync and sync/atomic
+// types (locks are per-execution; atomics are the subject of the
+// atomicfield rule), and methods on internal/obs metric types — metrics
+// deliberately count re-executions, double-counting a duplicate is
+// signal, not corruption. Everything else needs a reviewed
+// //dflint:allow handleridem with a reason.
+var HandlerIdem = &ProgramAnalyzer{
+	Name: "handleridem",
+	Doc: "require handlers that re-execute on duplicate delivery (Idempotent: true " +
+		"registrations, HandleRaw) to guard every non-idempotent shared-state mutation " +
+		"with a test of persistent state",
+	Run: runHandlerIdem,
+}
+
+func runHandlerIdem(pass *ProgramPass) {
+	c := &idemChecker{
+		pass:      pass,
+		cg:        pass.Program.CallGraph(),
+		summaries: make(map[*types.Func]*idemSummary),
+		active:    make(map[*types.Func]bool),
+		done:      make(map[*types.Func]bool),
+	}
+	seenLit := make(map[token.Pos]bool)
+	for _, u := range pass.Program.Units {
+		for _, f := range u.Files {
+			unit := u
+			ast.Inspect(f, func(n ast.Node) bool {
+				h, ok := handlerRoot(unit.Info, n)
+				if !ok || seenLit[h.Pos()] {
+					return true
+				}
+				seenLit[h.Pos()] = true
+				c.checkHandler(unit, h)
+				return true
+			})
+		}
+	}
+}
+
+// handlerRoot recognizes the two registration idioms that subject a
+// handler to duplicate delivery: a Service{Idempotent: true, Handler:
+// h} composite literal (kernel, udptrans, and the transconf harness all
+// share the field names) and a HandleRaw(h) call.
+func handlerRoot(info *types.Info, n ast.Node) (handler ast.Expr, ok bool) {
+	switch n := n.(type) {
+	case *ast.CompositeLit:
+		tv, found := info.Types[n]
+		if !found || !typeNamed(tv.Type, "Service") {
+			return nil, false
+		}
+		var h ast.Expr
+		idem := false
+		for _, elt := range n.Elts {
+			kv, isKV := elt.(*ast.KeyValueExpr)
+			if !isKV {
+				continue
+			}
+			key, isID := kv.Key.(*ast.Ident)
+			if !isID {
+				continue
+			}
+			switch key.Name {
+			case "Handler":
+				h = kv.Value
+			case "Idempotent":
+				if v, vok := info.Types[kv.Value]; vok && v.Value != nil && v.Value.String() == "true" {
+					idem = true
+				}
+			}
+		}
+		if h == nil || !idem {
+			return nil, false
+		}
+		return h, true
+	case *ast.CallExpr:
+		sel, isSel := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+		if !isSel || sel.Sel.Name != "HandleRaw" || len(n.Args) != 1 {
+			return nil, false
+		}
+		return n.Args[0], true
+	}
+	return nil, false
+}
+
+// typeNamed reports whether t (possibly behind a pointer) is a named
+// type with the given name, in any package.
+func typeNamed(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == name
+}
+
+// --- The checker. ---
+
+type idemChecker struct {
+	pass *ProgramPass
+	cg   *CallGraph
+	// summaries caches, per function, the unguarded non-idempotent
+	// mutations visible to callers, classified by root.
+	summaries map[*types.Func]*idemSummary
+	active    map[*types.Func]bool // cycle guard
+	done      map[*types.Func]bool // handlers already reported
+}
+
+// rootKind says which binding site a shared value derives from.
+type rootKind int
+
+const (
+	rootRecv rootKind = iota
+	rootParam
+	rootGlobal
+)
+
+type idemRoot struct {
+	kind  rootKind
+	param int // parameter index for rootParam
+}
+
+// An idemMutation is one unguarded non-idempotent mutation, positioned
+// at its statement, with the route that discovered it.
+type idemMutation struct {
+	pos  token.Pos
+	desc string
+	root idemRoot
+}
+
+type idemSummary struct {
+	muts []idemMutation
+}
+
+// checkHandler resolves the registered handler expression and reports
+// its unguarded mutations.
+func (c *idemChecker) checkHandler(unit *Unit, h ast.Expr) {
+	switch e := ast.Unparen(h).(type) {
+	case *ast.FuncLit:
+		shared := capturedRoots(unit.Info, e)
+		muts := c.analyzeBody(unit, e.Body, nil, shared, true)
+		for _, m := range muts {
+			c.report(m, "handler literal")
+		}
+	default:
+		fn, ok := useOf(unit.Info, e).(*types.Func)
+		if !ok || c.done[fn] {
+			return
+		}
+		c.done[fn] = true
+		node := c.cg.Node(fn)
+		if node == nil || node.Decl.Body == nil {
+			return
+		}
+		shared := make(map[types.Object]idemRoot)
+		if ro := recvObj(node.Decl, node.Unit.Info); ro != nil {
+			shared[ro] = idemRoot{kind: rootRecv}
+		}
+		muts := c.analyzeBody(node.Unit, node.Decl.Body, node.Decl, shared, true)
+		for _, m := range muts {
+			c.report(m, fn.Name())
+		}
+	}
+}
+
+func (c *idemChecker) report(m idemMutation, handler string) {
+	c.pass.Reportf(m.pos,
+		"retried handler %s: %s is not idempotent and no dominating guard tests persistent state — duplicates re-execute this; guard it, make it an overwrite, or //dflint:allow handleridem",
+		handler, m.desc)
+}
+
+// summarize returns fn's unguarded mutations as seen by a caller,
+// analyzing its body on first demand. A function with no body in the
+// program, or one reached recursively, summarizes as clean.
+func (c *idemChecker) summarize(fn *types.Func) *idemSummary {
+	if s, ok := c.summaries[fn]; ok {
+		return s
+	}
+	if c.active[fn] {
+		return &idemSummary{}
+	}
+	node := c.cg.Node(fn)
+	if node == nil || node.Decl.Body == nil {
+		s := &idemSummary{}
+		c.summaries[fn] = s
+		return s
+	}
+	c.active[fn] = true
+	shared := make(map[types.Object]idemRoot)
+	if ro := recvObj(node.Decl, node.Unit.Info); ro != nil {
+		shared[ro] = idemRoot{kind: rootRecv}
+	}
+	for i, po := range paramObjs(node.Decl, node.Unit.Info) {
+		if po != nil && refLike(po.Type()) {
+			shared[po] = idemRoot{kind: rootParam, param: i}
+		}
+	}
+	muts := c.analyzeBody(node.Unit, node.Decl.Body, node.Decl, shared, false)
+	delete(c.active, fn)
+	s := &idemSummary{muts: muts}
+	c.summaries[fn] = s
+	return s
+}
+
+// recvObj returns the receiver's object, nil for functions and unnamed
+// receivers.
+func recvObj(fd *ast.FuncDecl, info *types.Info) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// paramObjs returns the parameter objects in declaration order (nil for
+// unnamed parameters).
+func paramObjs(fd *ast.FuncDecl, info *types.Info) []types.Object {
+	var out []types.Object
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, n := range field.Names {
+			out = append(out, info.Defs[n])
+		}
+	}
+	return out
+}
+
+// refLike reports whether values of t alias the caller's state rather
+// than copying it.
+func refLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Slice, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// capturedRoots seeds the shared set of a handler literal with the
+// variables it captures from enclosing scopes (they outlive one
+// delivery exactly like a receiver does).
+func capturedRoots(info *types.Info, lit *ast.FuncLit) map[types.Object]idemRoot {
+	shared := make(map[types.Object]idemRoot)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			shared[v] = idemRoot{kind: rootGlobal}
+		}
+		return true
+	})
+	return shared
+}
+
+// --- Per-body analysis. ---
+
+// bodyAnalysis carries one function body through the mutation scan.
+type bodyAnalysis struct {
+	c      *idemChecker
+	unit   *Unit
+	body   *ast.BlockStmt
+	flow   *Flow
+	shared map[types.Object]idemRoot
+	// derived marks locals of any type whose defining assignment reads
+	// shared state (`st, ok := states[key]`). They are not mutation
+	// roots, but a guard that tests one is testing persistent state —
+	// the comma-ok dedup idiom hinges on exactly this.
+	derived map[types.Object]bool
+	// handlerMode: true when body IS the registered handler, where
+	// parameters are request data (not shared) and every unguarded
+	// mutation is reported; false for callees, where reference
+	// parameters are shared and mutations become the summary.
+	handlerMode bool
+
+	// stmtSpans maps each CFG-recorded statement to its block, for
+	// locating arbitrary nested nodes.
+	recorded []recordedStmt
+}
+
+type recordedStmt struct {
+	node  ast.Node
+	block *FlowBlock
+}
+
+// analyzeBody scans one body and returns its unguarded non-idempotent
+// mutations.
+func (c *idemChecker) analyzeBody(unit *Unit, body *ast.BlockStmt, fd *ast.FuncDecl, shared map[types.Object]idemRoot, handlerMode bool) []idemMutation {
+	a := &bodyAnalysis{
+		c:           c,
+		unit:        unit,
+		body:        body,
+		flow:        BuildFlow(body),
+		shared:      shared,
+		derived:     make(map[types.Object]bool),
+		handlerMode: handlerMode,
+	}
+	for n, b := range a.flow.blockOf {
+		a.recorded = append(a.recorded, recordedStmt{node: n, block: b})
+	}
+	a.propagate()
+	return a.scan()
+}
+
+// propagate grows the shared set to locals assigned from shared values
+// of reference-like type (`m := ms.find(addr)`), to a fixed point.
+func (a *bodyAnalysis) propagate() {
+	for changed := true; changed; {
+		changed = false
+		inspectSkipNestedFuncs(a.body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || (as.Tok != token.ASSIGN && as.Tok != token.DEFINE) {
+				return true
+			}
+			// n := m (1:1) and m, ok := f() (n:1) both propagate any
+			// shared right side to every reference-like left side.
+			anyShared := false
+			for _, r := range as.Rhs {
+				if _, ok := a.rootOf(r); ok {
+					anyShared = true
+					break
+				}
+			}
+			// Any read of shared (or already-derived) state taints every
+			// left side as guard-grade persistent-state evidence, whatever
+			// its type: the ok of `st, ok := states[key]` carries exactly
+			// the information the dedup guard needs.
+			anyRead := false
+			for _, r := range as.Rhs {
+				if a.readsShared(r) {
+					anyRead = true
+					break
+				}
+			}
+			if anyRead {
+				for _, l := range as.Lhs {
+					id, isID := ast.Unparen(l).(*ast.Ident)
+					if !isID || id.Name == "_" {
+						continue
+					}
+					obj := a.unit.Info.Defs[id]
+					if obj == nil {
+						obj = a.unit.Info.Uses[id]
+					}
+					if obj != nil && !a.derived[obj] {
+						a.derived[obj] = true
+						changed = true
+					}
+				}
+			}
+			if !anyShared {
+				return true
+			}
+			for i, l := range as.Lhs {
+				id, isID := ast.Unparen(l).(*ast.Ident)
+				if !isID || id.Name == "_" {
+					continue
+				}
+				obj := a.unit.Info.Defs[id]
+				if obj == nil {
+					obj = a.unit.Info.Uses[id]
+				}
+				if obj == nil || !refLike(obj.Type()) {
+					continue
+				}
+				if _, have := a.shared[obj]; have {
+					continue
+				}
+				// 1:1 assignments propagate per position; multi-value
+				// right sides propagate their single root to all.
+				root, ok := idemRoot{}, false
+				if len(as.Rhs) == len(as.Lhs) {
+					root, ok = a.rootOf(as.Rhs[i])
+				} else if len(as.Rhs) == 1 {
+					root, ok = a.rootOf(as.Rhs[0])
+				}
+				if ok {
+					a.shared[obj] = root
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// rootOf resolves which shared root (if any) the value of e derives
+// from.
+func (a *bodyAnalysis) rootOf(e ast.Expr) (idemRoot, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := a.unit.Info.Uses[e]
+		if obj == nil {
+			obj = a.unit.Info.Defs[e]
+		}
+		return a.rootOfObj(obj)
+	case *ast.SelectorExpr:
+		// Qualified package member (pkg.Var) or field chain (x.f).
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := a.unit.Info.Uses[id].(*types.PkgName); isPkg {
+				return a.rootOfObj(a.unit.Info.Uses[e.Sel])
+			}
+		}
+		return a.rootOf(e.X)
+	case *ast.IndexExpr:
+		return a.rootOf(e.X)
+	case *ast.StarExpr:
+		return a.rootOf(e.X)
+	case *ast.SliceExpr:
+		return a.rootOf(e.X)
+	case *ast.TypeAssertExpr:
+		return a.rootOf(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return a.rootOf(e.X)
+		}
+	case *ast.CallExpr:
+		// A call returning into shared state: method on a shared
+		// receiver (ms.find(addr)) or any shared argument.
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			if r, ok := a.rootOf(sel.X); ok {
+				return r, true
+			}
+		}
+		for _, arg := range e.Args {
+			if r, ok := a.rootOf(arg); ok {
+				return r, true
+			}
+		}
+	}
+	return idemRoot{}, false
+}
+
+func (a *bodyAnalysis) rootOfObj(obj types.Object) (idemRoot, bool) {
+	if obj == nil {
+		return idemRoot{}, false
+	}
+	if r, ok := a.shared[obj]; ok {
+		return r, true
+	}
+	if v, ok := obj.(*types.Var); ok && !v.IsField() && v.Pkg() != nil &&
+		v.Parent() == v.Pkg().Scope() {
+		return idemRoot{kind: rootGlobal}, true
+	}
+	return idemRoot{}, false
+}
+
+// persistTarget classifies an lvalue: does writing it outlive one
+// delivery, and through which root? A bare local or parameter is a
+// per-execution location; anything reached through a selector, index,
+// or dereference from a shared root is persistent, as is a package
+// variable itself.
+func (a *bodyAnalysis) persistTarget(lv ast.Expr) (idemRoot, bool) {
+	switch e := ast.Unparen(lv).(type) {
+	case *ast.Ident:
+		obj := a.unit.Info.Uses[e]
+		if obj == nil {
+			obj = a.unit.Info.Defs[e]
+		}
+		if v, ok := obj.(*types.Var); ok && !v.IsField() && v.Pkg() != nil &&
+			v.Parent() == v.Pkg().Scope() {
+			return idemRoot{kind: rootGlobal}, true
+		}
+		// A captured variable is itself a persistent location.
+		if r, ok := a.shared[obj]; ok && r.kind == rootGlobal {
+			return r, true
+		}
+		return idemRoot{}, false
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return a.rootOf(lv)
+	}
+	return idemRoot{}, false
+}
+
+// scan finds the non-idempotent mutations and filters the guarded ones.
+func (a *bodyAnalysis) scan() []idemMutation {
+	var muts []idemMutation
+	add := func(n ast.Node, desc string, root idemRoot) {
+		if a.guarded(n) {
+			return
+		}
+		muts = append(muts, idemMutation{pos: n.Pos(), desc: desc, root: root})
+	}
+
+	inspectSkipNestedFuncs(a.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IncDecStmt:
+			if root, ok := a.persistTarget(n.X); ok {
+				add(n, fmt.Sprintf("%s%s", types.ExprString(n.X), n.Tok), root)
+			}
+		case *ast.AssignStmt:
+			a.scanAssign(n, add)
+		case *ast.SendStmt:
+			if root, ok := a.rootOf(n.Chan); ok {
+				add(n, fmt.Sprintf("send on shared channel %s", types.ExprString(n.Chan)), root)
+			}
+		case *ast.CallExpr:
+			a.scanCall(n, add)
+		}
+		return true
+	})
+	return muts
+}
+
+// scanAssign classifies one assignment's left sides.
+func (a *bodyAnalysis) scanAssign(as *ast.AssignStmt, add func(ast.Node, string, idemRoot)) {
+	switch as.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for i, lhs := range as.Lhs {
+			root, ok := a.persistTarget(lhs)
+			if !ok {
+				continue
+			}
+			// A plain store into shared state is an idempotent
+			// overwrite — unless the right side reads its own target
+			// (read-modify-write) or grows it (self-append).
+			if len(as.Rhs) != len(as.Lhs) {
+				continue // multi-value: f() cannot read lhs after the fact
+			}
+			rhs := as.Rhs[i]
+			lpath := types.ExprString(ast.Unparen(lhs))
+			if call, isCall := ast.Unparen(rhs).(*ast.CallExpr); isCall {
+				if id, isID := ast.Unparen(call.Fun).(*ast.Ident); isID && id.Name == "append" &&
+					len(call.Args) > 0 && types.ExprString(ast.Unparen(call.Args[0])) == lpath {
+					add(as, fmt.Sprintf("%s = append(%s, ...) grows on every re-execution", lpath, lpath), root)
+					continue
+				}
+			}
+			if readsPath(rhs, lpath) {
+				add(as, fmt.Sprintf("%s = ...%s... (read-modify-write)", lpath, lpath), root)
+			}
+		}
+	case token.OR_ASSIGN, token.AND_ASSIGN:
+		// x |= v and x &= v converge: the second execution is a no-op.
+	default:
+		// +=, -=, *=, /=, %=, ^=, <<=, >>=, &^=: accumulating.
+		for _, lhs := range as.Lhs {
+			if root, ok := a.persistTarget(lhs); ok {
+				add(as, fmt.Sprintf("%s %s ...", types.ExprString(lhs), as.Tok), root)
+			}
+		}
+	}
+}
+
+// scanCall charges close() on shared channels and calls whose callee
+// summary carries unguarded mutations bound to shared state here.
+func (a *bodyAnalysis) scanCall(call *ast.CallExpr, add func(ast.Node, string, idemRoot)) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := a.unit.Info.Uses[id].(*types.Builtin); isBuiltin || a.unit.Info.Uses[id] == nil {
+			if id.Name == "close" && len(call.Args) == 1 {
+				if root, ok := a.rootOf(call.Args[0]); ok {
+					add(call, fmt.Sprintf("close(%s) panics on the duplicate", types.ExprString(call.Args[0])), root)
+				}
+			}
+			return
+		}
+	}
+	callee := StaticCallee(a.unit.Info, call)
+	if callee == nil || idemExemptCallee(callee) {
+		return
+	}
+	sum := a.c.summarize(callee)
+	for _, m := range sum.muts {
+		root, charged := a.bindMutation(call, m)
+		if !charged {
+			continue
+		}
+		add(call, fmt.Sprintf("call to %s (which does %s at %s)",
+			callee.Name(), m.desc, a.c.pass.Program.Fset.Position(m.pos)), root)
+	}
+}
+
+// bindMutation maps a callee-summary mutation root onto this call
+// site's actual receiver/arguments.
+func (a *bodyAnalysis) bindMutation(call *ast.CallExpr, m idemMutation) (idemRoot, bool) {
+	switch m.root.kind {
+	case rootGlobal:
+		return m.root, true
+	case rootRecv:
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return a.rootOf(sel.X)
+		}
+	case rootParam:
+		if m.root.param < len(call.Args) {
+			return a.rootOf(call.Args[m.root.param])
+		}
+	}
+	return idemRoot{}, false
+}
+
+// idemExemptCallee implements the policy exemptions: sync primitives,
+// atomics, and obs metrics.
+func idemExemptCallee(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return true
+	}
+	switch pkg.Path() {
+	case "sync", "sync/atomic", "atomic",
+		"filaments/internal/obs", "obs":
+		return true
+	}
+	return false
+}
+
+// guarded reports whether the statement containing n sits under a
+// dominating branch whose condition (or matched case expressions) reads
+// persistent state.
+func (a *bodyAnalysis) guarded(n ast.Node) bool {
+	b := a.enclosingBlock(n)
+	if b == nil {
+		return false
+	}
+	for _, g := range a.flow.Guards(b) {
+		if g.Cond != nil && a.readsShared(g.Cond) {
+			return true
+		}
+		for _, e := range g.Taken {
+			if cc, ok := e.Clause.(*ast.CaseClause); ok {
+				for _, ce := range cc.List {
+					if a.readsShared(ce) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// enclosingBlock finds the CFG block of the innermost recorded
+// statement spanning n.
+func (a *bodyAnalysis) enclosingBlock(n ast.Node) *FlowBlock {
+	if b := a.flow.BlockOf(n); b != nil {
+		return b
+	}
+	var best *FlowBlock
+	var bestSpan token.Pos = -1
+	for _, r := range a.recorded {
+		if r.node.Pos() <= n.Pos() && n.End() <= r.node.End() {
+			span := r.node.End() - r.node.Pos()
+			if bestSpan < 0 || span < bestSpan {
+				best, bestSpan = r.block, span
+			}
+		}
+	}
+	return best
+}
+
+// readsShared reports whether e mentions any shared-derived value: the
+// receiver, a captured or package variable, a reference parameter in
+// callee mode, or a local propagated from one. Request parameters in
+// handler mode are deliberately NOT shared — a guard that only tests
+// the request passes again on the duplicate.
+func (a *bodyAnalysis) readsShared(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		obj := a.unit.Info.Uses[id]
+		if _, ok := a.rootOfObj(obj); ok || a.derived[obj] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// readsPath reports whether any subexpression of e renders to path
+// (the textual lvalue), the read half of a read-modify-write.
+func readsPath(e ast.Expr, path string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		ex, ok := n.(ast.Expr)
+		if !ok || found {
+			return !found
+		}
+		switch ex.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			if types.ExprString(ex) == path {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

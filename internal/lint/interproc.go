@@ -69,6 +69,21 @@ func ProgramAnalyzers() []*ProgramAnalyzer {
 	}
 }
 
+// ProtocolAnalyzers returns the protocol-contract tier: whole-program
+// analyzers for the distributed invariants (at-least-once idempotence,
+// wire-tag namespace and format stability, state-machine discipline,
+// atomic-access discipline). They run alongside ProgramAnalyzers in
+// standalone mode; the tier is separate so cmd/dflint can also drive
+// the WIRE.lock manifest through the same machinery.
+func ProtocolAnalyzers() []*ProgramAnalyzer {
+	return []*ProgramAnalyzer{
+		HandlerIdem,
+		TagSpace,
+		StateMach,
+		AtomicField,
+	}
+}
+
 // A ProgramPass carries one Program through one program analyzer.
 type ProgramPass struct {
 	Analyzer *ProgramAnalyzer

@@ -55,6 +55,22 @@ func TestHotAlloc(t *testing.T) {
 	linttest.RunProgram(t, "testdata/src", []string{"hotalloc"}, lint.HotAlloc)
 }
 
+func TestHandlerIdem(t *testing.T) {
+	linttest.RunProgram(t, "testdata/src", []string{"handleridem"}, lint.HandlerIdem)
+}
+
+func TestTagSpace(t *testing.T) {
+	linttest.RunProgram(t, "testdata/src", []string{"tagspace"}, lint.TagSpace)
+}
+
+func TestStateMach(t *testing.T) {
+	linttest.RunProgram(t, "testdata/src", []string{"statemach"}, lint.StateMach)
+}
+
+func TestAtomicField(t *testing.T) {
+	linttest.RunProgram(t, "testdata/src", []string{"atomicfield"}, lint.AtomicField)
+}
+
 // TestRacefix pins down that the full static suite flags the same seeded
 // program dfcheck's dynamic prong detects (internal/apps/racer, minus
 // its //dflint:allow hatches).

@@ -1,0 +1,517 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// StateMach checks declared state machines. An enum type annotated
+//
+//	//dflint:states
+//	//dflint:transitions Alive->Suspect Suspect->Dead ...
+//
+// (on the type declaration; multiple transitions lines union) gets two
+// whole-program guarantees:
+//
+//  1. Exhaustiveness: every switch over the enum either lists all of
+//     its constants or carries an explicit default. Adding a state then
+//     breaks the build of every switch that silently ignored it — the
+//     membership failure-detector bug class.
+//
+//  2. Transition discipline: every plain assignment `x = Const` into an
+//     enum-typed location must be a declared transition. The analyzer
+//     infers the from-states from the dominating guards and their
+//     polarity (`if m.State == Suspect` in the true branch narrows to
+//     {Suspect}; `case m.State != Alive:` narrows to everything but
+//     Alive; tagged switch cases narrow to their listed constants) and
+//     requires every inferred from→to pair to appear in the table. When
+//     no guard constrains the from-state, the weak check still applies:
+//     the target must be the destination of at least one declared
+//     transition, so a state with no legal inbound edge cannot be
+//     assigned at all.
+//
+// An enum annotated //dflint:states without a transitions table gets
+// only the exhaustiveness check. Initial states (composite literals,
+// var declarations, :=) are construction, not transition, and are not
+// checked.
+var StateMach = &ProgramAnalyzer{
+	Name: "statemach",
+	Doc: "require switches over //dflint:states enums to be exhaustive and " +
+		"assignments to follow the declared //dflint:transitions table",
+	Run: runStateMach,
+}
+
+// An enumSpec is one annotated enum type in one type-checked unit.
+type enumSpec struct {
+	typ    *types.TypeName
+	consts []*types.Const
+	// transitions maps "From->To" (constant names); nil when the type
+	// has no table.
+	transitions map[string]bool
+	targets     map[string]bool // declared destination states
+}
+
+func (e *enumSpec) isConst(obj types.Object) (*types.Const, bool) {
+	c, ok := obj.(*types.Const)
+	if !ok {
+		return nil, false
+	}
+	for _, k := range e.consts {
+		if k == c {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+func (e *enumSpec) allNames() []string {
+	var out []string
+	for _, k := range e.consts {
+		out = append(out, k.Name())
+	}
+	return out
+}
+
+func runStateMach(pass *ProgramPass) {
+	// Collect program-wide first: the loader shares dependency package
+	// identities across units, so a daemon switch over cluster.State
+	// resolves to the same *types.TypeName the cluster unit declared.
+	specs := make(map[*types.TypeName]*enumSpec)
+	for _, u := range pass.Program.Units {
+		collectEnumSpecs(u, specs)
+	}
+	if len(specs) == 0 {
+		return
+	}
+	for _, u := range pass.Program.Units {
+		for _, f := range u.Files {
+			checkEnumUsage(pass, u, f, specs)
+		}
+	}
+}
+
+// collectEnumSpecs adds the //dflint:states-annotated types declared in
+// one unit, with their constants and transition tables, to specs.
+func collectEnumSpecs(u *Unit, specs map[*types.TypeName]*enumSpec) {
+	for _, f := range u.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, s := range gd.Specs {
+				ts, ok := s.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				annotated, table := parseStatesDoc(gd.Doc, ts.Doc)
+				if !annotated {
+					continue
+				}
+				tn, ok := u.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				spec := &enumSpec{typ: tn}
+				if table != nil {
+					spec.transitions = table
+					spec.targets = make(map[string]bool)
+					for t := range table {
+						if i := strings.Index(t, "->"); i >= 0 {
+							spec.targets[t[i+2:]] = true
+						}
+					}
+				}
+				// The enum's constants: package-level consts of the
+				// named type, in declaration order.
+				scope := tn.Pkg().Scope()
+				var names []string
+				names = append(names, scope.Names()...)
+				var consts []*types.Const
+				for _, name := range names {
+					if c, ok := scope.Lookup(name).(*types.Const); ok &&
+						types.Identical(c.Type(), tn.Type()) {
+						consts = append(consts, c)
+					}
+				}
+				sort.Slice(consts, func(i, j int) bool { return consts[i].Pos() < consts[j].Pos() })
+				spec.consts = consts
+				specs[tn] = spec
+			}
+		}
+	}
+}
+
+// parseStatesDoc scans the declaration's doc comments for the
+// annotation pair. It returns whether //dflint:states is present and
+// the union of all //dflint:transitions lines (nil when none).
+func parseStatesDoc(groups ...*ast.CommentGroup) (bool, map[string]bool) {
+	annotated := false
+	var table map[string]bool
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text := strings.TrimSpace(c.Text)
+			if text == "//dflint:states" {
+				annotated = true
+				continue
+			}
+			rest, ok := strings.CutPrefix(text, "//dflint:transitions ")
+			if !ok {
+				continue
+			}
+			if table == nil {
+				table = make(map[string]bool)
+			}
+			for _, pair := range strings.Fields(rest) {
+				table[pair] = true
+			}
+		}
+	}
+	return annotated, table
+}
+
+// checkEnumUsage walks one file for switches over and assignments into
+// annotated enums.
+func checkEnumUsage(pass *ProgramPass, u *Unit, f *ast.File, specs map[*types.TypeName]*enumSpec) {
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		var flow *Flow // built lazily; only assignments need it
+		inspectSkipNestedFuncs(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				checkEnumSwitch(pass, u, n, specs)
+			case *ast.AssignStmt:
+				if flow == nil && assignsEnum(u, n, specs) {
+					flow = BuildFlow(fd.Body)
+				}
+				if flow != nil {
+					checkEnumAssign(pass, u, flow, n, specs)
+				}
+			}
+			return true
+		})
+	}
+	// Handler literals and other nested functions get the switch check
+	// only (their CFG is not the declaration's).
+	ast.Inspect(f, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if sw, ok := m.(*ast.SwitchStmt); ok {
+				checkEnumSwitch(pass, u, sw, specs)
+			}
+			return true
+		})
+		return false
+	})
+}
+
+// enumOf resolves the annotated enum of an expression's type.
+func enumOf(u *Unit, e ast.Expr, specs map[*types.TypeName]*enumSpec) *enumSpec {
+	tv, ok := u.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return specs[named.Obj()]
+}
+
+// checkEnumSwitch enforces exhaustiveness: all constants listed or an
+// explicit default.
+func checkEnumSwitch(pass *ProgramPass, u *Unit, sw *ast.SwitchStmt, specs map[*types.TypeName]*enumSpec) {
+	if sw.Tag == nil {
+		return
+	}
+	spec := enumOf(u, sw.Tag, specs)
+	if spec == nil || len(spec.consts) == 0 {
+		return
+	}
+	covered := make(map[*types.Const]bool)
+	for _, cs := range sw.Body.List {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // explicit default: exhaustive by construction
+		}
+		for _, e := range cc.List {
+			if c, ok := spec.isConst(useOf(u.Info, e)); ok {
+				covered[c] = true
+			}
+		}
+	}
+	var missing []string
+	for _, c := range spec.consts {
+		if !covered[c] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Pos(),
+			"switch over %s is not exhaustive: missing %s — add the cases or an explicit default (//dflint:states)",
+			spec.typ.Name(), strings.Join(missing, ", "))
+	}
+}
+
+// assignsEnum reports whether the assignment stores an enum constant
+// into an enum-typed location (the statement the transition check
+// applies to).
+func assignsEnum(u *Unit, as *ast.AssignStmt, specs map[*types.TypeName]*enumSpec) bool {
+	if as.Tok != token.ASSIGN {
+		return false
+	}
+	for i := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		if spec := enumOf(u, as.Lhs[i], specs); spec != nil && spec.transitions != nil {
+			if _, ok := spec.isConst(useOf(u.Info, as.Rhs[i])); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkEnumAssign validates one transition assignment against the
+// declared table.
+func checkEnumAssign(pass *ProgramPass, u *Unit, flow *Flow, as *ast.AssignStmt, specs map[*types.TypeName]*enumSpec) {
+	if as.Tok != token.ASSIGN {
+		return
+	}
+	for i := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		spec := enumOf(u, as.Lhs[i], specs)
+		if spec == nil || spec.transitions == nil {
+			continue
+		}
+		to, ok := spec.isConst(useOf(u.Info, as.Rhs[i]))
+		if !ok {
+			continue
+		}
+		lvPath := types.ExprString(ast.Unparen(as.Lhs[i]))
+		from := inferFromStates(u, flow, as, lvPath, spec)
+		if from == nil {
+			// Unconstrained: the weak check — `to` must be reachable by
+			// some declared edge.
+			if !spec.targets[to.Name()] {
+				pass.Reportf(as.Pos(),
+					"assignment %s = %s: %s is not the destination of any declared //dflint:transitions edge of %s",
+					lvPath, to.Name(), to.Name(), spec.typ.Name())
+			}
+			continue
+		}
+		var bad []string
+		for _, f := range from {
+			if f == to.Name() {
+				continue // self-transition: an overwrite, always legal
+			}
+			if !spec.transitions[f+"->"+to.Name()] {
+				bad = append(bad, f+"->"+to.Name())
+			}
+		}
+		if len(bad) > 0 {
+			pass.Reportf(as.Pos(),
+				"assignment %s = %s takes undeclared transition(s) %s — declare them in %s's //dflint:transitions table or tighten the guard",
+				lvPath, to.Name(), strings.Join(bad, ", "), spec.typ.Name())
+		}
+	}
+}
+
+// inferFromStates intersects the constraints every dominating guard
+// places on lvPath's value before the assignment. nil means
+// unconstrained.
+func inferFromStates(u *Unit, flow *Flow, as *ast.AssignStmt, lvPath string, spec *enumSpec) []string {
+	b := flow.BlockOf(as)
+	if b == nil {
+		return nil
+	}
+	all := spec.allNames()
+	var result map[string]bool // nil: unconstrained so far
+	intersect := func(set map[string]bool) {
+		if result == nil {
+			result = set
+			return
+		}
+		for k := range result {
+			if !set[k] {
+				delete(result, k)
+			}
+		}
+	}
+	for _, g := range flow.Guards(b) {
+		if set, ok := guardStates(u, g, lvPath, spec, all); ok {
+			intersect(set)
+		}
+	}
+	if result == nil {
+		return nil
+	}
+	var out []string
+	for _, name := range all { // declaration order, deterministic
+		if result[name] {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// guardStates extracts the constraint one guard places on lvPath.
+func guardStates(u *Unit, g Guard, lvPath string, spec *enumSpec, all []string) (map[string]bool, bool) {
+	// Uniform edge polarity: all-true or all-false branches evaluate the
+	// condition; case edges evaluate the clause lists.
+	kinds := make(map[EdgeKind]bool)
+	for _, e := range g.Taken {
+		kinds[e.Kind] = true
+	}
+	switch {
+	case len(kinds) == 1 && kinds[EdgeTrue]:
+		return condStates(u, g.Cond, lvPath, spec, all, true)
+	case len(kinds) == 1 && kinds[EdgeFalse]:
+		return condStates(u, g.Cond, lvPath, spec, all, false)
+	case kinds[EdgeCase] && !kinds[EdgeNoCase]:
+		// Union over the taken clauses.
+		union := make(map[string]bool)
+		for _, e := range g.Taken {
+			cc, ok := e.Clause.(*ast.CaseClause)
+			if !ok {
+				return nil, false
+			}
+			var clauseSet map[string]bool
+			if g.Cond != nil && types.ExprString(ast.Unparen(g.Cond)) == lvPath {
+				// Tagged switch on the location itself: the clause
+				// constants are the possible values.
+				clauseSet = make(map[string]bool)
+				for _, ce := range cc.List {
+					c, isC := spec.isConst(useOf(u.Info, ce))
+					if !isC {
+						return nil, false
+					}
+					clauseSet[c.Name()] = true
+				}
+			} else if g.Cond == nil {
+				// Bare switch: each clause expression is a condition;
+				// a multi-expression clause is a disjunction.
+				for _, ce := range cc.List {
+					s, ok := condStates(u, ce, lvPath, spec, all, true)
+					if !ok {
+						return nil, false
+					}
+					if clauseSet == nil {
+						clauseSet = make(map[string]bool)
+					}
+					for k := range s {
+						clauseSet[k] = true
+					}
+				}
+			}
+			if clauseSet == nil {
+				return nil, false
+			}
+			for k := range clauseSet {
+				union[k] = true
+			}
+		}
+		return union, true
+	}
+	return nil, false
+}
+
+// condStates evaluates a boolean condition under the given truth value
+// into the set of lvPath values consistent with it.
+func condStates(u *Unit, cond ast.Expr, lvPath string, spec *enumSpec, all []string, truth bool) (map[string]bool, bool) {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			return condStates(u, e.X, lvPath, spec, all, !truth)
+		}
+	case *ast.BinaryExpr:
+		switch {
+		case (e.Op == token.LAND && truth) || (e.Op == token.LOR && !truth):
+			// Both sides hold: intersect whichever constrain.
+			ls, lok := condStates(u, e.X, lvPath, spec, all, truth)
+			rs, rok := condStates(u, e.Y, lvPath, spec, all, truth)
+			switch {
+			case lok && rok:
+				out := make(map[string]bool)
+				for k := range ls {
+					if rs[k] {
+						out[k] = true
+					}
+				}
+				return out, true
+			case lok:
+				return ls, true
+			case rok:
+				return rs, true
+			}
+			return nil, false
+		case (e.Op == token.LOR && truth) || (e.Op == token.LAND && !truth):
+			// Either side may hold: union, only if both constrain.
+			ls, lok := condStates(u, e.X, lvPath, spec, all, truth)
+			rs, rok := condStates(u, e.Y, lvPath, spec, all, truth)
+			if lok && rok {
+				out := make(map[string]bool)
+				for k := range ls {
+					out[k] = true
+				}
+				for k := range rs {
+					out[k] = true
+				}
+				return out, true
+			}
+			return nil, false
+		case e.Op == token.EQL || e.Op == token.NEQ:
+			k, ok := comparisonConst(u, e, lvPath, spec)
+			if !ok {
+				return nil, false
+			}
+			wantEqual := (e.Op == token.EQL) == truth
+			out := make(map[string]bool)
+			if wantEqual {
+				out[k] = true
+			} else {
+				for _, name := range all {
+					if name != k {
+						out[name] = true
+					}
+				}
+			}
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// comparisonConst matches `lvPath ==/!= Const` in either operand order.
+func comparisonConst(u *Unit, e *ast.BinaryExpr, lvPath string, spec *enumSpec) (string, bool) {
+	x, y := ast.Unparen(e.X), ast.Unparen(e.Y)
+	if types.ExprString(x) == lvPath {
+		if c, ok := spec.isConst(useOf(u.Info, y)); ok {
+			return c.Name(), true
+		}
+	}
+	if types.ExprString(y) == lvPath {
+		if c, ok := spec.isConst(useOf(u.Info, x)); ok {
+			return c.Name(), true
+		}
+	}
+	return "", false
+}

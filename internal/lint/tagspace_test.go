@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func manifestTags() []WireTag {
+	return []WireTag{
+		{Tag: 16, Type: "dsm.pageReq", Shape: "varint:Block bool:Write varint:HaveVer"},
+		{Tag: 17, Type: "dsm.pageData", Shape: "varint:Block bytes:Data"},
+		{Tag: 48, Type: "cluster.JoinMsg", Shape: "bytes:Addr"},
+	}
+}
+
+func TestWireLockRoundTrip(t *testing.T) {
+	tags := manifestTags()
+	content := FormatWireLock(tags)
+	if !strings.HasPrefix(content, "# WIRE.lock") {
+		t.Errorf("manifest must open with its header comment")
+	}
+	if diffs := DiffWireLock(content, tags); len(diffs) != 0 {
+		t.Errorf("round trip must be drift-free, got %v", diffs)
+	}
+}
+
+func TestWireLockDrift(t *testing.T) {
+	content := FormatWireLock(manifestTags())
+
+	// A renumbered tag shows up as one disappearance plus one claim.
+	renumbered := manifestTags()
+	renumbered[2].Tag = 49
+	diffs := DiffWireLock(content, renumbered)
+	if len(diffs) != 2 {
+		t.Fatalf("renumber: got %d diffs %v, want 2", len(diffs), diffs)
+	}
+	joined := strings.Join(diffs, "\n")
+	if !strings.Contains(joined, "tag 49") || !strings.Contains(joined, "tag 48") {
+		t.Errorf("renumber diffs must name both tags: %v", diffs)
+	}
+
+	// A field reorder changes the shape string.
+	reordered := manifestTags()
+	reordered[0].Shape = "bool:Write varint:Block varint:HaveVer"
+	diffs = DiffWireLock(content, reordered)
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "changed wire shape") {
+		t.Errorf("reorder: got %v, want one changed-shape diff", diffs)
+	}
+
+	// A retyped tag is called out as a renumbering hazard.
+	retyped := manifestTags()
+	retyped[2].Type = "cluster.LeaveMsg"
+	diffs = DiffWireLock(content, retyped)
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "changed type") {
+		t.Errorf("retype: got %v, want one changed-type diff", diffs)
+	}
+
+	// Unchanged wire format tolerates comment/whitespace edits.
+	edited := "# local commentary\n\n" + content
+	if diffs := DiffWireLock(edited, manifestTags()); len(diffs) != 0 {
+		t.Errorf("comment edits must not read as drift: %v", diffs)
+	}
+}

@@ -1,0 +1,64 @@
+// Package atomicfield exercises the all-or-nothing atomic-access rule:
+// a location touched through sync/atomic anywhere may never be accessed
+// plainly, and typed atomics may not travel by value.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	total int64
+	n     atomic.Int64
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.total, 1)
+}
+
+// The seeded plain read of an atomically-written field.
+func (c *counters) readPlain() int64 {
+	return c.hits // want "plain access to hits, which is accessed atomically"
+}
+
+func (c *counters) writePlain() {
+	c.hits = 0 // want "plain access to hits, which is accessed atomically"
+}
+
+func (c *counters) readAtomic() int64 {
+	return atomic.LoadInt64(&c.total)
+}
+
+// Taking the address is not a data access; the pointer presumably feeds
+// an atomic elsewhere.
+func (c *counters) addr() *int64 {
+	return &c.total
+}
+
+func (c *counters) typedOK() int64 {
+	c.n.Add(1)
+	return c.n.Load()
+}
+
+func (c *counters) typedCopy() {
+	snapshot := c.n // want "typed atomic c\.n copied as a value"
+	_ = snapshot    // want "typed atomic snapshot copied as a value"
+}
+
+func consume(v atomic.Int64) int64 { return v.Load() }
+
+func (c *counters) passByValue() int64 {
+	return consume(c.n) // want "typed atomic c\.n passed by value"
+}
+
+func (c *counters) pointerOK() *atomic.Int64 {
+	return &c.n
+}
+
+var ops int64
+
+func bumpOps() { atomic.AddInt64(&ops, 1) }
+
+func readOps() int64 {
+	return ops // want "plain access to ops, which is accessed atomically"
+}

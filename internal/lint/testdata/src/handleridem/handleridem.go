@@ -1,0 +1,126 @@
+// Package handleridem exercises the at-least-once idempotence rule:
+// handlers registered with Idempotent: true (or via HandleRaw) may not
+// mutate shared state non-idempotently outside a guard that tests
+// persistent state.
+package handleridem
+
+import "kernel"
+
+type server struct {
+	count int
+	flags uint64
+	log   []string
+	seen  map[string]bool
+	done  chan int
+	last  string
+}
+
+func register(tr kernel.Transport, s *server) {
+	tr.Register(1, kernel.Service{Name: "count", Idempotent: true, Handler: s.badCount})
+	tr.Register(2, kernel.Service{Name: "append", Idempotent: true, Handler: s.badAppend})
+	tr.Register(3, kernel.Service{Name: "close", Idempotent: true, Handler: s.badClose})
+	tr.Register(4, kernel.Service{Name: "reqguard", Idempotent: true, Handler: s.badReqGuard})
+	tr.Register(5, kernel.Service{Name: "opassign", Idempotent: true, Handler: s.badOpAssign})
+	tr.Register(6, kernel.Service{Name: "helper", Idempotent: true, Handler: s.badViaHelper})
+	tr.Register(7, kernel.Service{Name: "send", Idempotent: true, Handler: s.badSend})
+	tr.Register(10, kernel.Service{Name: "guarded", Idempotent: true, Handler: s.goodGuard})
+	tr.Register(11, kernel.Service{Name: "derived", Idempotent: true, Handler: s.goodDerived})
+	tr.Register(12, kernel.Service{Name: "overwrite", Idempotent: true, Handler: s.goodOverwrite})
+	tr.Register(13, kernel.Service{Name: "converge", Idempotent: true, Handler: s.goodConverge})
+	// Not marked idempotent: the transport never re-executes it, so the
+	// counter is out of this rule's scope.
+	tr.Register(14, kernel.Service{Name: "atmostonce", Handler: s.notIdem})
+}
+
+// The seeded non-idempotent handler: a bare counter bump, no guard.
+func (s *server) badCount(from kernel.NodeID, req any) (any, int, kernel.Verdict) {
+	s.count++ // want "retried handler badCount: s\.count\+\+ is not idempotent"
+	return nil, 0, kernel.Reply
+}
+
+func (s *server) badAppend(from kernel.NodeID, req any) (any, int, kernel.Verdict) {
+	s.log = append(s.log, "x") // want "s\.log = append\(s\.log, \.\.\.\) grows on every re-execution"
+	return nil, 0, kernel.Reply
+}
+
+func (s *server) badClose(from kernel.NodeID, req any) (any, int, kernel.Verdict) {
+	close(s.done) // want "close\(s\.done\) panics on the duplicate"
+	return nil, 0, kernel.Reply
+}
+
+// A guard over the request is no guard: the duplicate carries the same
+// request and passes it again.
+func (s *server) badReqGuard(from kernel.NodeID, req any) (any, int, kernel.Verdict) {
+	if req == nil {
+		return nil, 0, kernel.Drop
+	}
+	s.count++ // want "retried handler badReqGuard"
+	return nil, 0, kernel.Reply
+}
+
+func (s *server) badOpAssign(from kernel.NodeID, req any) (any, int, kernel.Verdict) {
+	s.count += 2 // want "s\.count \+= \.\.\."
+	return nil, 0, kernel.Reply
+}
+
+// The mutation hides one call deep: the summary charges the call site.
+func (s *server) badViaHelper(from kernel.NodeID, req any) (any, int, kernel.Verdict) {
+	s.bump() // want "call to bump \(which does s\.count\+\+"
+	return nil, 0, kernel.Reply
+}
+
+func (s *server) bump() { s.count++ }
+
+func (s *server) badSend(from kernel.NodeID, req any) (any, int, kernel.Verdict) {
+	s.done <- 1 // want "send on shared channel s\.done"
+	return nil, 0, kernel.Reply
+}
+
+// An early return keyed on the dedup map dominates the bump: clean.
+func (s *server) goodGuard(from kernel.NodeID, req any) (any, int, kernel.Verdict) {
+	key := req.(string)
+	if s.seen[key] {
+		return nil, 0, kernel.Drop
+	}
+	s.seen[key] = true
+	s.count++
+	return nil, 0, kernel.Reply
+}
+
+// The comma-ok local carries the persistent-state test: clean.
+func (s *server) goodDerived(from kernel.NodeID, req any) (any, int, kernel.Verdict) {
+	_, ok := s.seen[req.(string)]
+	if !ok {
+		s.seen[req.(string)] = true
+		s.count++
+	}
+	return nil, 0, kernel.Reply
+}
+
+// Pure overwrites converge on the duplicate: clean.
+func (s *server) goodOverwrite(from kernel.NodeID, req any) (any, int, kernel.Verdict) {
+	s.last = req.(string)
+	s.seen[s.last] = true
+	return nil, 0, kernel.Reply
+}
+
+func (s *server) goodConverge(from kernel.NodeID, req any) (any, int, kernel.Verdict) {
+	s.flags |= 4
+	return nil, 0, kernel.Reply
+}
+
+func (s *server) notIdem(from kernel.NodeID, req any) (any, int, kernel.Verdict) {
+	s.count++
+	return nil, 0, kernel.Reply
+}
+
+// HandleRaw handlers face network-level duplication with no transport
+// dedup at all; a captured accumulator is shared state.
+func setupRaw(tr kernel.Transport) {
+	var backlog []int
+	tr.HandleRaw(func(from kernel.NodeID, payload any) bool {
+		backlog = append(backlog, 1) // want "backlog = append\(backlog, \.\.\.\) grows on every re-execution"
+		return true
+	})
+	_ = backlog
+}

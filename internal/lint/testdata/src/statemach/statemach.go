@@ -1,0 +1,94 @@
+// Package statemach exercises the declared-state-machine rule: switch
+// exhaustiveness and the //dflint:transitions discipline.
+package statemach
+
+// Phase is the fixture lifecycle. Broken has no inbound edge, so it can
+// never be assigned outside construction.
+//
+//dflint:states
+//dflint:transitions Idle->Run Run->Halt Run->Idle
+type Phase int
+
+const (
+	Idle Phase = iota
+	Run
+	Halt
+	Broken
+)
+
+type machine struct{ phase Phase }
+
+func newMachine() *machine {
+	return &machine{phase: Idle} // construction, not a transition
+}
+
+func (m *machine) missingCases() int {
+	switch m.phase { // want "switch over Phase is not exhaustive: missing Halt, Broken"
+	case Idle:
+		return 0
+	case Run:
+		return 1
+	}
+	return 2
+}
+
+func (m *machine) allCases() int {
+	switch m.phase {
+	case Idle, Run:
+		return 0
+	case Halt, Broken:
+		return 1
+	}
+	return 2
+}
+
+func (m *machine) hasDefault() int {
+	switch m.phase {
+	case Idle:
+		return 0
+	default:
+		return 1
+	}
+}
+
+func (m *machine) goodGuarded() {
+	if m.phase == Idle {
+		m.phase = Run
+	}
+}
+
+func (m *machine) badGuarded() {
+	if m.phase == Idle {
+		m.phase = Halt // want "undeclared transition\(s\) Idle->Halt"
+	}
+}
+
+func (m *machine) badNegGuard() {
+	if m.phase != Run {
+		m.phase = Halt // want "undeclared transition\(s\) Idle->Halt, Broken->Halt"
+	}
+}
+
+func (m *machine) weakOK() {
+	m.phase = Run // Run has declared inbound edges
+}
+
+func (m *machine) weakBad() {
+	m.phase = Broken // want "Broken is not the destination of any declared"
+}
+
+func (m *machine) switchGuard() {
+	switch m.phase {
+	case Run:
+		m.phase = Idle
+	case Halt, Broken:
+		m.phase = Run // want "undeclared transition\(s\) Halt->Run, Broken->Run"
+	default:
+	}
+}
+
+func (m *machine) selfTransition() {
+	if m.phase == Halt {
+		m.phase = Halt // an overwrite, always legal
+	}
+}

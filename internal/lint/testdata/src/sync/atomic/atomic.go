@@ -1,0 +1,31 @@
+// Package atomic is a hermetic stand-in for the standard library's
+// sync/atomic package, for the atomicfield fixtures.
+package atomic
+
+func AddInt64(addr *int64, delta int64) int64              { return 0 }
+func LoadInt64(addr *int64) int64                          { return 0 }
+func StoreInt64(addr *int64, v int64)                      {}
+func CompareAndSwapInt64(addr *int64, old, new int64) bool { return false }
+func AddUint64(addr *uint64, delta uint64) uint64          { return 0 }
+func AddInt32(addr *int32, delta int32) int32              { return 0 }
+
+type Int64 struct{ v int64 }
+
+func (x *Int64) Load() int64           { return 0 }
+func (x *Int64) Store(v int64)         {}
+func (x *Int64) Add(delta int64) int64 { return 0 }
+
+type Int32 struct{ v int32 }
+
+func (x *Int32) Load() int32   { return 0 }
+func (x *Int32) Store(v int32) {}
+
+type Bool struct{ v uint32 }
+
+func (x *Bool) Load() bool   { return false }
+func (x *Bool) Store(v bool) {}
+
+type Value struct{ v any }
+
+func (x *Value) Load() any   { return nil }
+func (x *Value) Store(v any) {}

@@ -132,7 +132,9 @@ func (m *Endpoint) handle(from kernel.NodeID, payload any) bool {
 	}
 	m.node.Charge(kernel.CatData, m.node.Model().RecvCost(w.Size))
 	k := key{src: from, tag: w.Tag}
+	//dflint:allow handleridem raw datagrams are never retransmitted (only RPC requests are), so each wire arrives at most once and FIFO growth mirrors sends one-to-one
 	m.queues[k] = append(m.queues[k], w)
+	//dflint:allow handleridem raw datagrams are never retransmitted (only RPC requests are), so each wire arrives at most once and FIFO growth mirrors sends one-to-one
 	m.anyFIFO[w.Tag] = append(m.anyFIFO[w.Tag], from)
 	if t := m.waiters[k]; t != nil {
 		delete(m.waiters, k)

@@ -246,6 +246,7 @@ func (ep *Endpoint) RequestSized(dst simnet.NodeID, svc ServiceID, req any, size
 	ep.pending[p.seq] = p
 	ep.ctr.requestsSent.Inc()
 	ep.ctr.maxRequestSize.SetMax(int64(size))
+	//dflint:allow tagspace the sim transport hands Go values over in memory; wireRequest never meets a serializer
 	ep.node.Send(dst, p.req, size, cat)
 	ep.armTimer(p)
 	return &Handle{ep: ep, p: p}
@@ -363,6 +364,7 @@ func (ep *Endpoint) handleRequest(from simnet.NodeID, m wireRequest) {
 			}
 			ent.lastSent = now
 			ep.ctr.repliesSent.Inc()
+			//dflint:allow tagspace the sim transport hands Go values over in memory; wireReply never meets a serializer
 			ep.node.Send(from, ent.wr, ent.wr.Size, svc.Category)
 			return
 		}
@@ -377,6 +379,7 @@ func (ep *Endpoint) handleRequest(from simnet.NodeID, m wireRequest) {
 		ep.cacheReply(key, wr)
 	}
 	ep.ctr.repliesSent.Inc()
+	//dflint:allow tagspace the sim transport hands Go values over in memory; wireReply never meets a serializer
 	ep.node.Send(from, wr, size, svc.Category)
 }
 
@@ -416,6 +419,7 @@ func (ep *Endpoint) retransmit(seq uint64) {
 	ep.obs.Trace(int64(ep.node.Now()), "net", "retransmit",
 		obs.Arg{Key: "dst", Val: int64(p.dst)}, obs.Arg{Key: "svc", Val: int64(p.req.Svc)},
 		obs.Arg{Key: "attempt", Val: int64(p.attempts)})
+	//dflint:allow tagspace the sim transport hands Go values over in memory; wireRequest never meets a serializer
 	ep.node.Send(p.dst, p.req, p.req.Size, p.cat)
 	ep.armTimer(p)
 }

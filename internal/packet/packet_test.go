@@ -290,6 +290,7 @@ func TestCriticalSectionDrop(t *testing.T) {
 		ModifiesCritical: true,
 		Category:         threads.CatData,
 		Handler: func(from simnet.NodeID, req any) (any, int, Verdict) {
+			//dflint:allow handleridem the test counts handler executions on purpose to assert the drop/retry schedule
 			served++
 			return "ok", 8, Reply
 		},
